@@ -1,0 +1,110 @@
+//! Majority filtering — the primitive behind secure inter-group routing.
+//!
+//! When groups `G1 → G2` exchange all-to-all, each good member of `G2`
+//! receives one claimed value per member of `G1` and keeps the most
+//! frequent one. If `G1` has a good majority and its good members agree,
+//! the filtered value is correct no matter what the bad members send
+//! (§I, first bullet).
+
+use std::collections::HashMap;
+
+/// The most frequent present value, ties broken toward the smallest value
+/// (a deterministic rule so all good receivers filter identically).
+/// Returns `None` when no value is present.
+pub fn majority_value(values: impl IntoIterator<Item = Option<u64>>) -> Option<u64> {
+    let mut counts: HashMap<u64, usize> = HashMap::new();
+    for v in values.into_iter().flatten() {
+        *counts.entry(v).or_insert(0) += 1;
+    }
+    counts
+        .into_iter()
+        .max_by(|a, b| a.1.cmp(&b.1).then(b.0.cmp(&a.0)))
+        .map(|(v, _)| v)
+}
+
+/// Majority-filter an all-to-all exchange: `claims[i]` is what sender `i`
+/// delivered (or `None` for an omission). Also reports whether the
+/// winning value achieved a strict majority of the *group size* (not just
+/// of present values) — the condition under which correctness is
+/// guaranteed by a good-majority sender group.
+pub fn majority_filter(claims: &[Option<u64>]) -> (Option<u64>, bool) {
+    let winner = majority_value(claims.iter().copied());
+    match winner {
+        None => (None, false),
+        Some(v) => {
+            let count = claims.iter().flatten().filter(|&&x| x == v).count();
+            (Some(v), 2 * count > claims.len())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_majority() {
+        assert_eq!(majority_value([Some(3), Some(3), Some(5)]), Some(3));
+    }
+
+    #[test]
+    fn ties_break_to_smaller() {
+        assert_eq!(majority_value([Some(9), Some(2), Some(9), Some(2)]), Some(2));
+    }
+
+    #[test]
+    fn omissions_ignored() {
+        assert_eq!(majority_value([None, Some(4), None, Some(4), Some(1)]), Some(4));
+    }
+
+    #[test]
+    fn empty_and_all_omitted() {
+        assert_eq!(majority_value([]), None);
+        assert_eq!(majority_value([None, None]), None);
+    }
+
+    #[test]
+    fn strict_majority_flag() {
+        // 3 of 5 agree: strict majority of group size.
+        let (v, strict) = majority_filter(&[Some(1), Some(1), Some(1), Some(2), None]);
+        assert_eq!(v, Some(1));
+        assert!(strict);
+        // 2 of 5 agree, rest split/omitted: winner but not strict.
+        let (v, strict) = majority_filter(&[Some(1), Some(1), Some(2), None, None]);
+        assert_eq!(v, Some(1));
+        assert!(!strict);
+    }
+
+    /// The routing guarantee: with a good-majority sender group whose good
+    /// members all send the true value, no Byzantine strategy changes the
+    /// filtered result.
+    #[test]
+    fn good_majority_beats_any_lie() {
+        let truth = 42u64;
+        let n = 9;
+        let bad = 4; // minority
+        for lie_style in 0..3 {
+            let mut claims: Vec<Option<u64>> = vec![Some(truth); n - bad];
+            for b in 0..bad {
+                claims.push(match lie_style {
+                    0 => None,                    // omit
+                    1 => Some(7),                 // collude on one lie
+                    _ => Some(1000 + b as u64),   // scatter distinct lies
+                });
+            }
+            let (v, strict) = majority_filter(&claims);
+            assert_eq!(v, Some(truth), "lie style {lie_style}");
+            assert!(strict, "lie style {lie_style}");
+        }
+    }
+
+    /// The failure mode the paper's ε accounts for: a bad-majority group
+    /// can make the filter emit anything.
+    #[test]
+    fn bad_majority_controls_output() {
+        let claims = [Some(666), Some(666), Some(666), Some(42), Some(42)];
+        let (v, strict) = majority_filter(&claims);
+        assert_eq!(v, Some(666));
+        assert!(strict, "a colluding bad majority even looks strict");
+    }
+}

@@ -1,0 +1,122 @@
+//! The synchronous in-group model and adversary behaviours.
+
+/// What the Byzantine members of a group do during a protocol run.
+///
+/// The paper's adversary perfectly coordinates all bad IDs, sees the
+/// topology and all message contents, but not good IDs' local coin flips
+/// (§I-C). These modes cover the behaviours the analysis cares about; the
+/// pseudo-random equivocation uses its own seed so runs are reproducible.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AdversaryMode {
+    /// Bad members follow the protocol (useful as a control).
+    Honest,
+    /// Bad members send nothing (crash/omission behaviour).
+    Silent,
+    /// Bad members send different pseudo-random values to different
+    /// recipients in every round — maximal confusion.
+    Equivocate {
+        /// Seed for the deterministic lie stream.
+        seed: u64,
+    },
+    /// Bad members consistently push one chosen value.
+    Collude {
+        /// The value pushed.
+        value: u64,
+    },
+}
+
+impl AdversaryMode {
+    /// The value a bad member `from` sends to `to` in logical round
+    /// `round` when an honest sender would send `honest`.
+    pub fn send(&self, from: usize, to: usize, round: u64, honest: Option<u64>) -> Option<u64> {
+        match *self {
+            AdversaryMode::Honest => honest,
+            AdversaryMode::Silent => None,
+            AdversaryMode::Equivocate { seed } => {
+                let mut z = seed
+                    ^ (from as u64).wrapping_mul(0x9e3779b97f4a7c15)
+                    ^ (to as u64).wrapping_mul(0xc2b2ae3d27d4eb4f)
+                    ^ round.wrapping_mul(0x165667b19e3779f9);
+                z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+                Some(z ^ (z >> 31))
+            }
+            AdversaryMode::Collude { value } => Some(value),
+        }
+    }
+}
+
+/// Result of one group agreement run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BaOutcome {
+    /// Decision of each member; `None` for Byzantine members (their
+    /// "decisions" are meaningless).
+    pub decisions: Vec<Option<u64>>,
+    /// Messages sent during the run (each value relayed point-to-point
+    /// counts once).
+    pub msgs: u64,
+    /// Synchronous rounds consumed.
+    pub rounds: u64,
+}
+
+impl BaOutcome {
+    /// Whether all good members decided the same value; returns it.
+    pub fn agreed_value(&self) -> Option<u64> {
+        let mut it = self.decisions.iter().flatten();
+        let first = *it.next()?;
+        if it.all(|&v| v == first) {
+            Some(first)
+        } else {
+            None
+        }
+    }
+}
+
+/// Validate a `(n, bad)` group description; returns the number of bad
+/// members.
+pub(crate) fn check_group(n: usize, bad: &[bool]) -> usize {
+    assert_eq!(bad.len(), n, "bad-mask length must equal group size");
+    assert!(n >= 1, "empty group");
+    bad.iter().filter(|&&b| b).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn honest_mode_passes_through() {
+        let m = AdversaryMode::Honest;
+        assert_eq!(m.send(0, 1, 0, Some(7)), Some(7));
+        assert_eq!(m.send(0, 1, 0, None), None);
+    }
+
+    #[test]
+    fn silent_mode_omits() {
+        assert_eq!(AdversaryMode::Silent.send(0, 1, 0, Some(7)), None);
+    }
+
+    #[test]
+    fn equivocation_differs_per_recipient_and_round() {
+        let m = AdversaryMode::Equivocate { seed: 1 };
+        assert_ne!(m.send(0, 1, 0, None), m.send(0, 2, 0, None));
+        assert_ne!(m.send(0, 1, 0, None), m.send(0, 1, 1, None));
+        // ... but is deterministic.
+        assert_eq!(m.send(0, 1, 0, None), m.send(0, 1, 0, None));
+    }
+
+    #[test]
+    fn collusion_is_consistent() {
+        let m = AdversaryMode::Collude { value: 99 };
+        assert_eq!(m.send(0, 1, 0, Some(7)), Some(99));
+        assert_eq!(m.send(3, 2, 5, None), Some(99));
+    }
+
+    #[test]
+    fn agreed_value_detects_disagreement() {
+        let ok = BaOutcome { decisions: vec![Some(1), None, Some(1)], msgs: 0, rounds: 0 };
+        assert_eq!(ok.agreed_value(), Some(1));
+        let bad = BaOutcome { decisions: vec![Some(1), Some(2)], msgs: 0, rounds: 0 };
+        assert_eq!(bad.agreed_value(), None);
+    }
+}

@@ -1,0 +1,80 @@
+//! Property-based tests for the in-group agreement protocols.
+
+use proptest::prelude::*;
+use tg_ba::{eig_agreement, majority_value, phase_king, AdversaryMode};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Phase King agreement + validity over random sizes, traitor
+    /// placements, and adversary modes (t < n/4).
+    #[test]
+    fn phase_king_agreement_and_validity(
+        n in 5usize..16,
+        placement_seed in any::<u64>(),
+        mode_sel in 0usize..3,
+        unanimous in any::<bool>(),
+    ) {
+        let t = (n - 1) / 4;
+        // Pseudo-random traitor placement.
+        let mut bad = vec![false; n];
+        let mut z = placement_seed;
+        let mut placed = 0;
+        while placed < t {
+            z = z.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let i = (z >> 33) as usize % n;
+            if !bad[i] {
+                bad[i] = true;
+                placed += 1;
+            }
+        }
+        let mode = match mode_sel {
+            0 => AdversaryMode::Silent,
+            1 => AdversaryMode::Equivocate { seed: placement_seed },
+            _ => AdversaryMode::Collude { value: 0xE71D },
+        };
+        let inputs: Vec<u64> =
+            (0..n as u64).map(|i| if unanimous { 42 } else { i % 3 }).collect();
+        let out = phase_king(&inputs, &bad, mode);
+        let agreed = out.agreed_value();
+        prop_assert!(agreed.is_some(), "agreement (n={n}, t={t}, mode {mode:?})");
+        if unanimous {
+            prop_assert_eq!(agreed, Some(42), "validity");
+        }
+    }
+
+    /// EIG agreement + validity for n ∈ {4..=7}, t = ⌊(n−1)/3⌋ ≤ 2.
+    #[test]
+    fn eig_agreement_and_validity(
+        n in 4usize..8,
+        traitor in 0usize..8,
+        mode_sel in 0usize..3,
+        unanimous in any::<bool>(),
+    ) {
+        let traitor = traitor % n;
+        let bad: Vec<bool> = (0..n).map(|i| i == traitor).collect();
+        let mode = match mode_sel {
+            0 => AdversaryMode::Silent,
+            1 => AdversaryMode::Equivocate { seed: traitor as u64 },
+            _ => AdversaryMode::Collude { value: 999 },
+        };
+        let inputs: Vec<u64> =
+            (0..n as u64).map(|i| if unanimous { 7 } else { i % 2 }).collect();
+        let out = eig_agreement(&inputs, &bad, mode);
+        let agreed = out.agreed_value();
+        prop_assert!(agreed.is_some(), "agreement (n={n}, traitor {traitor})");
+        if unanimous {
+            prop_assert_eq!(agreed, Some(7), "validity");
+        }
+    }
+
+    /// Majority filtering never invents values: the winner is always one
+    /// of the claims.
+    #[test]
+    fn majority_never_invents(claims in prop::collection::vec(prop::option::of(0u64..6), 0..20)) {
+        match majority_value(claims.iter().copied()) {
+            None => prop_assert!(claims.iter().all(|c| c.is_none())),
+            Some(v) => prop_assert!(claims.contains(&Some(v))),
+        }
+    }
+}

@@ -1,0 +1,31 @@
+//! In-group agreement kernels: the group-communication costs behind
+//! Corollary 1 (tiny |G| vs log-n |G|).
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tg_ba::{commit_reveal_coin, eig_agreement, phase_king, AdversaryMode};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ba_protocols");
+    // |G| = 9 ≈ tiny group at n = 2^16; |G| = 17 ≈ ln n baseline.
+    for m in [9usize, 17] {
+        let inputs: Vec<u64> = (0..m as u64).map(|i| i % 2).collect();
+        let bad: Vec<bool> = (0..m).map(|i| i == 0).collect();
+        g.bench_function(format!("phase_king_m{m}_t1"), |b| {
+            b.iter(|| phase_king(&inputs, &bad, AdversaryMode::Equivocate { seed: 1 }));
+        });
+        g.bench_function(format!("coin_m{m}"), |b| {
+            let mut rng = StdRng::seed_from_u64(2);
+            b.iter(|| commit_reveal_coin(m, &bad, AdversaryMode::Collude { value: 1 }, &mut rng));
+        });
+    }
+    let inputs = [1u64, 2, 1, 2, 1, 2, 1];
+    let bad = [true, false, false, false, false, false, true];
+    g.bench_function("eig_m7_t2", |b| {
+        b.iter(|| eig_agreement(&inputs, &bad, AdversaryMode::Equivocate { seed: 3 }));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

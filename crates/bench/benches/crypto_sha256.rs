@@ -1,0 +1,27 @@
+//! SHA-256 substrate throughput (the random-oracle workhorse).
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use tg_crypto::{sha256, OracleFamily};
+use tg_idspace::Id;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("crypto_sha256");
+    for size in [64usize, 1024, 16384] {
+        let data = vec![0xabu8; size];
+        g.throughput(Throughput::Bytes(size as u64));
+        g.bench_function(format!("sha256_{size}B"), |b| {
+            b.iter(|| sha256(&data));
+        });
+    }
+    let fam = OracleFamily::new(1);
+    g.bench_function("oracle_hash_id_index", |b| {
+        let mut i = 0u32;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            fam.h1.hash_id_index(Id(0x1234_5678_9abc_def0), i)
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

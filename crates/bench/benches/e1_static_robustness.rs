@@ -1,0 +1,40 @@
+//! E1 kernel: static group-graph construction and robustness sampling
+//! (Theorem 3 / Lemma 4 pipeline).
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tg_bench::fixture;
+use tg_core::{build_initial_graph, measure_robustness, Params, Population};
+use tg_crypto::OracleFamily;
+use tg_overlay::GraphKind;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e1_static_robustness");
+    g.sample_size(10);
+
+    for kind in [GraphKind::Chord, GraphKind::D2B] {
+        g.bench_function(format!("build_n4096_{}", kind.name()), |b| {
+            let mut rng = StdRng::seed_from_u64(1);
+            let pop = Population::uniform(3891, 205, &mut rng);
+            let params = Params::paper_defaults();
+            let fam = OracleFamily::new(7);
+            b.iter_batched(
+                || pop.clone(),
+                |p| build_initial_graph(p, kind, fam.h1, &params),
+                BatchSize::LargeInput,
+            );
+        });
+    }
+
+    let (gg, params) = fixture(4096, GraphKind::Chord, 2);
+    g.bench_function("measure_500_searches_n4096", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(3);
+            measure_robustness(&gg, &params, 500, &mut rng)
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

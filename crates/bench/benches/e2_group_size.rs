@@ -1,0 +1,33 @@
+//! E2 kernel: search throughput as a function of group size (the
+//! threshold sweep's inner loop).
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tg_core::{build_initial_graph, search_path, Params, Population};
+use tg_crypto::OracleFamily;
+use tg_idspace::Id;
+use tg_overlay::GraphKind;
+use tg_sim::Metrics;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e2_group_size");
+    g.sample_size(20);
+    for draws in [2usize, 8, 32] {
+        let mut rng = StdRng::seed_from_u64(draws as u64);
+        let pop = Population::uniform(1946, 102, &mut rng);
+        let params = Params::paper_defaults().with_fixed_groups(draws);
+        let gg = build_initial_graph(pop, GraphKind::Chord, OracleFamily::new(1).h1, &params);
+        g.bench_function(format!("search_n2048_draws{draws}"), |b| {
+            let mut rng = StdRng::seed_from_u64(9);
+            let mut m = Metrics::new();
+            b.iter(|| {
+                let from = rng.gen_range(0..gg.len());
+                search_path(&gg, from, Id(rng.gen()), &mut m)
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! E3 kernel: secure routing cost — tiny vs Θ(log n) groups (Corollary 1
+//! message accounting) and the message-level verified route.
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tg_ba::AdversaryMode;
+use tg_bench::{fixture, fixture_logn};
+use tg_core::routing::secure_route_verified;
+use tg_core::search_path;
+use tg_idspace::Id;
+use tg_overlay::GraphKind;
+use tg_sim::Metrics;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e3_costs");
+    g.sample_size(20);
+
+    let (tiny, _) = fixture(4096, GraphKind::D2B, 3);
+    let (classic, _) = fixture_logn(4096, GraphKind::D2B, 3);
+    g.bench_function("search_tiny_groups_n4096", |b| {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut m = Metrics::new();
+        b.iter(|| {
+            let from = rng.gen_range(0..tiny.len());
+            search_path(&tiny, from, Id(rng.gen()), &mut m)
+        });
+    });
+    g.bench_function("search_logn_groups_n4096", |b| {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut m = Metrics::new();
+        b.iter(|| {
+            let from = rng.gen_range(0..classic.len());
+            search_path(&classic, from, Id(rng.gen()), &mut m)
+        });
+    });
+    g.bench_function("verified_route_tiny_n4096", |b| {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut m = Metrics::new();
+        b.iter(|| {
+            let from = rng.gen_range(0..tiny.len());
+            secure_route_verified(
+                &tiny,
+                from,
+                Id(rng.gen()),
+                42,
+                AdversaryMode::Equivocate { seed: 5 },
+                &mut m,
+            )
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

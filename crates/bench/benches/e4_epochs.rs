@@ -1,0 +1,28 @@
+//! E4 kernel: one full epoch of the dynamic construction (churn + dual
+//! construction + measurement).
+use criterion::{criterion_group, criterion_main, Criterion};
+use tg_core::dynamic::{BuildMode, DynamicSystem, UniformProvider};
+use tg_core::Params;
+use tg_overlay::GraphKind;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e4_epochs");
+    g.sample_size(10);
+    for (label, mode) in [("dual", BuildMode::DualGraph), ("single", BuildMode::SingleGraph)] {
+        g.bench_function(format!("advance_epoch_n400_{label}"), |b| {
+            b.iter(|| {
+                let mut params = Params::paper_defaults();
+                params.churn_rate = 0.2;
+                params.attack_requests_per_id = 0;
+                let mut provider = UniformProvider { n_good: 380, n_bad: 20 };
+                let mut sys = DynamicSystem::new(params, GraphKind::D2B, mode, &mut provider, 5);
+                sys.searches_per_epoch = 100;
+                sys.advance_epoch(&mut provider)
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

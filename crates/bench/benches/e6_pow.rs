@@ -1,0 +1,36 @@
+//! E6 kernel: puzzle attempts (real SHA-256) and statistical minting
+//! windows (Lemma 11 pipeline).
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tg_crypto::OracleFamily;
+use tg_idspace::Id;
+use tg_pow::puzzle::attempt;
+use tg_pow::{MintingSim, PuzzleParams};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e6_pow");
+    let fam = OracleFamily::new(1);
+    let params = PuzzleParams { tau: Id::from_f64(1e-6), attempts_per_step: 1, t_epoch: 2 };
+    g.bench_function("puzzle_attempt_sha256", |b| {
+        let mut s = 0u64;
+        b.iter(|| {
+            s = s.wrapping_add(1);
+            attempt(&fam, &params, (s, !s), 0xABCD)
+        });
+    });
+    let sim = MintingSim {
+        params: PuzzleParams::calibrated(16, 4096),
+        n_good: 10_000,
+        adversary_units: 500.0,
+        idealized_good: true,
+    };
+    g.bench_function("minting_window_n10000", |b| {
+        let mut rng = StdRng::seed_from_u64(2);
+        b.iter(|| sim.run_window(&mut rng));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! E7 kernel: one full string-propagation run (Lemma 12 pipeline).
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tg_bench::fixture;
+use tg_overlay::GraphKind;
+use tg_pow::{run_string_protocol, StringAdversary, StringParams};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e7_strings");
+    g.sample_size(10);
+    let (gg, _) = fixture(512, GraphKind::Chord, 4);
+    let params = StringParams::default();
+    g.bench_function("propagate_n512_clean", |b| {
+        let mut rng = StdRng::seed_from_u64(1);
+        b.iter(|| run_string_protocol(&gg, &params, StringAdversary::None, &mut rng));
+    });
+    g.bench_function("propagate_n512_delayed_release", |b| {
+        let mut rng = StdRng::seed_from_u64(2);
+        let adv = StringAdversary::DelayedRelease { strings: 5, release_frac: 0.49, units: 25.0 };
+        b.iter(|| run_string_protocol(&gg, &params, adv, &mut rng));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

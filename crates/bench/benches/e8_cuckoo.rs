@@ -1,0 +1,26 @@
+//! E8 kernel: cuckoo-rule join/leave events (the \[47\] reproduction's
+//! inner loop).
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tg_baselines::{CuckooParams, CuckooSim, CuckooStrategy};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e8_cuckoo");
+    g.sample_size(10);
+    for group_size in [8usize, 64] {
+        g.bench_function(format!("1000_events_n2048_g{group_size}"), |b| {
+            b.iter(|| {
+                let params =
+                    CuckooParams { n_good: 2007, n_bad: 41, group_size, k: 4 };
+                let mut rng = StdRng::seed_from_u64(3);
+                let mut sim = CuckooSim::new(params, &mut rng);
+                sim.run(1000, CuckooStrategy::RandomRejoin, &mut rng)
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

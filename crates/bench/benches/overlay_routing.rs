@@ -1,0 +1,34 @@
+//! Input-graph routing kernels (property P1 machinery for every
+//! implemented topology).
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tg_idspace::{Id, SortedRing};
+use tg_overlay::GraphKind;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("overlay_routing");
+    let mut rng = StdRng::seed_from_u64(1);
+    let ring = SortedRing::new((0..8192).map(|_| Id(rng.gen())).collect());
+    for kind in GraphKind::ALL {
+        let graph = kind.build(ring.clone());
+        g.bench_function(format!("route_n8192_{}", kind.name()), |b| {
+            let mut rng = StdRng::seed_from_u64(2);
+            b.iter(|| {
+                let from = ring.at(rng.gen_range(0..ring.len()));
+                graph.route(from, Id(rng.gen()))
+            });
+        });
+        g.bench_function(format!("neighbors_n8192_{}", kind.name()), |b| {
+            let mut rng = StdRng::seed_from_u64(3);
+            b.iter(|| {
+                let w = ring.at(rng.gen_range(0..ring.len()));
+                graph.neighbors(w)
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,210 @@
+//! The group graph `G` (§II-A).
+//!
+//! For an input graph `H` over the leader ring, the group graph has one
+//! group per ID (S1). Each group is **blue** or **red**:
+//!
+//! * *red* — the group is bad (no good majority among its live members)
+//!   or *confused* (its neighbor links differ from the topology's
+//!   linking rules — the Lemma 8 failure mode),
+//! * *blue* — good and correctly linked.
+//!
+//! Edges incident to blue groups follow `H` (S3): the good majority keeps
+//! a blue group's neighbor knowledge consistent, so the adversary cannot
+//! rewire it — it can only rewire among red groups, which never helps a
+//! search that (by the search-path semantics) dies at the first red group
+//! anyway.
+
+use crate::group::Group;
+use crate::params::Params;
+use crate::population::Population;
+use tg_overlay::InputGraph;
+
+/// Blue/red classification of a group (§II-A).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Color {
+    /// Good majority and correct neighbor set.
+    Blue,
+    /// Bad majority, dead, or confused.
+    Red,
+}
+
+/// A group graph: groups over a leader ring, members from a pool
+/// generation, atop an input-graph topology.
+pub struct GroupGraph {
+    /// The current generation: leaders / vertices of the graph.
+    pub leaders: Population,
+    /// The member pool (previous generation in the dynamic case; the
+    /// same generation for initial/static graphs).
+    pub pool: Population,
+    /// One group per leader, indexed by leader ring index.
+    pub groups: Vec<Group>,
+    /// Whether each group's neighbor links are incorrect (Lemma 8).
+    pub confused: Vec<bool>,
+    /// The input-graph topology `H` over the leader ring.
+    pub topology: Box<dyn InputGraph>,
+    colors: Vec<Color>,
+}
+
+impl GroupGraph {
+    /// Assemble a group graph and compute its coloring.
+    pub fn new(
+        leaders: Population,
+        pool: Population,
+        groups: Vec<Group>,
+        confused: Vec<bool>,
+        topology: Box<dyn InputGraph>,
+    ) -> Self {
+        assert_eq!(groups.len(), leaders.len(), "one group per leader");
+        assert_eq!(confused.len(), groups.len());
+        let mut gg =
+            GroupGraph { leaders, pool, groups, confused, topology, colors: Vec::new() };
+        gg.recolor();
+        gg
+    }
+
+    /// Number of groups (= number of leaders).
+    pub fn len(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Whether the graph is empty.
+    pub fn is_empty(&self) -> bool {
+        self.groups.is_empty()
+    }
+
+    /// Recompute all colors (after churn or link updates).
+    pub fn recolor(&mut self) {
+        self.colors = (0..self.groups.len())
+            .map(|i| {
+                if self.groups[i].has_good_majority(&self.pool) && !self.confused[i] {
+                    Color::Blue
+                } else {
+                    Color::Red
+                }
+            })
+            .collect();
+    }
+
+    /// The color of group `i`.
+    #[inline]
+    pub fn color(&self, i: usize) -> Color {
+        self.colors[i]
+    }
+
+    /// Whether group `i` is red.
+    #[inline]
+    pub fn is_red(&self, i: usize) -> bool {
+        self.colors[i] == Color::Red
+    }
+
+    /// The live size of group `i` (for message accounting).
+    #[inline]
+    pub fn group_size(&self, i: usize) -> usize {
+        self.groups[i].size(&self.pool)
+    }
+
+    /// Fraction of red groups — the quantity `pf` bounds (S2).
+    pub fn frac_red(&self) -> f64 {
+        let red = self.colors.iter().filter(|&&c| c == Color::Red).count();
+        red as f64 / self.colors.len().max(1) as f64
+    }
+
+    /// Fraction of groups with a good majority (Theorem 3, first bullet,
+    /// operational reading).
+    pub fn frac_good_majority(&self) -> f64 {
+        let good =
+            self.groups.iter().filter(|g| g.has_good_majority(&self.pool)).count();
+        good as f64 / self.groups.len().max(1) as f64
+    }
+
+    /// Fraction of groups meeting the paper's §I-C invariant (size range
+    /// and `(1+δ)β` bad bound).
+    pub fn frac_paper_invariant(&self, params: &Params) -> f64 {
+        let n = self.leaders.len();
+        let ok = self
+            .groups
+            .iter()
+            .filter(|g| g.meets_paper_invariant(&self.pool, params, n))
+            .count();
+        ok as f64 / self.groups.len().max(1) as f64
+    }
+
+    /// Fraction of confused groups.
+    pub fn frac_confused(&self) -> f64 {
+        let c = self.confused.iter().filter(|&&x| x).count();
+        c as f64 / self.confused.len().max(1) as f64
+    }
+
+    /// Mean live group size.
+    pub fn mean_group_size(&self) -> f64 {
+        let total: usize = (0..self.len()).map(|i| self.group_size(i)).sum();
+        total as f64 / self.len().max(1) as f64
+    }
+
+    /// Leader-ring indices of all blue groups.
+    pub fn blue_indices(&self) -> Vec<usize> {
+        (0..self.len()).filter(|&i| !self.is_red(i)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use tg_overlay::GraphKind;
+
+    fn tiny_graph() -> GroupGraph {
+        let mut rng = StdRng::seed_from_u64(7);
+        let leaders = Population::uniform(16, 4, &mut rng);
+        let pool = leaders.clone();
+        // Group i = {i, i+1, i+2} mod 20 — deterministic membership for
+        // the test.
+        let n = leaders.len();
+        let groups: Vec<Group> = (0..n)
+            .map(|i| {
+                Group::new(i as u32, vec![i as u32, ((i + 1) % n) as u32, ((i + 2) % n) as u32], 0)
+            })
+            .collect();
+        let topology = GraphKind::Chord.build(leaders.ring().clone());
+        GroupGraph::new(leaders, pool, groups, vec![false; n], topology)
+    }
+
+    #[test]
+    fn colors_follow_majority() {
+        let gg = tiny_graph();
+        for i in 0..gg.len() {
+            let expect =
+                if gg.groups[i].has_good_majority(&gg.pool) { Color::Blue } else { Color::Red };
+            assert_eq!(gg.color(i), expect);
+        }
+    }
+
+    #[test]
+    fn confusion_makes_red() {
+        let mut gg = tiny_graph();
+        let blue = gg.blue_indices()[0];
+        gg.confused[blue] = true;
+        gg.recolor();
+        assert!(gg.is_red(blue));
+    }
+
+    #[test]
+    fn fractions_are_consistent() {
+        let gg = tiny_graph();
+        assert!(gg.frac_red() >= 0.0 && gg.frac_red() <= 1.0);
+        assert!((gg.frac_red() + gg.blue_indices().len() as f64 / gg.len() as f64 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn churn_recolor_flips_groups() {
+        let mut gg = tiny_graph();
+        let before = gg.frac_good_majority();
+        // Depart most good pool members.
+        let mut rng = StdRng::seed_from_u64(9);
+        gg.pool.depart_good_fraction(0.9, &mut rng);
+        gg.recolor();
+        let after = gg.frac_good_majority();
+        assert!(after < before, "mass departures must hurt: {before} -> {after}");
+    }
+}

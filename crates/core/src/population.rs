@@ -1,0 +1,193 @@
+//! One generation of IDs with good/bad marking and liveness.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use tg_idspace::{Id, SortedRing};
+
+/// A generation of IDs: the ring plus, per ID, whether it is Byzantine
+/// and whether it has departed.
+///
+/// In the dynamic construction (§III) each epoch has its own generation:
+/// epoch-`j` IDs are the *leaders* (vertices) of the group graphs built
+/// during epoch `j`, and the *members* of those graphs are drawn from the
+/// epoch-`j−1` generation (which stays in a passive, forwarding-only state
+/// through epoch `j+1`).
+#[derive(Clone, Debug)]
+pub struct Population {
+    ring: SortedRing,
+    /// `bad[i]` — the ID at ring index `i` is Byzantine.
+    bad: Vec<bool>,
+    /// `departed[i]` — the ID at ring index `i` left the system
+    /// (intra-epoch churn). Departed IDs stop serving in groups.
+    departed: Vec<bool>,
+}
+
+impl Population {
+    /// Build a population from good and bad ID lists.
+    ///
+    /// # Panics
+    /// Panics if an ID value appears twice (collisions are negligible
+    /// under the random-oracle minting and rejected outright here).
+    pub fn new(good: Vec<Id>, bad_ids: Vec<Id>) -> Self {
+        let mut tagged: Vec<(Id, bool)> = good
+            .into_iter()
+            .map(|id| (id, false))
+            .chain(bad_ids.into_iter().map(|id| (id, true)))
+            .collect();
+        tagged.sort_unstable_by_key(|&(id, _)| id);
+        for w in tagged.windows(2) {
+            assert!(w[0].0 != w[1].0, "duplicate ID value {:?}", w[0].0);
+        }
+        let ring = SortedRing::from_sorted_unique(tagged.iter().map(|&(id, _)| id).collect());
+        let bad = tagged.iter().map(|&(_, b)| b).collect();
+        let n = ring.len();
+        Population { ring, bad, departed: vec![false; n] }
+    }
+
+    /// A population of `n_good + n_bad` u.a.r. IDs — the standing
+    /// assumption of §II–III (enforced by PoW in §IV; Lemma 11).
+    pub fn uniform(n_good: usize, n_bad: usize, rng: &mut StdRng) -> Self {
+        // Rejection-free: u64 collisions over ≤ 2^21 draws are ~2^-22;
+        // regenerate on the (effectively impossible) collision.
+        loop {
+            let good: Vec<Id> = (0..n_good).map(|_| Id(rng.gen())).collect();
+            let bad: Vec<Id> = (0..n_bad).map(|_| Id(rng.gen())).collect();
+            let mut all: Vec<Id> = good.iter().chain(bad.iter()).copied().collect();
+            all.sort_unstable();
+            if all.windows(2).all(|w| w[0] != w[1]) {
+                return Population::new(good, bad);
+            }
+        }
+    }
+
+    /// The ID ring.
+    #[inline]
+    pub fn ring(&self) -> &SortedRing {
+        &self.ring
+    }
+
+    /// Number of IDs (including departed ones, which remain addressable).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// Whether the population is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.ring.is_empty()
+    }
+
+    /// Whether the ID at ring index `i` is Byzantine.
+    #[inline]
+    pub fn is_bad(&self, i: usize) -> bool {
+        self.bad[i]
+    }
+
+    /// Whether the ID at ring index `i` has departed.
+    #[inline]
+    pub fn is_departed(&self, i: usize) -> bool {
+        self.departed[i]
+    }
+
+    /// Whether the ID at ring index `i` is still serving (not departed).
+    #[inline]
+    pub fn is_live(&self, i: usize) -> bool {
+        !self.departed[i]
+    }
+
+    /// Mark the ID at ring index `i` as departed.
+    pub fn mark_departed(&mut self, i: usize) {
+        self.departed[i] = true;
+    }
+
+    /// Number of Byzantine IDs.
+    pub fn bad_count(&self) -> usize {
+        self.bad.iter().filter(|&&b| b).count()
+    }
+
+    /// Indices of all good IDs (departed or not).
+    pub fn good_indices(&self) -> Vec<usize> {
+        (0..self.len()).filter(|&i| !self.bad[i]).collect()
+    }
+
+    /// Indices of all bad IDs.
+    pub fn bad_indices(&self) -> Vec<usize> {
+        (0..self.len()).filter(|&i| self.bad[i]).collect()
+    }
+
+    /// Depart a u.a.r. `fraction` of the good IDs (the §III churn model:
+    /// good IDs come and go; the adversary keeps its IDs in place, which
+    /// is its worst case for group majorities).
+    pub fn depart_good_fraction(&mut self, fraction: f64, rng: &mut StdRng) -> usize {
+        assert!((0.0..=1.0).contains(&fraction), "fraction out of range");
+        let mut live_good: Vec<usize> =
+            (0..self.len()).filter(|&i| !self.bad[i] && !self.departed[i]).collect();
+        let k = (live_good.len() as f64 * fraction).floor() as usize;
+        // Partial Fisher–Yates: pick k distinct indices.
+        for pick in 0..k {
+            let j = rng.gen_range(pick..live_good.len());
+            live_good.swap(pick, j);
+            self.departed[live_good[pick]] = true;
+        }
+        k
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn construction_tags_correctly() {
+        let good = vec![Id::from_f64(0.1), Id::from_f64(0.5)];
+        let bad = vec![Id::from_f64(0.3)];
+        let p = Population::new(good, bad);
+        assert_eq!(p.len(), 3);
+        assert_eq!(p.bad_count(), 1);
+        let bad_idx = p.ring().index_of(Id::from_f64(0.3)).unwrap();
+        assert!(p.is_bad(bad_idx));
+        assert!(!p.is_bad((bad_idx + 1) % 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate ID")]
+    fn duplicate_ids_rejected() {
+        let _ = Population::new(vec![Id::from_f64(0.1)], vec![Id::from_f64(0.1)]);
+    }
+
+    #[test]
+    fn uniform_population_has_requested_counts() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let p = Population::uniform(100, 10, &mut rng);
+        assert_eq!(p.len(), 110);
+        assert_eq!(p.bad_count(), 10);
+    }
+
+    #[test]
+    fn churn_departs_only_good() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut p = Population::uniform(1000, 100, &mut rng);
+        let departed = p.depart_good_fraction(0.25, &mut rng);
+        assert_eq!(departed, 250);
+        for i in 0..p.len() {
+            if p.is_bad(i) {
+                assert!(p.is_live(i), "bad IDs never depart in the worst case");
+            }
+        }
+        let live_good =
+            (0..p.len()).filter(|&i| !p.is_bad(i) && p.is_live(i)).count();
+        assert_eq!(live_good, 750);
+    }
+
+    #[test]
+    fn churn_is_cumulative() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut p = Population::uniform(100, 0, &mut rng);
+        p.depart_good_fraction(0.5, &mut rng);
+        p.depart_good_fraction(0.5, &mut rng);
+        let live = (0..p.len()).filter(|&i| p.is_live(i)).count();
+        assert_eq!(live, 25);
+    }
+}

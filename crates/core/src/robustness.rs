@@ -1,0 +1,198 @@
+//! Measuring ε-robustness (§I-A, Theorem 3).
+//!
+//! The definition: at least `(1−ε)n` groups have a non-faulty majority
+//! and can securely route to each other. We report:
+//!
+//! * the good-group fractions (both the operational good-majority count
+//!   and the paper's stricter §I-C invariant),
+//! * the red fraction (bad ∪ confused — the S2 quantity `pf`),
+//! * the empirical search success rate from random groups to random keys
+//!   (Theorem 3's second bullet / Lemma 4),
+//! * per-search cost (hops, messages — Corollary 1),
+//! * the maximum *responsibility* `ρ(G_v)` over groups: the probability a
+//!   random search path traverses `G_v` (Lemma 1 bounds this by
+//!   `O(log^c n / n)`).
+
+use crate::graph::GroupGraph;
+use crate::params::Params;
+use crate::routing::{search_path, SearchOutcome};
+use rand::rngs::StdRng;
+use rand::Rng;
+use tg_idspace::Id;
+use tg_sim::Metrics;
+
+/// Robustness measurements for one group graph.
+#[derive(Clone, Copy, Debug)]
+pub struct RobustnessReport {
+    /// Number of groups.
+    pub n: usize,
+    /// Fraction of red groups (`pf` realization).
+    pub frac_red: f64,
+    /// Fraction with good majority (operational Theorem 3 bullet 1).
+    pub frac_good_majority: f64,
+    /// Fraction meeting the §I-C invariant.
+    pub frac_paper_invariant: f64,
+    /// Fraction of sampled searches that succeeded (Theorem 3 bullet 2).
+    pub search_success: f64,
+    /// Mean traversed groups per successful search.
+    pub mean_hops: f64,
+    /// Mean messages per search (all-to-all accounting).
+    pub mean_msgs: f64,
+    /// Max over groups of the empirical traversal probability (Lemma 1).
+    pub max_responsibility: f64,
+    /// Mean live group size.
+    pub mean_group_size: f64,
+}
+
+/// Sample `searches` random (initiator, key) pairs and measure.
+pub fn measure_robustness(
+    gg: &GroupGraph,
+    params: &Params,
+    searches: usize,
+    rng: &mut StdRng,
+) -> RobustnessReport {
+    let mut metrics = Metrics::new();
+    let mut traversals = vec![0u32; gg.len()];
+    let mut success = 0usize;
+    let mut success_hops = 0usize;
+
+    for _ in 0..searches {
+        let from = rng.gen_range(0..gg.len());
+        let key = Id(rng.gen());
+        // Track the truncated search path for responsibility accounting.
+        let from_id = gg.leaders.ring().at(from);
+        let route = gg.topology.route(from_id, key);
+        let out = search_path(gg, from, key, &mut metrics);
+        let traversed = out.hops();
+        let mut idx: Vec<usize> = route.hops[..traversed]
+            .iter()
+            .map(|&h| gg.leaders.ring().index_of(h).expect("leader hop"))
+            .collect();
+        idx.sort_unstable();
+        idx.dedup();
+        for i in idx {
+            traversals[i] += 1;
+        }
+        if let SearchOutcome::Success { hops, .. } = out {
+            success += 1;
+            success_hops += hops;
+        }
+    }
+
+    RobustnessReport {
+        n: gg.len(),
+        frac_red: gg.frac_red(),
+        frac_good_majority: gg.frac_good_majority(),
+        frac_paper_invariant: gg.frac_paper_invariant(params),
+        search_success: success as f64 / searches.max(1) as f64,
+        mean_hops: if success > 0 { success_hops as f64 / success as f64 } else { 0.0 },
+        mean_msgs: metrics.routing_msgs as f64 / searches.max(1) as f64,
+        max_responsibility: traversals.iter().copied().max().unwrap_or(0) as f64
+            / searches.max(1) as f64,
+        mean_group_size: gg.mean_group_size(),
+    }
+}
+
+/// Fraction of sampled searches for which at least one of the two sides
+/// succeeds (the dual-graph availability the construction exploits).
+pub fn measure_dual_success(
+    sides: [&GroupGraph; 2],
+    searches: usize,
+    rng: &mut StdRng,
+) -> f64 {
+    let mut metrics = Metrics::new();
+    let mut ok = 0usize;
+    for _ in 0..searches {
+        let from = rng.gen_range(0..sides[0].len());
+        let key = Id(rng.gen());
+        if crate::routing::dual_search(sides, from, key, &mut metrics) {
+            ok += 1;
+        }
+    }
+    ok as f64 / searches.max(1) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::build_initial_graph;
+    use crate::population::Population;
+    use rand::SeedableRng;
+    use tg_crypto::OracleFamily;
+    use tg_overlay::GraphKind;
+
+    fn graph(n_good: usize, n_bad: usize, seed: u64) -> (GroupGraph, Params) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let pop = Population::uniform(n_good, n_bad, &mut rng);
+        let fam = OracleFamily::new(seed);
+        let params = Params::paper_defaults();
+        (build_initial_graph(pop, GraphKind::Chord, fam.h1, &params), params)
+    }
+
+    #[test]
+    fn clean_system_is_fully_robust() {
+        let (gg, params) = graph(512, 0, 1);
+        let mut rng = StdRng::seed_from_u64(2);
+        let rep = measure_robustness(&gg, &params, 300, &mut rng);
+        assert_eq!(rep.frac_red, 0.0);
+        assert_eq!(rep.search_success, 1.0);
+        assert!(rep.mean_hops > 1.0);
+        assert!(rep.mean_msgs > 0.0);
+    }
+
+    #[test]
+    fn responsibility_is_bounded_by_congestion(){
+        let (gg, params) = graph(1024, 50, 3);
+        let mut rng = StdRng::seed_from_u64(4);
+        let rep = measure_robustness(&gg, &params, 2000, &mut rng);
+        // Lemma 1: ρ(G_v) = O(log^c n / n); for Chord c = 1 and the
+        // constant is small. ln(1074) ≈ 7 → bound ≈ 8·7/1074 ≈ 0.05.
+        let bound = 8.0 * (gg.len() as f64).ln() / gg.len() as f64;
+        assert!(
+            rep.max_responsibility < bound,
+            "max responsibility {:.4} vs bound {:.4}",
+            rep.max_responsibility,
+            bound
+        );
+    }
+
+    #[test]
+    fn small_beta_keeps_high_success() {
+        let (gg, params) = graph(2000, 100, 5);
+        let mut rng = StdRng::seed_from_u64(6);
+        let rep = measure_robustness(&gg, &params, 500, &mut rng);
+        assert!(rep.frac_red < 0.02, "frac red {:.4}", rep.frac_red);
+        assert!(rep.search_success > 0.85, "success {:.3}", rep.search_success);
+    }
+
+    #[test]
+    fn success_degrades_with_beta() {
+        let (low, params) = graph(2000, 60, 7); // β ≈ 0.03
+        let (high, _) = graph(2000, 500, 7); // β = 0.2
+        let mut rng = StdRng::seed_from_u64(8);
+        let r_low = measure_robustness(&low, &params, 400, &mut rng);
+        let r_high = measure_robustness(&high, &params, 400, &mut rng);
+        assert!(
+            r_high.search_success < r_low.search_success,
+            "more adversary, less success: {:.3} vs {:.3}",
+            r_high.search_success,
+            r_low.search_success
+        );
+        assert!(r_high.frac_red > r_low.frac_red);
+    }
+
+    #[test]
+    fn dual_success_at_least_single() {
+        let (a, params) = graph(1000, 80, 9);
+        let mut rng0 = StdRng::seed_from_u64(10);
+        let pop_rng = &mut rng0;
+        let pop = Population::uniform(1000, 80, pop_rng);
+        let fam = OracleFamily::new(9);
+        let b = build_initial_graph(pop, GraphKind::Chord, fam.h2, &params);
+        let mut rng = StdRng::seed_from_u64(11);
+        let single = measure_robustness(&a, &params, 400, &mut rng).search_success;
+        let mut rng = StdRng::seed_from_u64(11);
+        let dual = measure_dual_success([&a, &b], 400, &mut rng);
+        assert!(dual >= single - 0.03, "dual {dual:.3} vs single {single:.3}");
+    }
+}

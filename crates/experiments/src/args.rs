@@ -1,0 +1,91 @@
+//! Minimal CLI option parsing shared by the experiment binaries.
+//!
+//! Supported flags (all optional):
+//! `--seed <u64>` (default 42), `--full` (paper-scale parameters),
+//! `--out <dir>` (default `results/`), `--quiet` (suppress the table).
+
+/// Parsed command-line options.
+#[derive(Clone, Debug)]
+pub struct Options {
+    /// Master seed for the experiment's randomness streams.
+    pub seed: u64,
+    /// Run the larger, paper-scale configuration.
+    pub full: bool,
+    /// Output directory for CSV files.
+    pub out_dir: String,
+    /// Suppress stdout tables.
+    pub quiet: bool,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options { seed: 42, full: false, out_dir: "results".to_string(), quiet: false }
+    }
+}
+
+impl Options {
+    /// Parse from an iterator of arguments (excluding the program name).
+    ///
+    /// # Panics
+    /// Panics with a usage message on unknown flags or malformed values —
+    /// the binaries are developer tools, failing loudly is the feature.
+    pub fn parse(args: impl Iterator<Item = String>) -> Options {
+        let mut opts = Options::default();
+        let mut it = args.peekable();
+        while let Some(a) = it.next() {
+            match a.as_str() {
+                "--seed" => {
+                    let v = it.next().unwrap_or_else(|| usage("--seed needs a value"));
+                    opts.seed = v.parse().unwrap_or_else(|_| usage("--seed must be a u64"));
+                }
+                "--full" => opts.full = true,
+                "--quiet" => opts.quiet = true,
+                "--out" => {
+                    opts.out_dir = it.next().unwrap_or_else(|| usage("--out needs a value"));
+                }
+                "--help" | "-h" => usage("") ,
+                other => usage(&format!("unknown flag {other}")),
+            }
+        }
+        opts
+    }
+
+    /// Parse from the process arguments.
+    pub fn from_env() -> Options {
+        Options::parse(std::env::args().skip(1))
+    }
+}
+
+fn usage(msg: &str) -> ! {
+    if !msg.is_empty() {
+        eprintln!("error: {msg}");
+    }
+    eprintln!("usage: <experiment> [--seed N] [--full] [--out DIR] [--quiet]");
+    std::process::exit(if msg.is_empty() { 0 } else { 2 });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &[&str]) -> Options {
+        Options::parse(s.iter().map(|x| x.to_string()))
+    }
+
+    #[test]
+    fn defaults() {
+        let o = parse(&[]);
+        assert_eq!(o.seed, 42);
+        assert!(!o.full);
+        assert_eq!(o.out_dir, "results");
+    }
+
+    #[test]
+    fn flags() {
+        let o = parse(&["--seed", "7", "--full", "--out", "/tmp/x", "--quiet"]);
+        assert_eq!(o.seed, 7);
+        assert!(o.full);
+        assert_eq!(o.out_dir, "/tmp/x");
+        assert!(o.quiet);
+    }
+}

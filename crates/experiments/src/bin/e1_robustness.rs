@@ -1,0 +1,8 @@
+//! CLI wrapper for the `e1_robustness` experiment; see the library module docs.
+use tg_experiments::exp::e1_robustness;
+use tg_experiments::Options;
+
+fn main() {
+    let opts = Options::from_env();
+    e1_robustness::run(&opts).emit(&opts);
+}

@@ -1,0 +1,8 @@
+//! CLI wrapper for the `e2_groupsize` experiment; see the library module docs.
+use tg_experiments::exp::e2_groupsize;
+use tg_experiments::Options;
+
+fn main() {
+    let opts = Options::from_env();
+    e2_groupsize::run(&opts).emit(&opts);
+}

@@ -1,0 +1,8 @@
+//! CLI wrapper for the `e3_costs` experiment; see the library module docs.
+use tg_experiments::exp::e3_costs;
+use tg_experiments::Options;
+
+fn main() {
+    let opts = Options::from_env();
+    e3_costs::run(&opts).emit(&opts);
+}

@@ -1,0 +1,8 @@
+//! CLI wrapper for the `e4_epochs` experiment; see the library module docs.
+use tg_experiments::exp::e4_epochs;
+use tg_experiments::Options;
+
+fn main() {
+    let opts = Options::from_env();
+    e4_epochs::run(&opts).emit(&opts);
+}

@@ -1,0 +1,8 @@
+//! CLI wrapper for the `e5_state` experiment; see the library module docs.
+use tg_experiments::exp::e5_state;
+use tg_experiments::Options;
+
+fn main() {
+    let opts = Options::from_env();
+    e5_state::run(&opts).emit(&opts);
+}

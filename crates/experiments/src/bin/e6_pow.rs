@@ -1,0 +1,10 @@
+//! CLI wrapper for the `e6_pow` experiment; see the library module docs.
+use tg_experiments::exp::e6_pow;
+use tg_experiments::Options;
+
+fn main() {
+    let opts = Options::from_env();
+    for table in e6_pow::run(&opts) {
+        table.emit(&opts);
+    }
+}

@@ -1,0 +1,8 @@
+//! CLI wrapper for the `e7_strings` experiment; see the library module docs.
+use tg_experiments::exp::e7_strings;
+use tg_experiments::Options;
+
+fn main() {
+    let opts = Options::from_env();
+    e7_strings::run(&opts).emit(&opts);
+}

@@ -1,0 +1,8 @@
+//! CLI wrapper for the `e8_cuckoo` experiment; see the library module docs.
+use tg_experiments::exp::e8_cuckoo;
+use tg_experiments::Options;
+
+fn main() {
+    let opts = Options::from_env();
+    e8_cuckoo::run(&opts).emit(&opts);
+}

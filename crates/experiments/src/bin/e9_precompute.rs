@@ -1,0 +1,8 @@
+//! CLI wrapper for the `e9_precompute` experiment; see the library module docs.
+use tg_experiments::exp::e9_precompute;
+use tg_experiments::Options;
+
+fn main() {
+    let opts = Options::from_env();
+    e9_precompute::run(&opts).emit(&opts);
+}

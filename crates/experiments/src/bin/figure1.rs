@@ -1,0 +1,8 @@
+//! CLI wrapper for the `figure1` experiment; see the library module docs.
+use tg_experiments::exp::figure1;
+use tg_experiments::Options;
+
+fn main() {
+    let opts = Options::from_env();
+    figure1::run(&opts).emit(&opts);
+}

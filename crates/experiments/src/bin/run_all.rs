@@ -1,0 +1,32 @@
+//! Run every experiment with the given options — regenerates all the
+//! tables and figures recorded in EXPERIMENTS.md.
+use tg_experiments::exp::*;
+use tg_experiments::Options;
+
+fn main() {
+    let opts = Options::from_env();
+    let t0 = std::time::Instant::now();
+    eprintln!("[run_all] E1 robustness…");
+    e1_robustness::run(&opts).emit(&opts);
+    eprintln!("[run_all] E2 group-size threshold…");
+    e2_groupsize::run(&opts).emit(&opts);
+    eprintln!("[run_all] E3 cost comparison…");
+    e3_costs::run(&opts).emit(&opts);
+    eprintln!("[run_all] E4 dynamic epochs + ablations…");
+    e4_epochs::run(&opts).emit(&opts);
+    eprintln!("[run_all] E5 state attack…");
+    e5_state::run(&opts).emit(&opts);
+    eprintln!("[run_all] E6 proof-of-work minting…");
+    for t in e6_pow::run(&opts) {
+        t.emit(&opts);
+    }
+    eprintln!("[run_all] E7 string propagation…");
+    e7_strings::run(&opts).emit(&opts);
+    eprintln!("[run_all] E8 cuckoo baseline…");
+    e8_cuckoo::run(&opts).emit(&opts);
+    eprintln!("[run_all] E9 pre-computation attack…");
+    e9_precompute::run(&opts).emit(&opts);
+    eprintln!("[run_all] Figure 1…");
+    figure1::run(&opts).emit(&opts);
+    eprintln!("[run_all] done in {:.1?}", t0.elapsed());
+}

@@ -1,0 +1,88 @@
+//! **E2 — the `Θ(log log n)` group-size threshold** (§I-D, "Can we do
+//! better?").
+//!
+//! At fixed `n` and `β`, sweep a *fixed* per-group draw count from 1 (no
+//! redundancy) past `d2·ln ln n`. The paper's intuition: below
+//! `≈ ln ln n / ln ln ln n` the per-group bad-majority probability is
+//! `ω(log log n / log n)` and a union bound over the `D`-hop search path
+//! no longer closes — failures blow up; at `Θ(ln ln n)` they vanish.
+//! The sweep exposes the knee.
+
+use crate::args::Options;
+use crate::table::{f, Table};
+use tg_core::{build_initial_graph, measure_robustness, Params, Population};
+use tg_crypto::OracleFamily;
+use tg_overlay::GraphKind;
+use tg_sim::{parallel_map, stream_rng};
+
+/// Run E2 and return the result table.
+pub fn run(opts: &Options) -> Table {
+    let n: usize = if opts.full { 1 << 16 } else { 1 << 14 };
+    let beta = 0.10;
+    let searches = if opts.full { 2000 } else { 1000 };
+    let trials: u64 = if opts.full { 3 } else { 2 };
+    let draws_sweep: Vec<usize> = (1..=16).collect();
+    let seed = opts.seed;
+    let lnln = ((n as f64).ln()).ln();
+
+    let mut cells = Vec::new();
+    for &draws in &draws_sweep {
+        for trial in 0..trials {
+            cells.push((draws, trial));
+        }
+    }
+    let results = parallel_map(cells, move |(draws, trial): (usize, u64)| {
+        let mut rng = stream_rng(seed, "e2", (draws as u64) << 8 | trial);
+        let n_bad = (n as f64 * beta).round() as usize;
+        let pop = Population::uniform(n - n_bad, n_bad, &mut rng);
+        let params = Params::paper_defaults().with_fixed_groups(draws);
+        let fam = OracleFamily::new(seed ^ draws as u64 ^ (trial << 32));
+        let gg = build_initial_graph(pop, GraphKind::Chord, fam.h1, &params);
+        let rep = measure_robustness(&gg, &params, searches, &mut rng);
+        (draws, trial, rep)
+    });
+
+    let mut table = Table::new(
+        "e2_groupsize",
+        &["draws", "lnln_n", "trial", "|G|", "frac_red", "search_failure"],
+    );
+    for (draws, trial, rep) in results {
+        table.push(vec![
+            draws.to_string(),
+            f(lnln),
+            trial.to_string(),
+            f(rep.mean_group_size),
+            f(rep.frac_red),
+            f(1.0 - rep.search_success),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The knee must exist: one-member groups fail massively, large
+    /// groups barely at all.
+    #[test]
+    fn threshold_shape_at_small_scale() {
+        let seed = 3;
+        let n = 2048usize;
+        let beta = 0.10;
+        let fail_at = |draws: usize| {
+            let mut rng = stream_rng(seed, "e2-test", draws as u64);
+            let n_bad = (n as f64 * beta) as usize;
+            let pop = Population::uniform(n - n_bad, n_bad, &mut rng);
+            let params = Params::paper_defaults().with_fixed_groups(draws);
+            let gg =
+                build_initial_graph(pop, GraphKind::Chord, OracleFamily::new(draws as u64).h1, &params);
+            let rep = measure_robustness(&gg, &params, 400, &mut rng);
+            1.0 - rep.search_success
+        };
+        let tiny = fail_at(1);
+        let healthy = fail_at(12);
+        assert!(tiny > 0.3, "singleton groups fail often: {tiny:.3}");
+        assert!(healthy < 0.05, "12-draw groups nearly never fail: {healthy:.3}");
+    }
+}

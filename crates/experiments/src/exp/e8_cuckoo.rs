@@ -1,0 +1,89 @@
+//! **E8 — the cuckoo-rule baseline** (the Commensal Cuckoo \[47\] data
+//! point the paper quotes).
+//!
+//! Sweep region (group) size and `β` under the join-leave attack and
+//! measure join/leave events survived before some region loses its good
+//! majority. The paper's quoted finding — `n = 8192`, `β ≈ 0.002` needs
+//! `|G| = 64` for 10⁵ events — is the `--full` configuration's headline
+//! row. The contrast: the tiny-groups construction (with PoW bounding
+//! the adversary) runs at `|G| ≈ ln ln n`-scale groups — an order of
+//! magnitude smaller — and E4 shows it surviving epochs of full
+//! membership turnover.
+
+use crate::args::Options;
+use crate::table::{f, Table};
+use tg_baselines::{CuckooParams, CuckooSim, CuckooStrategy};
+use tg_sim::{parallel_map, stream_rng};
+
+/// Run E8 and return the result table.
+pub fn run(opts: &Options) -> Table {
+    let n: usize = if opts.full { 8192 } else { 2048 };
+    let budget: u64 = if opts.full { 100_000 } else { 30_000 };
+    let group_sizes = [8usize, 16, 32, 64];
+    let betas = [0.002, 0.01, 0.05];
+    let trials: u64 = if opts.full { 3 } else { 2 };
+    let seed = opts.seed;
+
+    let mut cells = Vec::new();
+    for &g in &group_sizes {
+        for &beta in &betas {
+            for trial in 0..trials {
+                cells.push((g, beta, trial));
+            }
+        }
+    }
+    let results = parallel_map(cells, move |(g, beta, trial): (usize, f64, u64)| {
+        let n_bad = ((n as f64) * beta).round().max(1.0) as usize;
+        let params =
+            CuckooParams { n_good: n - n_bad, n_bad, group_size: g, k: 4 };
+        let mut rng = stream_rng(seed, "e8", (g as u64) << 32 | ((beta * 1e4) as u64) << 8 | trial);
+        let mut sim = CuckooSim::new(params, &mut rng);
+        let out = sim.run(budget, CuckooStrategy::RandomRejoin, &mut rng);
+        (g, beta, trial, out)
+    });
+
+    let mut table = Table::new(
+        "e8_cuckoo",
+        &[
+            "n", "group_size", "beta", "trial", "events_survived", "survived_budget",
+            "worst_bad_fraction",
+        ],
+    );
+    for (g, beta, trial, out) in results {
+        table.push(vec![
+            n.to_string(),
+            g.to_string(),
+            f(beta),
+            trial.to_string(),
+            out.failed_at.unwrap_or(out.events).to_string(),
+            out.failed_at.is_none().to_string(),
+            f(out.worst_bad_fraction),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The \[47\] shape: at fixed β, survival time grows with group size;
+    /// log-log-sized regions die early.
+    #[test]
+    fn survival_grows_with_group_size() {
+        let survived = |g: usize, seed: u64| -> u64 {
+            let params = CuckooParams { n_good: 1960, n_bad: 40, group_size: g, k: 4 };
+            let mut rng = stream_rng(seed, "e8-test", g as u64);
+            let mut sim = CuckooSim::new(params, &mut rng);
+            let out = sim.run(20_000, CuckooStrategy::RandomRejoin, &mut rng);
+            out.failed_at.unwrap_or(out.events)
+        };
+        let small: u64 = (0..2).map(|s| survived(8, s)).sum();
+        let large: u64 = (0..2).map(|s| survived(64, s)).sum();
+        assert!(
+            large > small,
+            "64-node regions must outlive 8-node regions: {large} vs {small}"
+        );
+        assert!(small < 2 * 20_000, "8-node regions must actually fail within budget");
+    }
+}

@@ -1,0 +1,12 @@
+//! Experiment implementations (one module per DESIGN.md §5 entry).
+
+pub mod e1_robustness;
+pub mod e2_groupsize;
+pub mod e3_costs;
+pub mod e4_epochs;
+pub mod e5_state;
+pub mod e6_pow;
+pub mod e7_strings;
+pub mod e8_cuckoo;
+pub mod e9_precompute;
+pub mod figure1;

@@ -1,0 +1,169 @@
+//! Result tables: aligned stdout rendering plus CSV persistence.
+
+use std::fmt::Write as _;
+use std::io::Write as _;
+use std::path::Path;
+
+/// A rectangular result table with named columns.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Table {
+    /// Table name (becomes the CSV file stem).
+    pub name: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Rows of cells, each the same length as `headers`.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// An empty table with the given name and headers.
+    pub fn new(name: &str, headers: &[&str]) -> Table {
+        Table {
+            name: name.to_string(),
+            headers: headers.iter().map(|h| h.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row.
+    ///
+    /// # Panics
+    /// Panics if the row width differs from the header width.
+    pub fn push(&mut self, row: Vec<String>) {
+        assert_eq!(row.len(), self.headers.len(), "row width mismatch in table {}", self.name);
+        self.rows.push(row);
+    }
+
+    /// Render as an aligned text table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} ==", self.name);
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .zip(widths.iter())
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        let _ = writeln!(out, "{}", fmt_row(&self.headers, &widths));
+        let _ = writeln!(out, "{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", fmt_row(row, &widths));
+        }
+        out
+    }
+
+    /// Serialize as CSV (RFC-4180-ish: cells containing commas or quotes
+    /// get quoted).
+    pub fn to_csv(&self) -> String {
+        let esc = |c: &String| -> String {
+            if c.contains(',') || c.contains('"') || c.contains('\n') {
+                format!("\"{}\"", c.replace('"', "\"\""))
+            } else {
+                c.clone()
+            }
+        };
+        let mut out = String::new();
+        let _ = writeln!(out, "{}", self.headers.iter().map(esc).collect::<Vec<_>>().join(","));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", row.iter().map(esc).collect::<Vec<_>>().join(","));
+        }
+        out
+    }
+
+    /// Write the CSV under `dir/<name>.csv`, creating `dir` if needed.
+    pub fn write_csv(&self, dir: &str) -> std::io::Result<std::path::PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let path = Path::new(dir).join(format!("{}.csv", self.name));
+        let mut f = std::fs::File::create(&path)?;
+        f.write_all(self.to_csv().as_bytes())?;
+        Ok(path)
+    }
+
+    /// Print (unless quiet) and persist per the options.
+    pub fn emit(&self, opts: &crate::args::Options) {
+        if !opts.quiet {
+            println!("{}", self.render());
+        }
+        match self.write_csv(&opts.out_dir) {
+            Ok(path) => {
+                if !opts.quiet {
+                    println!("wrote {}", path.display());
+                }
+            }
+            Err(e) => eprintln!("warning: could not write CSV for {}: {e}", self.name),
+        }
+    }
+}
+
+/// Format a float with sensible experiment precision.
+pub fn f(v: f64) -> String {
+    if v == 0.0 {
+        "0".to_string()
+    } else if v.abs() >= 1000.0 {
+        format!("{v:.0}")
+    } else if v.abs() >= 1.0 {
+        format!("{v:.2}")
+    } else {
+        format!("{v:.4}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new("demo", &["a", "b"]);
+        t.push(vec!["1".into(), "x,y".into()]);
+        t.push(vec!["22".into(), "z\"q".into()]);
+        t
+    }
+
+    #[test]
+    fn render_aligns() {
+        let r = sample().render();
+        assert!(r.contains("== demo =="));
+        assert!(r.contains(" a"));
+        assert!(r.contains("22"));
+    }
+
+    #[test]
+    fn csv_escapes() {
+        let c = sample().to_csv();
+        assert!(c.starts_with("a,b\n"));
+        assert!(c.contains("\"x,y\""));
+        assert!(c.contains("\"z\"\"q\""));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn width_checked() {
+        let mut t = Table::new("t", &["a"]);
+        t.push(vec!["1".into(), "2".into()]);
+    }
+
+    #[test]
+    fn csv_roundtrip_to_disk() {
+        let t = sample();
+        let dir = std::env::temp_dir().join("tg-exp-test");
+        let path = t.write_csv(dir.to_str().unwrap()).unwrap();
+        let data = std::fs::read_to_string(path).unwrap();
+        assert_eq!(data, t.to_csv());
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(f(0.0), "0");
+        assert_eq!(f(0.12345), "0.1235");
+        assert_eq!(f(6.54321), "6.54");
+        assert_eq!(f(123456.0), "123456");
+    }
+}

@@ -1,0 +1,184 @@
+//! Half-open clockwise arcs `[a, b)` on the unit ring.
+
+use crate::id::{Id, RingDistance};
+
+/// A half-open clockwise interval `[start, start + len)` on the unit ring.
+///
+/// Intervals are represented by their start point and clockwise length, so
+/// wrap-around arcs are first-class: the arc `[0.9, 0.1)` has start `0.9`
+/// and length `0.2`. The paper uses such arcs for node segments in the
+/// continuous-discrete constructions, for the bins of the string-propagation
+/// protocol, and for the "well-spread placement" argument of Lemma 5.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct RingInterval {
+    start: Id,
+    len: RingDistance,
+}
+
+impl RingInterval {
+    /// The interval `[start, start + len)`.
+    #[inline]
+    pub fn new(start: Id, len: RingDistance) -> Self {
+        RingInterval { start, len }
+    }
+
+    /// The interval from `start` clockwise to `end` (exclusive). If
+    /// `start == end` the interval is empty (use [`RingInterval::full`] for
+    /// the whole ring).
+    #[inline]
+    pub fn between(start: Id, end: Id) -> Self {
+        RingInterval { start, len: start.distance_cw(end) }
+    }
+
+    /// The whole ring, anchored at `start`. Represented with the maximal
+    /// distance, so it excludes a single ulp; for all practical predicates
+    /// this is the full ring.
+    #[inline]
+    pub fn full(start: Id) -> Self {
+        RingInterval { start, len: RingDistance::MAX }
+    }
+
+    /// Interval start (inclusive end of the arc).
+    #[inline]
+    pub fn start(&self) -> Id {
+        self.start
+    }
+
+    /// Clockwise length.
+    #[inline]
+    pub fn len(&self) -> RingDistance {
+        self.len
+    }
+
+    /// Whether the interval is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == RingDistance::ZERO
+    }
+
+    /// The exclusive end point `start + len`.
+    #[inline]
+    pub fn end(&self) -> Id {
+        self.start.add(self.len)
+    }
+
+    /// Whether `x` lies in `[start, start + len)`.
+    #[inline]
+    pub fn contains(&self, x: Id) -> bool {
+        self.start.distance_cw(x).0 < self.len.0
+    }
+
+    /// Whether this interval and `other` share at least one point.
+    pub fn intersects(&self, other: &RingInterval) -> bool {
+        if self.is_empty() || other.is_empty() {
+            return false;
+        }
+        self.contains(other.start) || other.contains(self.start)
+    }
+
+    /// The image of this interval under the doubling map `x ↦ 2x mod 1`.
+    ///
+    /// If the interval covers at least half the ring the image is the whole
+    /// ring. Otherwise the image is the arc of doubled length starting at
+    /// the doubled start point.
+    pub fn double(&self) -> RingInterval {
+        if self.len.0 >= 1u64 << 63 {
+            RingInterval::full(self.start.double())
+        } else {
+            RingInterval { start: self.start.double(), len: RingDistance(self.len.0 << 1) }
+        }
+    }
+
+    /// The left-half image under `x ↦ x/2`: an arc of half the length
+    /// starting at `start/2`.
+    pub fn half_left(&self) -> RingInterval {
+        RingInterval { start: self.start.half_left(), len: self.len.halved() }
+    }
+
+    /// The right-half image under `x ↦ x/2 + 1/2`.
+    pub fn half_right(&self) -> RingInterval {
+        RingInterval { start: self.start.half_right(), len: self.len.halved() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iv(a: f64, b: f64) -> RingInterval {
+        RingInterval::between(Id::from_f64(a), Id::from_f64(b))
+    }
+
+    #[test]
+    fn contains_basic() {
+        let i = iv(0.2, 0.5);
+        assert!(i.contains(Id::from_f64(0.2)), "closed at start");
+        assert!(i.contains(Id::from_f64(0.49)));
+        assert!(!i.contains(Id::from_f64(0.5)), "open at end");
+        assert!(!i.contains(Id::from_f64(0.7)));
+    }
+
+    #[test]
+    fn contains_wrapping() {
+        let i = iv(0.9, 0.1);
+        assert!(i.contains(Id::from_f64(0.95)));
+        assert!(i.contains(Id::from_f64(0.05)));
+        assert!(i.contains(Id::ZERO));
+        assert!(!i.contains(Id::from_f64(0.5)));
+        assert!((i.len().as_f64() - 0.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_interval_contains_nothing() {
+        let i = iv(0.3, 0.3);
+        assert!(i.is_empty());
+        assert!(!i.contains(Id::from_f64(0.3)));
+        assert!(!i.contains(Id::from_f64(0.4)));
+    }
+
+    #[test]
+    fn intersections() {
+        assert!(iv(0.1, 0.4).intersects(&iv(0.3, 0.6)));
+        assert!(!iv(0.1, 0.3).intersects(&iv(0.3, 0.6)), "half-open arcs touch but do not overlap");
+        assert!(iv(0.8, 0.2).intersects(&iv(0.1, 0.15)), "wrap case");
+        assert!(iv(0.8, 0.2).intersects(&iv(0.9, 0.95)));
+        assert!(!iv(0.8, 0.2).intersects(&iv(0.3, 0.5)));
+        // Nested intervals intersect.
+        assert!(iv(0.1, 0.9).intersects(&iv(0.4, 0.5)));
+        assert!(iv(0.4, 0.5).intersects(&iv(0.1, 0.9)));
+    }
+
+    #[test]
+    fn doubling_image() {
+        let i = iv(0.3, 0.4); // len 0.1
+        let d = i.double();
+        assert!((d.start().as_f64() - 0.6).abs() < 1e-9);
+        assert!((d.len().as_f64() - 0.2).abs() < 1e-9);
+        // Points map consistently: x in I implies 2x in double(I).
+        let x = Id::from_f64(0.35);
+        assert!(i.contains(x));
+        assert!(d.contains(x.double()));
+    }
+
+    #[test]
+    fn doubling_saturates_to_full_ring() {
+        let i = iv(0.1, 0.8); // len 0.7 >= 1/2
+        let d = i.double();
+        assert!(d.contains(Id::from_f64(0.123)));
+        assert!(d.contains(Id::from_f64(0.99)));
+    }
+
+    #[test]
+    fn halving_images() {
+        let i = iv(0.4, 0.6); // len 0.2
+        let l = i.half_left();
+        let r = i.half_right();
+        assert!((l.start().as_f64() - 0.2).abs() < 1e-9);
+        assert!((l.len().as_f64() - 0.1).abs() < 1e-9);
+        assert!((r.start().as_f64() - 0.7).abs() < 1e-9);
+        // x in I implies x/2 in half_left(I) and x/2 + 1/2 in half_right(I).
+        let x = Id::from_f64(0.5);
+        assert!(l.contains(x.half_left()));
+        assert!(r.contains(x.half_right()));
+    }
+}

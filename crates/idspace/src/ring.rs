@@ -1,0 +1,377 @@
+//! Successor structures over a population of IDs.
+//!
+//! The paper's search primitive (property P1) resolves a key `x ∈ [0,1)` to
+//! `suc(x)`: the first ID encountered moving clockwise from `x`. These
+//! structures answer `suc` queries exactly; the overlay graphs then emulate
+//! how a distributed system *routes* to that successor.
+
+use crate::id::{Id, RingDistance};
+use crate::interval::RingInterval;
+use std::collections::BTreeSet;
+
+/// An immutable, sorted snapshot of the ID population.
+///
+/// Supports `O(log n)` successor/predecessor queries by binary search and
+/// `O(log n + k)` interval reporting. Duplicate IDs are collapsed: the ring
+/// is a *set* of points (two participants never share an ID value; the
+/// random-oracle minting of §IV makes collisions negligible, and the
+/// builders in this workspace reject them outright).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SortedRing {
+    ids: Vec<Id>,
+}
+
+impl SortedRing {
+    /// Build from an arbitrary collection of IDs; sorts and deduplicates.
+    pub fn new(mut ids: Vec<Id>) -> Self {
+        ids.sort_unstable();
+        ids.dedup();
+        SortedRing { ids }
+    }
+
+    /// Build from IDs already sorted and unique.
+    ///
+    /// # Panics
+    /// In debug builds, panics if the input is not strictly increasing.
+    pub fn from_sorted_unique(ids: Vec<Id>) -> Self {
+        debug_assert!(ids.windows(2).all(|w| w[0] < w[1]), "ids must be strictly increasing");
+        SortedRing { ids }
+    }
+
+    /// Number of IDs on the ring.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Whether the ring is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// The IDs in increasing order.
+    #[inline]
+    pub fn ids(&self) -> &[Id] {
+        &self.ids
+    }
+
+    /// Whether `id` is present.
+    #[inline]
+    pub fn contains(&self, id: Id) -> bool {
+        self.ids.binary_search(&id).is_ok()
+    }
+
+    /// The index of `id` in sorted order, if present.
+    #[inline]
+    pub fn index_of(&self, id: Id) -> Option<usize> {
+        self.ids.binary_search(&id).ok()
+    }
+
+    /// The ID at sorted index `i`.
+    #[inline]
+    pub fn at(&self, i: usize) -> Id {
+        self.ids[i]
+    }
+
+    /// `suc(x)`: the first ID at or clockwise of `x` (inclusive — an ID
+    /// sitting exactly on `x` is its own successor, matching the paper's
+    /// "first ID encountered by moving clockwise from x").
+    ///
+    /// # Panics
+    /// Panics if the ring is empty.
+    #[inline]
+    pub fn successor(&self, x: Id) -> Id {
+        self.ids[self.successor_index(x)]
+    }
+
+    /// Index of `suc(x)` in the sorted order.
+    #[inline]
+    pub fn successor_index(&self, x: Id) -> usize {
+        assert!(!self.ids.is_empty(), "successor query on empty ring");
+        match self.ids.binary_search(&x) {
+            Ok(i) => i,
+            Err(i) => {
+                if i == self.ids.len() {
+                    0 // wrap past the top of the ring
+                } else {
+                    i
+                }
+            }
+        }
+    }
+
+    /// Index of the ID whose *covering segment* `[id, next)` contains `x` —
+    /// i.e. the predecessor of `x`, inclusive at `x` itself. This is the
+    /// node that "covers" a continuous point in the continuous-discrete
+    /// constructions (\[19\], \[39\]).
+    ///
+    /// # Panics
+    /// Panics if the ring is empty.
+    pub fn covering_index(&self, x: Id) -> usize {
+        assert!(!self.ids.is_empty(), "covering query on empty ring");
+        match self.ids.binary_search(&x) {
+            Ok(i) => i,
+            Err(0) => self.ids.len() - 1, // wraps below the lowest ID
+            Err(i) => i - 1,
+        }
+    }
+
+    /// The ID covering `x`: `pred(x)` inclusive at `x`.
+    #[inline]
+    pub fn covering(&self, x: Id) -> Id {
+        self.ids[self.covering_index(x)]
+    }
+
+    /// The first ID strictly counter-clockwise of `x` (exclusive).
+    ///
+    /// # Panics
+    /// Panics if the ring is empty.
+    pub fn predecessor(&self, x: Id) -> Id {
+        assert!(!self.ids.is_empty(), "predecessor query on empty ring");
+        let i = match self.ids.binary_search(&x) {
+            Ok(i) | Err(i) => i,
+        };
+        if i == 0 {
+            self.ids[self.ids.len() - 1]
+        } else {
+            self.ids[i - 1]
+        }
+    }
+
+    /// The segment owned by the ID at index `i`: the arc `[id_i, id_{i+1})`
+    /// — i.e. the set of keys whose successor is... the *next* ID. Note:
+    /// under the successor rule, the keys owned by ID `u` are the arc
+    /// `(pred(u), u]`; this method instead reports the gap that *starts* at
+    /// `id_i`, which is what the continuous-discrete constructions use as a
+    /// node's covering segment.
+    pub fn segment_after(&self, i: usize) -> RingInterval {
+        let a = self.ids[i];
+        let b = self.ids[(i + 1) % self.ids.len()];
+        if self.ids.len() == 1 {
+            RingInterval::full(a)
+        } else {
+            RingInterval::between(a, b)
+        }
+    }
+
+    /// The keys for which the ID at index `i` is responsible under the
+    /// successor rule: the arc `(pred, id_i]`, reported as the half-open
+    /// interval `[pred + ulp, id_i + ulp)`.
+    pub fn responsibility_of(&self, i: usize) -> RingInterval {
+        let me = self.ids[i];
+        if self.ids.len() == 1 {
+            return RingInterval::full(me);
+        }
+        let pred = self.ids[(i + self.ids.len() - 1) % self.ids.len()];
+        RingInterval::between(pred.add(RingDistance(1)), me.add(RingDistance(1)))
+    }
+
+    /// All IDs whose value lies in the interval (in clockwise order from
+    /// the interval start).
+    pub fn ids_in(&self, interval: &RingInterval) -> Vec<Id> {
+        if self.ids.is_empty() || interval.is_empty() {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        let start_idx = self.successor_index(interval.start());
+        for k in 0..self.ids.len() {
+            let id = self.ids[(start_idx + k) % self.ids.len()];
+            if interval.contains(id) {
+                out.push(id);
+            } else {
+                break;
+            }
+        }
+        out
+    }
+
+    /// The clockwise gap from each ID to the next, paired with the ID.
+    /// The maximal gap bounds the load imbalance (property P2).
+    pub fn gaps(&self) -> impl Iterator<Item = (Id, RingDistance)> + '_ {
+        let n = self.ids.len();
+        (0..n).map(move |i| {
+            let a = self.ids[i];
+            let b = self.ids[(i + 1) % n];
+            (a, a.distance_cw(b))
+        })
+    }
+
+    /// The maximum fraction of the key space owned by any single ID
+    /// (property P2's `(1+δ'')/N` bound is checked against this).
+    pub fn max_load_fraction(&self) -> f64 {
+        self.gaps().map(|(_, g)| g.as_f64()).fold(0.0, f64::max)
+    }
+}
+
+/// A mutable ring for churn simulations: joins and departures in
+/// `O(log n)` via a `BTreeSet`.
+#[derive(Clone, Debug, Default)]
+pub struct DynamicRing {
+    ids: BTreeSet<Id>,
+}
+
+impl DynamicRing {
+    /// An empty ring.
+    pub fn new() -> Self {
+        DynamicRing { ids: BTreeSet::new() }
+    }
+
+    /// Number of IDs present.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Whether the ring is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Insert an ID; returns `false` if it was already present.
+    pub fn insert(&mut self, id: Id) -> bool {
+        self.ids.insert(id)
+    }
+
+    /// Remove an ID; returns `false` if it was absent.
+    pub fn remove(&mut self, id: Id) -> bool {
+        self.ids.remove(&id)
+    }
+
+    /// Whether `id` is present.
+    pub fn contains(&self, id: Id) -> bool {
+        self.ids.contains(&id)
+    }
+
+    /// `suc(x)` with wrap-around (inclusive at `x`).
+    ///
+    /// # Panics
+    /// Panics if the ring is empty.
+    pub fn successor(&self, x: Id) -> Id {
+        assert!(!self.ids.is_empty(), "successor query on empty ring");
+        self.ids
+            .range(x..)
+            .next()
+            .or_else(|| self.ids.iter().next())
+            .copied()
+            .expect("non-empty ring")
+    }
+
+    /// Freeze into an immutable [`SortedRing`] snapshot.
+    pub fn snapshot(&self) -> SortedRing {
+        SortedRing::from_sorted_unique(self.ids.iter().copied().collect())
+    }
+}
+
+impl FromIterator<Id> for DynamicRing {
+    fn from_iter<T: IntoIterator<Item = Id>>(iter: T) -> Self {
+        DynamicRing { ids: iter.into_iter().collect() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ring(points: &[f64]) -> SortedRing {
+        SortedRing::new(points.iter().map(|&p| Id::from_f64(p)).collect())
+    }
+
+    #[test]
+    fn successor_basics() {
+        let r = ring(&[0.1, 0.4, 0.7]);
+        assert_eq!(r.successor(Id::from_f64(0.2)), Id::from_f64(0.4));
+        assert_eq!(r.successor(Id::from_f64(0.4)), Id::from_f64(0.4), "inclusive");
+        assert_eq!(r.successor(Id::from_f64(0.8)), Id::from_f64(0.1), "wraps");
+        assert_eq!(r.successor(Id::ZERO), Id::from_f64(0.1));
+    }
+
+    #[test]
+    fn predecessor_basics() {
+        let r = ring(&[0.1, 0.4, 0.7]);
+        assert_eq!(r.predecessor(Id::from_f64(0.2)), Id::from_f64(0.1));
+        assert_eq!(r.predecessor(Id::from_f64(0.4)), Id::from_f64(0.1), "exclusive");
+        assert_eq!(r.predecessor(Id::from_f64(0.05)), Id::from_f64(0.7), "wraps");
+    }
+
+    #[test]
+    fn covering_basics() {
+        let r = ring(&[0.1, 0.4, 0.7]);
+        assert_eq!(r.covering(Id::from_f64(0.2)), Id::from_f64(0.1));
+        assert_eq!(r.covering(Id::from_f64(0.4)), Id::from_f64(0.4), "inclusive");
+        assert_eq!(r.covering(Id::from_f64(0.05)), Id::from_f64(0.7), "wraps");
+        assert_eq!(r.covering(Id::from_f64(0.99)), Id::from_f64(0.7));
+        // Consistency: covering segment of the covering node contains x.
+        for probe in [0.0, 0.1, 0.3, 0.4, 0.69, 0.7, 0.9] {
+            let x = Id::from_f64(probe);
+            let i = r.covering_index(x);
+            assert!(r.segment_after(i).contains(x), "probe {probe}");
+        }
+    }
+
+    #[test]
+    fn dedup_on_build() {
+        let r = ring(&[0.5, 0.5, 0.2]);
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn ids_in_interval() {
+        let r = ring(&[0.1, 0.4, 0.7, 0.9]);
+        let got = r.ids_in(&RingInterval::between(Id::from_f64(0.35), Id::from_f64(0.75)));
+        assert_eq!(got, vec![Id::from_f64(0.4), Id::from_f64(0.7)]);
+        // Wrapping interval.
+        let got = r.ids_in(&RingInterval::between(Id::from_f64(0.85), Id::from_f64(0.2)));
+        assert_eq!(got, vec![Id::from_f64(0.9), Id::from_f64(0.1)]);
+    }
+
+    #[test]
+    fn responsibility_partitions_ring() {
+        let r = ring(&[0.1, 0.4, 0.7]);
+        // Each key's successor owns it.
+        for probe in [0.0, 0.1, 0.15, 0.39999, 0.4, 0.55, 0.7, 0.95] {
+            let key = Id::from_f64(probe);
+            let owner = r.successor(key);
+            let idx = r.index_of(owner).unwrap();
+            assert!(
+                r.responsibility_of(idx).contains(key),
+                "key {probe} should be owned by {owner:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn gaps_sum_to_full_ring() {
+        let r = ring(&[0.05, 0.3, 0.62, 0.8]);
+        let total: u128 = r.gaps().map(|(_, g)| g.0 as u128).sum();
+        assert_eq!(total, 1u128 << 64);
+    }
+
+    #[test]
+    fn max_load_fraction_matches_largest_gap() {
+        let r = ring(&[0.0, 0.5, 0.6]);
+        assert!((r.max_load_fraction() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dynamic_ring_matches_snapshot() {
+        let mut d = DynamicRing::new();
+        for p in [0.3, 0.6, 0.9] {
+            d.insert(Id::from_f64(p));
+        }
+        assert_eq!(d.successor(Id::from_f64(0.7)), Id::from_f64(0.9));
+        assert_eq!(d.successor(Id::from_f64(0.95)), Id::from_f64(0.3), "wraps");
+        d.remove(Id::from_f64(0.9));
+        assert_eq!(d.successor(Id::from_f64(0.7)), Id::from_f64(0.3));
+        let snap = d.snapshot();
+        assert_eq!(snap.len(), 2);
+        assert_eq!(snap.successor(Id::from_f64(0.7)), snap.ids()[0]);
+    }
+
+    #[test]
+    fn single_id_owns_everything() {
+        let r = ring(&[0.42]);
+        assert_eq!(r.successor(Id::from_f64(0.99)), Id::from_f64(0.42));
+        assert!(r.responsibility_of(0).contains(Id::from_f64(0.1)));
+        assert!(r.responsibility_of(0).contains(Id::from_f64(0.9)));
+    }
+}

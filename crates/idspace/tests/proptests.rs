@@ -1,0 +1,109 @@
+//! Property-based tests for the ring ID space.
+
+use proptest::prelude::*;
+use tg_idspace::{Id, RingDistance, RingInterval, SortedRing};
+
+proptest! {
+    /// Clockwise and counter-clockwise distances sum to a full turn for
+    /// distinct points.
+    #[test]
+    fn cw_ccw_distances_complement(a in any::<u64>(), b in any::<u64>()) {
+        prop_assume!(a != b);
+        let (a, b) = (Id(a), Id(b));
+        let cw = a.distance_cw(b).0 as u128;
+        let ccw = b.distance_cw(a).0 as u128;
+        prop_assert_eq!(cw + ccw, 1u128 << 64);
+    }
+
+    /// add/sub by the same distance is the identity.
+    #[test]
+    fn add_sub_inverse(a in any::<u64>(), d in any::<u64>()) {
+        let id = Id(a);
+        let dist = RingDistance(d);
+        prop_assert_eq!(id.add(dist).sub(dist), id);
+        prop_assert_eq!(id.sub(dist).add(dist), id);
+    }
+
+    /// distance is translation-invariant.
+    #[test]
+    fn distance_translation_invariant(a in any::<u64>(), b in any::<u64>(), t in any::<u64>()) {
+        let (a, b, t) = (Id(a), Id(b), RingDistance(t));
+        prop_assert_eq!(a.distance_cw(b), a.add(t).distance_cw(b.add(t)));
+    }
+
+    /// half_left and half_right are the two preimages of doubling.
+    #[test]
+    fn halving_are_doubling_preimages(a in any::<u64>()) {
+        let x = Id(a);
+        // Doubling loses the top bit; halving loses the bottom bit. The
+        // composition double∘half recovers x up to its lowest bit.
+        prop_assert_eq!(x.half_left().double().0, x.0 & !1);
+        prop_assert_eq!(x.half_right().double().0, x.0 & !1);
+    }
+
+    /// The successor of any point is on the ring, and no ID lies strictly
+    /// between the point and its successor.
+    #[test]
+    fn successor_is_nearest_clockwise(
+        ids in prop::collection::btree_set(any::<u64>(), 1..200),
+        probe in any::<u64>(),
+    ) {
+        let ring = SortedRing::new(ids.iter().map(|&v| Id(v)).collect());
+        let probe = Id(probe);
+        let suc = ring.successor(probe);
+        prop_assert!(ring.contains(suc));
+        let d = probe.distance_cw(suc);
+        for &v in &ids {
+            let dv = probe.distance_cw(Id(v));
+            prop_assert!(dv >= d, "ID {v} is closer clockwise than the successor");
+        }
+    }
+
+    /// Responsibility intervals partition the ring: every probe key is
+    /// owned by exactly one ID, and that ID is its successor.
+    #[test]
+    fn responsibilities_partition(
+        ids in prop::collection::btree_set(any::<u64>(), 2..100),
+        probe in any::<u64>(),
+    ) {
+        let ring = SortedRing::new(ids.iter().map(|&v| Id(v)).collect());
+        let probe = Id(probe);
+        let owners: Vec<usize> = (0..ring.len())
+            .filter(|&i| ring.responsibility_of(i).contains(probe))
+            .collect();
+        prop_assert_eq!(owners.len(), 1, "exactly one owner per key");
+        prop_assert_eq!(ring.at(owners[0]), ring.successor(probe));
+    }
+
+    /// Interval intersection is symmetric.
+    #[test]
+    fn interval_intersection_symmetric(
+        a in any::<u64>(), la in 1u64.., b in any::<u64>(), lb in 1u64..,
+    ) {
+        let i1 = RingInterval::new(Id(a), RingDistance(la));
+        let i2 = RingInterval::new(Id(b), RingDistance(lb));
+        prop_assert_eq!(i1.intersects(&i2), i2.intersects(&i1));
+    }
+
+    /// Membership in an interval is equivalent to membership in either
+    /// half after splitting at the midpoint.
+    #[test]
+    fn interval_split_preserves_membership(
+        start in any::<u64>(), len in 2u64.., x in any::<u64>(),
+    ) {
+        let iv = RingInterval::new(Id(start), RingDistance(len));
+        let mid = Id(start).add(RingDistance(len / 2));
+        let left = RingInterval::between(Id(start), mid);
+        let right = RingInterval::between(mid, iv.end());
+        let x = Id(x);
+        prop_assert_eq!(iv.contains(x), left.contains(x) || right.contains(x));
+    }
+
+    /// Gaps of a ring always sum to exactly one full turn.
+    #[test]
+    fn gaps_sum_to_full_turn(ids in prop::collection::btree_set(any::<u64>(), 2..300)) {
+        let ring = SortedRing::new(ids.into_iter().map(Id).collect());
+        let total: u128 = ring.gaps().map(|(_, g)| g.0 as u128).sum();
+        prop_assert_eq!(total, 1u128 << 64);
+    }
+}

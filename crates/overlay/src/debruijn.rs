@@ -1,0 +1,272 @@
+//! D2B \[19\]: a de Bruijn content-addressable network with constant
+//! expected degree.
+//!
+//! Following the continuous-discrete approach, node `w` *covers* the
+//! segment `[w, next(w))`. The continuous de Bruijn graph has edges
+//! `x → x/2` and `x → x/2 + 1/2` (the two preimages of doubling); the
+//! discrete graph links `w` to every node covering an image of its
+//! segment — both the halved images (out-edges used for routing) and the
+//! doubled image (the reverse direction, needed so `is_link` is symmetric
+//! in usefulness and matches D2B's parent/child structure) — plus its ring
+//! predecessor and successor.
+//!
+//! **Routing** injects the key's bits: from point `p`, the step
+//! `p ← p/2 + b/2` with `b` the next key bit (taken least-significant
+//! first over a `k = ⌈log2 n⌉ + 3` bit prefix) lands, after `k` steps, at
+//! `prefix_k(key) + s/2^k` — within `2^{1-k}` of the key. A short ring
+//! walk then reaches `suc(key)`. Route length is `k + O(1)` expected,
+//! i.e. `O(log N)` (property P1); degree is `O(1)` in expectation.
+
+use crate::graph::{ceil_log2, covering_nodes, InputGraph, Route};
+use tg_idspace::{Id, RingDistance, SortedRing};
+
+/// The D2B overlay over a fixed ring.
+#[derive(Clone, Debug)]
+pub struct D2B {
+    ring: SortedRing,
+    /// Bit-walk length `k`.
+    k: u32,
+}
+
+impl D2B {
+    /// Build D2B over `ring`.
+    ///
+    /// # Panics
+    /// Panics if the ring is empty.
+    pub fn new(ring: SortedRing) -> Self {
+        assert!(!ring.is_empty(), "D2B over an empty ring");
+        let k = (ceil_log2(ring.len()) + 3).min(60);
+        D2B { ring, k }
+    }
+
+    /// Walk the ring from the node at sorted index `a` to the node at
+    /// sorted index `b`, appending hops, taking the shorter direction.
+    fn ring_walk(&self, hops: &mut Vec<Id>, a: usize, b: usize) {
+        let n = self.ring.len();
+        let fwd = (b + n - a) % n;
+        let back = (a + n - b) % n;
+        if fwd <= back {
+            for s in 1..=fwd {
+                hops.push(self.ring.at((a + s) % n));
+            }
+        } else {
+            for s in 1..=back {
+                hops.push(self.ring.at((a + n - s) % n));
+            }
+        }
+    }
+}
+
+impl InputGraph for D2B {
+    fn ring(&self) -> &SortedRing {
+        &self.ring
+    }
+
+    fn name(&self) -> &'static str {
+        "d2b"
+    }
+
+    fn neighbors(&self, w: Id) -> Vec<Id> {
+        let i = self.ring.index_of(w).expect("neighbors of an ID not on the ring");
+        let mut out = Vec::with_capacity(8);
+        if self.ring.len() == 1 {
+            return out;
+        }
+        let seg = self.ring.segment_after(i);
+        covering_nodes(&self.ring, &seg.half_left(), &mut out);
+        covering_nodes(&self.ring, &seg.half_right(), &mut out);
+        covering_nodes(&self.ring, &seg.double(), &mut out);
+        out.push(self.ring.predecessor(w));
+        out.push(self.ring.successor(w.add(RingDistance(1))));
+        out.sort_unstable();
+        out.dedup();
+        out.retain(|&u| u != w);
+        out
+    }
+
+    fn route(&self, from: Id, key: Id) -> Route {
+        debug_assert!(self.ring.contains(from));
+        let mut hops = vec![from];
+        if self.ring.len() == 1 {
+            return Route { hops };
+        }
+        // Bit-injection walk: feed the k-bit key prefix, least significant
+        // bit first, so the final point is prefix_k(key) + from/2^k.
+        let mut p = from;
+        for j in (0..self.k).rev() {
+            p = if key.bit(j) { p.half_right() } else { p.half_left() };
+            let node = self.ring.covering(p);
+            if *hops.last().expect("non-empty") != node {
+                hops.push(node);
+            }
+        }
+        // Final ring correction to the successor of the key.
+        let here = self.ring.covering_index(p);
+        let target = self.ring.successor_index(key);
+        self.ring_walk(&mut hops, here, target);
+        debug_assert_eq!(*hops.last().expect("non-empty"), self.ring.successor(key));
+        Route { hops }
+    }
+
+    fn is_link(&self, w: Id, u: Id) -> bool {
+        if w == u || self.ring.len() == 1 {
+            return false;
+        }
+        let i = self.ring.index_of(w).expect("is_link on an ID not on the ring");
+        let j = self.ring.index_of(u).expect("is_link target not on the ring");
+        if u == self.ring.predecessor(w) || u == self.ring.successor(w.add(RingDistance(1))) {
+            return true;
+        }
+        let seg_w = self.ring.segment_after(i);
+        let seg_u = self.ring.segment_after(j);
+        seg_u.intersects(&seg_w.half_left())
+            || seg_u.intersects(&seg_w.half_right())
+            || seg_u.intersects(&seg_w.double())
+    }
+
+    fn route_len_bound(&self) -> usize {
+        // k bit-steps plus the ring correction; the correction window
+        // holds O(log n) IDs w.h.p. on u.a.r. rings, but is bounded by n
+        // in the worst case. Use a generous cap for the assert-style uses.
+        self.k as usize + self.ring.len().min(4 * (self.k as usize + 8)) + 2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_ring(n: usize, seed: u64) -> SortedRing {
+        let mut rng = StdRng::seed_from_u64(seed);
+        SortedRing::new((0..n).map(|_| Id(rng.gen())).collect())
+    }
+
+    #[test]
+    fn routes_resolve_to_successor() {
+        let ring = random_ring(512, 21);
+        let g = D2B::new(ring.clone());
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..300 {
+            let from = ring.at(rng.gen_range(0..ring.len()));
+            let key = Id(rng.gen());
+            let r = g.route(from, key);
+            assert_eq!(r.hops[0], from);
+            assert_eq!(r.resolver(), ring.successor(key));
+        }
+    }
+
+    #[test]
+    fn routes_follow_edges() {
+        let ring = random_ring(256, 22);
+        let g = D2B::new(ring.clone());
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..60 {
+            let from = ring.at(rng.gen_range(0..ring.len()));
+            let key = Id(rng.gen());
+            let r = g.route(from, key);
+            for pair in r.hops.windows(2) {
+                assert!(
+                    g.is_link(pair[0], pair[1]),
+                    "hop {:?} -> {:?} is not a d2b link",
+                    pair[0],
+                    pair[1]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn routes_are_logarithmic() {
+        let ring = random_ring(4096, 23);
+        let g = D2B::new(ring.clone());
+        let mut rng = StdRng::seed_from_u64(3);
+        let trials = 300;
+        let mut total = 0usize;
+        for _ in 0..trials {
+            let from = ring.at(rng.gen_range(0..ring.len()));
+            let key = Id(rng.gen());
+            let r = g.route(from, key);
+            total += r.len();
+            assert!(r.len() <= g.route_len_bound());
+        }
+        let mean = total as f64 / trials as f64;
+        // k = log2(4096) + 3 = 15 bit-steps, some merged, plus O(1) walk.
+        assert!(mean < 22.0, "mean d2b route length {mean:.1} too large");
+        assert!(mean > 6.0, "mean d2b route length {mean:.1} implausibly small");
+    }
+
+    #[test]
+    fn expected_degree_is_constant() {
+        let ring = random_ring(4096, 24);
+        let g = D2B::new(ring.clone());
+        let mut total = 0usize;
+        let mut maxd = 0usize;
+        let sample: Vec<usize> = (0..ring.len()).step_by(17).collect();
+        for &i in &sample {
+            let d = g.neighbors(ring.at(i)).len();
+            total += d;
+            maxd = maxd.max(d);
+        }
+        let mean = total as f64 / sample.len() as f64;
+        assert!(mean < 12.0, "mean d2b degree {mean:.1} not O(1)");
+        assert!(mean >= 3.0, "mean d2b degree {mean:.1} too small to be connected");
+        // Max degree is O(log n / log log n)-ish (balls in bins on gaps).
+        assert!(maxd < 40, "max d2b degree {maxd} too large");
+    }
+
+    #[test]
+    fn is_link_matches_neighbors() {
+        let ring = random_ring(80, 25);
+        let g = D2B::new(ring.clone());
+        for i in (0..80).step_by(9) {
+            let w = ring.at(i);
+            let nb = g.neighbors(w);
+            for j in 0..80 {
+                let u = ring.at(j);
+                assert_eq!(
+                    g.is_link(w, u),
+                    nb.contains(&u) && u != w,
+                    "w={w:?} u={u:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn neighbors_symmetric_in_coverage() {
+        // If u covers a halved image of w's segment then w covers a doubled
+        // image of u's segment — the edge is visible from both endpoints.
+        let ring = random_ring(64, 26);
+        let g = D2B::new(ring.clone());
+        for i in 0..64 {
+            let w = ring.at(i);
+            for u in g.neighbors(w) {
+                assert!(
+                    g.is_link(u, w) || g.is_link(w, u),
+                    "edge invisible from both endpoints: {w:?} {u:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn two_node_ring_routes() {
+        let ring = SortedRing::new(vec![Id::from_f64(0.2), Id::from_f64(0.6)]);
+        let g = D2B::new(ring.clone());
+        for (from_f, key_f) in [(0.2, 0.5), (0.2, 0.9), (0.6, 0.3), (0.6, 0.61)] {
+            let r = g.route(Id::from_f64(from_f), Id::from_f64(key_f));
+            assert_eq!(r.resolver(), ring.successor(Id::from_f64(key_f)));
+        }
+    }
+
+    #[test]
+    fn single_node_ring() {
+        let ring = SortedRing::new(vec![Id::from_f64(0.5)]);
+        let g = D2B::new(ring.clone());
+        let r = g.route(Id::from_f64(0.5), Id::from_f64(0.123));
+        assert_eq!(r.hops, vec![Id::from_f64(0.5)]);
+        assert!(g.neighbors(Id::from_f64(0.5)).is_empty());
+    }
+}

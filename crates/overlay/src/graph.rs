@@ -1,0 +1,174 @@
+//! The [`InputGraph`] abstraction: what the group layer needs from `H`.
+
+use tg_idspace::{Id, SortedRing};
+
+/// The path taken by one search (property P1).
+///
+/// `hops\[0\]` is the initiator and the final element is the ID responsible
+/// for the key (`suc(key)`). Every consecutive pair is an edge of the
+/// graph. An ID is "traversed" by the search iff it appears in `hops`
+/// (matching the paper's Appendix VI definition, which counts the
+/// initiator, all forwarders, and the resolver).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Route {
+    /// Traversed IDs in order, initiator first, resolver last.
+    pub hops: Vec<Id>,
+}
+
+impl Route {
+    /// Number of traversed IDs.
+    pub fn len(&self) -> usize {
+        self.hops.len()
+    }
+
+    /// Whether the route is empty (never produced by a valid graph).
+    pub fn is_empty(&self) -> bool {
+        self.hops.is_empty()
+    }
+
+    /// The ID that resolved the search.
+    pub fn resolver(&self) -> Id {
+        *self.hops.last().expect("routes are never empty")
+    }
+}
+
+/// An input graph `H` over a fixed ID population.
+///
+/// Implementations are pure functions of the ID ring: `neighbors` and
+/// `route` are recomputable by anybody from the ring alone, which is what
+/// makes property P3's *verifiability* possible — an ID asked to accept a
+/// link can re-derive whether that link should exist.
+pub trait InputGraph: Send + Sync {
+    /// The ID population.
+    fn ring(&self) -> &SortedRing;
+
+    /// Short human-readable topology name.
+    fn name(&self) -> &'static str;
+
+    /// The neighbor set `S_w` (property P3). `w` must be on the ring.
+    fn neighbors(&self, w: Id) -> Vec<Id>;
+
+    /// Route from `from` to the ID responsible for `key` (property P1).
+    /// Both the initiator and resolver appear in the route.
+    fn route(&self, from: Id, key: Id) -> Route;
+
+    /// Whether `u ∈ S_w` under the linking rules — the verification
+    /// predicate of property P3.
+    fn is_link(&self, w: Id, u: Id) -> bool {
+        self.neighbors(w).contains(&u)
+    }
+
+    /// An a-priori bound on route length for this topology and ring size,
+    /// used by tests and by the harness to size message buffers.
+    fn route_len_bound(&self) -> usize;
+}
+
+/// Factory enum so experiments can sweep topologies by name.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GraphKind {
+    /// Chord \[48\] — `Θ(log n)` degree.
+    Chord,
+    /// D2B \[19\] — de Bruijn, `O(1)` expected degree.
+    D2B,
+    /// Naor–Wieder distance halving \[39\] — `O(1)` expected degree.
+    DistanceHalving,
+    /// Viceroy \[32\] — butterfly, `O(1)` worst-case degree.
+    Viceroy,
+}
+
+impl GraphKind {
+    /// All implemented topologies.
+    pub const ALL: [GraphKind; 4] = [
+        GraphKind::Chord,
+        GraphKind::D2B,
+        GraphKind::DistanceHalving,
+        GraphKind::Viceroy,
+    ];
+
+    /// Construct the graph over `ring`.
+    pub fn build(self, ring: SortedRing) -> Box<dyn InputGraph> {
+        match self {
+            GraphKind::Chord => Box::new(crate::chord::Chord::new(ring)),
+            GraphKind::D2B => Box::new(crate::debruijn::D2B::new(ring)),
+            GraphKind::DistanceHalving => {
+                Box::new(crate::halving::DistanceHalving::new(ring))
+            }
+            GraphKind::Viceroy => Box::new(crate::viceroy::Viceroy::new(ring)),
+        }
+    }
+
+    /// Topology name (stable, used in CSV output).
+    pub fn name(self) -> &'static str {
+        match self {
+            GraphKind::Chord => "chord",
+            GraphKind::D2B => "d2b",
+            GraphKind::DistanceHalving => "distance-halving",
+            GraphKind::Viceroy => "viceroy",
+        }
+    }
+
+    /// Parse a topology name as produced by [`GraphKind::name`].
+    pub fn parse(s: &str) -> Option<GraphKind> {
+        match s {
+            "chord" => Some(GraphKind::Chord),
+            "d2b" => Some(GraphKind::D2B),
+            "distance-halving" => Some(GraphKind::DistanceHalving),
+            "viceroy" => Some(GraphKind::Viceroy),
+            _ => None,
+        }
+    }
+}
+
+/// `⌈log2 n⌉`, used by all topologies to size fingers/bit-walks.
+pub(crate) fn ceil_log2(n: usize) -> u32 {
+    assert!(n >= 1);
+    usize::BITS - (n - 1).leading_zeros()
+}
+
+/// The nodes whose covering segments intersect `interval`: the node
+/// covering the interval start plus every node whose ID lies inside it.
+/// This is the discretization step of the continuous-discrete approach
+/// \[39\]: a continuous edge set maps to links with every node covering it.
+pub(crate) fn covering_nodes(
+    ring: &tg_idspace::SortedRing,
+    interval: &tg_idspace::RingInterval,
+    out: &mut Vec<Id>,
+) {
+    if interval.is_empty() {
+        return;
+    }
+    out.push(ring.covering(interval.start()));
+    out.extend(ring.ids_in(interval));
+}
+
+/// Tiny splitmix64 chain for deterministic per-(source, key) route bits.
+pub(crate) fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e3779b97f4a7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ceil_log2_values() {
+        assert_eq!(ceil_log2(1), 0);
+        assert_eq!(ceil_log2(2), 1);
+        assert_eq!(ceil_log2(3), 2);
+        assert_eq!(ceil_log2(4), 2);
+        assert_eq!(ceil_log2(5), 3);
+        assert_eq!(ceil_log2(1024), 10);
+        assert_eq!(ceil_log2(1025), 11);
+    }
+
+    #[test]
+    fn graph_kind_roundtrip() {
+        for k in GraphKind::ALL {
+            assert_eq!(GraphKind::parse(k.name()), Some(k));
+        }
+        assert_eq!(GraphKind::parse("nonsense"), None);
+    }
+}

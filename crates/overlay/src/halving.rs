@@ -1,0 +1,293 @@
+//! The Naor–Wieder continuous-discrete **distance-halving** construction
+//! \[39\].
+//!
+//! The continuous graph on `[0,1)` has edge functions `ℓ(x) = x/2` and
+//! `r(x) = x/2 + 1/2`; node `w` covers the segment `[w, next(w))` and the
+//! discrete graph links `w` to every node covering `ℓ(seg)`, `r(seg)`, or
+//! the doubled segment (the backward direction), plus ring edges — the
+//! same discretization rule as de Bruijn, which is no accident (both
+//! realize the de Bruijn shift on the continuum).
+//!
+//! What distinguishes the construction is **distance-halving routing**:
+//! a shared bit string `σ` drives *both* endpoints. Applying the same
+//! `σ_j ∈ {ℓ, r}` to the current source image `x_j` and target image
+//! `y_j` halves their distance each step:
+//! `|x_{j+1} − y_{j+1}| = |x_j − y_j| / 2`. After `k = ⌈log2 n⌉ + 3`
+//! steps the images are within `2^{-k}` — the same or adjacent nodes.
+//! The message path is: the `x`-walk forward (halving edges), a short
+//! ring walk, then the `y`-walk *in reverse* (doubling edges) down to the
+//! node covering the key. With `σ` random, congestion is `O(log n / n)`;
+//! we derive `σ` deterministically from `(source, key)` via splitmix so
+//! simulations replay exactly.
+
+use crate::graph::{ceil_log2, covering_nodes, mix64, InputGraph, Route};
+use tg_idspace::{Id, RingDistance, SortedRing};
+
+/// The distance-halving overlay over a fixed ring.
+#[derive(Clone, Debug)]
+pub struct DistanceHalving {
+    ring: SortedRing,
+    /// Halving-walk length `k`.
+    k: u32,
+}
+
+impl DistanceHalving {
+    /// Build the overlay over `ring`.
+    ///
+    /// # Panics
+    /// Panics if the ring is empty.
+    pub fn new(ring: SortedRing) -> Self {
+        assert!(!ring.is_empty(), "distance-halving over an empty ring");
+        let k = (ceil_log2(ring.len()) + 3).min(60);
+        DistanceHalving { ring, k }
+    }
+
+    /// The deterministic `σ` bits for a `(from, key)` pair.
+    fn sigma(&self, from: Id, key: Id) -> u64 {
+        mix64(from.raw() ^ mix64(key.raw()))
+    }
+
+    fn apply(p: Id, bit: bool) -> Id {
+        if bit {
+            p.half_right()
+        } else {
+            p.half_left()
+        }
+    }
+
+    /// Append the covering node of `p` if it differs from the last hop.
+    fn push_cover(&self, hops: &mut Vec<Id>, p: Id) {
+        let node = self.ring.covering(p);
+        if *hops.last().expect("non-empty route") != node {
+            hops.push(node);
+        }
+    }
+
+    /// Ring walk between sorted indices, shorter direction.
+    fn ring_walk(&self, hops: &mut Vec<Id>, a: usize, b: usize) {
+        let n = self.ring.len();
+        let fwd = (b + n - a) % n;
+        let back = (a + n - b) % n;
+        if fwd <= back {
+            for s in 1..=fwd {
+                hops.push(self.ring.at((a + s) % n));
+            }
+        } else {
+            for s in 1..=back {
+                hops.push(self.ring.at((a + n - s) % n));
+            }
+        }
+    }
+}
+
+impl InputGraph for DistanceHalving {
+    fn ring(&self) -> &SortedRing {
+        &self.ring
+    }
+
+    fn name(&self) -> &'static str {
+        "distance-halving"
+    }
+
+    fn neighbors(&self, w: Id) -> Vec<Id> {
+        let i = self.ring.index_of(w).expect("neighbors of an ID not on the ring");
+        let mut out = Vec::with_capacity(8);
+        if self.ring.len() == 1 {
+            return out;
+        }
+        let seg = self.ring.segment_after(i);
+        covering_nodes(&self.ring, &seg.half_left(), &mut out);
+        covering_nodes(&self.ring, &seg.half_right(), &mut out);
+        covering_nodes(&self.ring, &seg.double(), &mut out);
+        out.push(self.ring.predecessor(w));
+        out.push(self.ring.successor(w.add(RingDistance(1))));
+        out.sort_unstable();
+        out.dedup();
+        out.retain(|&u| u != w);
+        out
+    }
+
+    fn route(&self, from: Id, key: Id) -> Route {
+        debug_assert!(self.ring.contains(from));
+        let mut hops = vec![from];
+        if self.ring.len() == 1 {
+            return Route { hops };
+        }
+        let sigma = self.sigma(from, key);
+
+        // Forward σ-walk on the source image (halving edges), recording
+        // the target images along the way for the reverse leg.
+        let mut x = from;
+        let mut y = key;
+        let mut y_images = Vec::with_capacity(self.k as usize + 1);
+        y_images.push(y);
+        for j in 0..self.k {
+            let bit = (sigma >> j) & 1 == 1;
+            x = Self::apply(x, bit);
+            y = Self::apply(y, bit);
+            y_images.push(y);
+            self.push_cover(&mut hops, x);
+        }
+
+        // Bridge the (now ≤ 2^{-k}) gap between the two images on the ring.
+        let here = self.ring.covering_index(x);
+        let there = self.ring.covering_index(y);
+        self.ring_walk(&mut hops, here, there);
+
+        // Reverse σ-walk down the target images (doubling edges) until the
+        // node covering the key itself.
+        for &img in y_images.iter().rev().skip(1) {
+            self.push_cover(&mut hops, img);
+        }
+
+        // The covering node of the key is its predecessor; the responsible
+        // ID is the successor. One final ring hop if they differ.
+        let cover_idx = self.ring.covering_index(key);
+        let target_idx = self.ring.successor_index(key);
+        self.ring_walk(&mut hops, cover_idx, target_idx);
+        debug_assert_eq!(*hops.last().expect("non-empty"), self.ring.successor(key));
+        Route { hops }
+    }
+
+    fn is_link(&self, w: Id, u: Id) -> bool {
+        if w == u || self.ring.len() == 1 {
+            return false;
+        }
+        let i = self.ring.index_of(w).expect("is_link on an ID not on the ring");
+        let j = self.ring.index_of(u).expect("is_link target not on the ring");
+        if u == self.ring.predecessor(w) || u == self.ring.successor(w.add(RingDistance(1))) {
+            return true;
+        }
+        let seg_w = self.ring.segment_after(i);
+        let seg_u = self.ring.segment_after(j);
+        seg_u.intersects(&seg_w.half_left())
+            || seg_u.intersects(&seg_w.half_right())
+            || seg_u.intersects(&seg_w.double())
+    }
+
+    fn route_len_bound(&self) -> usize {
+        // Two k-step walks plus two ring corrections.
+        2 * self.k as usize + self.ring.len().min(4 * (self.k as usize + 8)) + 4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_ring(n: usize, seed: u64) -> SortedRing {
+        let mut rng = StdRng::seed_from_u64(seed);
+        SortedRing::new((0..n).map(|_| Id(rng.gen())).collect())
+    }
+
+    #[test]
+    fn routes_resolve_to_successor() {
+        let ring = random_ring(512, 31);
+        let g = DistanceHalving::new(ring.clone());
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..300 {
+            let from = ring.at(rng.gen_range(0..ring.len()));
+            let key = Id(rng.gen());
+            let r = g.route(from, key);
+            assert_eq!(r.hops[0], from);
+            assert_eq!(r.resolver(), ring.successor(key));
+        }
+    }
+
+    #[test]
+    fn routes_follow_edges() {
+        let ring = random_ring(256, 32);
+        let g = DistanceHalving::new(ring.clone());
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..60 {
+            let from = ring.at(rng.gen_range(0..ring.len()));
+            let key = Id(rng.gen());
+            let r = g.route(from, key);
+            for pair in r.hops.windows(2) {
+                assert!(
+                    g.is_link(pair[0], pair[1]) || g.is_link(pair[1], pair[0]),
+                    "hop {:?} -> {:?} is not a distance-halving link",
+                    pair[0],
+                    pair[1]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn distance_actually_halves() {
+        // The defining invariant (Naor–Wieder analyze the *real-line*
+        // distance |x − y| on [0,1), which upper-bounds ring distance):
+        // images of source and key approach each other by a factor of 2
+        // per σ-step.
+        let from = Id::from_f64(0.9);
+        let key = Id::from_f64(0.1);
+        let mut x = from;
+        let mut y = key;
+        let mut dist = (x.as_f64() - y.as_f64()).abs();
+        for bit in [true, false, true, true, false] {
+            x = DistanceHalving::apply(x, bit);
+            y = DistanceHalving::apply(y, bit);
+            let nd = (x.as_f64() - y.as_f64()).abs();
+            assert!((nd - dist / 2.0).abs() < 1e-12, "distance must halve: {dist} -> {nd}");
+            dist = nd;
+        }
+        // After enough steps the images land on the same or adjacent
+        // nodes of any ring whose gaps exceed the final distance.
+        assert!(dist < 0.8 / 32.0 + 1e-12, "real distance 0.8 halved 5 times");
+    }
+
+    #[test]
+    fn routes_are_logarithmic() {
+        let ring = random_ring(4096, 33);
+        let g = DistanceHalving::new(ring.clone());
+        let mut rng = StdRng::seed_from_u64(3);
+        let trials = 300;
+        let mut total = 0usize;
+        for _ in 0..trials {
+            let from = ring.at(rng.gen_range(0..ring.len()));
+            let key = Id(rng.gen());
+            let r = g.route(from, key);
+            total += r.len();
+            assert!(r.len() <= g.route_len_bound());
+        }
+        let mean = total as f64 / trials as f64;
+        // Two 15-step walks with merges: roughly 2k hops.
+        assert!(mean < 40.0, "mean dh route length {mean:.1} too large");
+        assert!(mean > 10.0, "mean dh route length {mean:.1} implausibly small");
+    }
+
+    #[test]
+    fn expected_degree_is_constant() {
+        let ring = random_ring(4096, 34);
+        let g = DistanceHalving::new(ring.clone());
+        let sample: Vec<usize> = (0..ring.len()).step_by(17).collect();
+        let mut total = 0usize;
+        for &i in &sample {
+            total += g.neighbors(ring.at(i)).len();
+        }
+        let mean = total as f64 / sample.len() as f64;
+        assert!(mean < 12.0, "mean dh degree {mean:.1} not O(1)");
+    }
+
+    #[test]
+    fn deterministic_routes() {
+        let ring = random_ring(128, 35);
+        let g = DistanceHalving::new(ring.clone());
+        let from = ring.at(7);
+        let key = Id::from_f64(0.777);
+        assert_eq!(g.route(from, key), g.route(from, key));
+    }
+
+    #[test]
+    fn two_node_ring_routes() {
+        let ring = SortedRing::new(vec![Id::from_f64(0.2), Id::from_f64(0.6)]);
+        let g = DistanceHalving::new(ring.clone());
+        for (from_f, key_f) in [(0.2, 0.5), (0.2, 0.9), (0.6, 0.3)] {
+            let r = g.route(Id::from_f64(from_f), Id::from_f64(key_f));
+            assert_eq!(r.resolver(), ring.successor(Id::from_f64(key_f)));
+        }
+    }
+}

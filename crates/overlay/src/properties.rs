@@ -1,0 +1,157 @@
+//! Empirical verification of properties P1–P4 (§I-C).
+//!
+//! The group-layer guarantees are conditional on the input graph
+//! satisfying P1 (logarithmic search), P2 (load balance), P3 (verifiable
+//! links — exercised directly by `is_link`), and P4 (congestion
+//! `O(log^c n / n)`). These measurements also feed experiment E1, where
+//! the congestion constant `c` calibrates the predicted failure rate
+//! `O(pf · log^c n)` of Lemma 2.
+
+use crate::graph::InputGraph;
+use rand::rngs::StdRng;
+use rand::Rng;
+use tg_idspace::Id;
+
+/// Measured P1/P2/P4 quantities for one graph instance.
+#[derive(Clone, Copy, Debug)]
+pub struct PropertyReport {
+    /// Ring size `N`.
+    pub n: usize,
+    /// Mean traversed IDs per search (P1).
+    pub mean_route_len: f64,
+    /// Maximum traversed IDs over the sample (P1).
+    pub max_route_len: usize,
+    /// Maximum key-space fraction owned by any ID, times `N` (P2 —
+    /// `O(log n)` for u.a.r. rings; the paper's per-random-ID bound is 1).
+    pub max_load_times_n: f64,
+    /// Empirical congestion `C` times `N`: the maximum, over IDs, of the
+    /// fraction of sampled searches traversing that ID, scaled by `N`
+    /// (P4 — should be `O(log^c n)`).
+    pub congestion_times_n: f64,
+}
+
+/// Sample `samples` random searches and report route-length statistics.
+pub fn measure_route_lengths(
+    graph: &dyn InputGraph,
+    samples: usize,
+    rng: &mut StdRng,
+) -> (f64, usize) {
+    let ring = graph.ring();
+    let mut total = 0usize;
+    let mut max = 0usize;
+    for _ in 0..samples {
+        let from = ring.at(rng.gen_range(0..ring.len()));
+        let key = Id(rng.gen());
+        let r = graph.route(from, key);
+        total += r.len();
+        max = max.max(r.len());
+    }
+    (total as f64 / samples as f64, max)
+}
+
+/// Estimate the congestion `C` (P4): the maximum over IDs of the
+/// probability of being traversed by a search from a random initiator for
+/// a random key. Returns `C` (not scaled).
+pub fn measure_congestion(graph: &dyn InputGraph, samples: usize, rng: &mut StdRng) -> f64 {
+    let ring = graph.ring();
+    let mut traversals = vec![0u32; ring.len()];
+    for _ in 0..samples {
+        let from = ring.at(rng.gen_range(0..ring.len()));
+        let key = Id(rng.gen());
+        let r = graph.route(from, key);
+        // Count each traversed ID once per search (multiplicity within a
+        // single search does not change whether it was traversed).
+        let mut idx: Vec<usize> =
+            r.hops.iter().map(|&h| ring.index_of(h).expect("hops are ring IDs")).collect();
+        idx.sort_unstable();
+        idx.dedup();
+        for i in idx {
+            traversals[i] += 1;
+        }
+    }
+    let max = traversals.iter().copied().max().unwrap_or(0);
+    max as f64 / samples as f64
+}
+
+/// Full P1/P2/P4 report for one graph.
+pub fn measure_properties(
+    graph: &dyn InputGraph,
+    samples: usize,
+    rng: &mut StdRng,
+) -> PropertyReport {
+    let n = graph.ring().len();
+    let (mean_route_len, max_route_len) = measure_route_lengths(graph, samples, rng);
+    let congestion = measure_congestion(graph, samples, rng);
+    PropertyReport {
+        n,
+        mean_route_len,
+        max_route_len,
+        max_load_times_n: graph.ring().max_load_fraction() * n as f64,
+        congestion_times_n: congestion * n as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphKind;
+    use rand::SeedableRng;
+    use tg_idspace::SortedRing;
+
+    fn random_ring(n: usize, seed: u64) -> SortedRing {
+        let mut rng = StdRng::seed_from_u64(seed);
+        SortedRing::new((0..n).map(|_| Id(rng.gen())).collect())
+    }
+
+    /// P1, P2, P4 hold (with sane constants) for every implemented
+    /// topology at n = 2048.
+    #[test]
+    fn all_graphs_satisfy_p1_p2_p4() {
+        let n = 2048usize;
+        let logn = (n as f64).ln();
+        let log2n = (n as f64).log2();
+        for kind in GraphKind::ALL {
+            let g = kind.build(random_ring(n, 0xA5));
+            let mut rng = StdRng::seed_from_u64(1);
+            let rep = measure_properties(g.as_ref(), 2000, &mut rng);
+            // P1: routes are O(log n); allow constant 4.
+            assert!(
+                rep.mean_route_len <= 4.0 * log2n,
+                "{}: mean route {:.1} vs 4·log2 n {:.1}",
+                kind.name(),
+                rep.mean_route_len,
+                4.0 * log2n
+            );
+            // P2: max load is O(log n / n) for u.a.r. rings.
+            assert!(
+                rep.max_load_times_n <= 4.0 * logn,
+                "{}: max load ×n = {:.1} vs 4·ln n {:.1}",
+                kind.name(),
+                rep.max_load_times_n,
+                4.0 * logn
+            );
+            // P4: congestion is O(log^c n / n) with c ≤ 2: the hottest ID
+            // covers an O(log n / n) arc and O(log n)-hop walks land in it
+            // O(log²n / n) of the time. Allow a generous constant.
+            assert!(
+                rep.congestion_times_n <= 8.0 * logn * logn,
+                "{}: congestion ×n = {:.1} vs 8·ln²n {:.1}",
+                kind.name(),
+                rep.congestion_times_n,
+                8.0 * logn * logn
+            );
+        }
+    }
+
+    /// Congestion must not be degenerate (some ID is traversed by every
+    /// search only in a star topology — none of ours).
+    #[test]
+    fn congestion_is_sublinear() {
+        for kind in GraphKind::ALL {
+            let g = kind.build(random_ring(1024, 7));
+            let mut rng = StdRng::seed_from_u64(2);
+            let c = measure_congestion(g.as_ref(), 1500, &mut rng);
+            assert!(c < 0.25, "{}: congestion {c:.3} suspiciously high", kind.name());
+        }
+    }
+}

@@ -1,0 +1,104 @@
+//! Property-based tests for the input-graph overlays: P1/P3 invariants
+//! on adversarially-shaped rings.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tg_idspace::{Id, SortedRing};
+use tg_overlay::GraphKind;
+
+fn ring_from(ids: std::collections::BTreeSet<u64>) -> SortedRing {
+    SortedRing::new(ids.into_iter().map(Id).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// P1 on arbitrary rings: every topology resolves every key from
+    /// every start, within its hop bound.
+    #[test]
+    fn resolution_on_arbitrary_rings(
+        ids in prop::collection::btree_set(any::<u64>(), 2..150),
+        start_sel in any::<u16>(),
+        key in any::<u64>(),
+    ) {
+        let ring = ring_from(ids);
+        let from = ring.at(start_sel as usize % ring.len());
+        for kind in GraphKind::ALL {
+            let g = kind.build(ring.clone());
+            let r = g.route(from, Id(key));
+            prop_assert_eq!(r.resolver(), ring.successor(Id(key)), "{}", kind.name());
+            prop_assert!(r.len() <= g.route_len_bound(), "{}: {} hops", kind.name(), r.len());
+        }
+    }
+
+    /// P1 on clustered rings (every ID inside a tiny arc) — the shape an
+    /// unconstrained Sybil adversary would produce.
+    #[test]
+    fn resolution_on_clustered_rings(
+        seed in any::<u64>(),
+        n in 4usize..100,
+        width_exp in 8u32..48,
+        key in any::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let width = 1u64 << (64 - width_exp);
+        let base: u64 = rng.gen();
+        let ids: std::collections::BTreeSet<u64> =
+            (0..n).map(|_| base.wrapping_add(rng.gen::<u64>() % width)).collect();
+        prop_assume!(ids.len() >= 2);
+        let ring = ring_from(ids);
+        let from = ring.at(0);
+        for kind in GraphKind::ALL {
+            let g = kind.build(ring.clone());
+            let r = g.route(from, Id(key));
+            prop_assert_eq!(r.resolver(), ring.successor(Id(key)), "{}", kind.name());
+        }
+    }
+
+    /// P3: `is_link` agrees with `neighbors` (the verification predicate
+    /// matches the linking rules) for random rings and nodes.
+    #[test]
+    fn is_link_matches_neighbors(
+        ids in prop::collection::btree_set(any::<u64>(), 3..60),
+        w_sel in any::<u16>(),
+    ) {
+        let ring = ring_from(ids);
+        let w = ring.at(w_sel as usize % ring.len());
+        for kind in GraphKind::ALL {
+            let g = kind.build(ring.clone());
+            let nb = g.neighbors(w);
+            for i in 0..ring.len() {
+                let u = ring.at(i);
+                prop_assert_eq!(
+                    g.is_link(w, u),
+                    nb.contains(&u) && u != w,
+                    "{}: w={:?} u={:?}",
+                    kind.name(),
+                    w,
+                    u
+                );
+            }
+        }
+    }
+
+    /// Routes never visit IDs outside the ring and always start at the
+    /// initiator.
+    #[test]
+    fn routes_stay_on_ring(
+        ids in prop::collection::btree_set(any::<u64>(), 2..80),
+        start_sel in any::<u16>(),
+        key in any::<u64>(),
+    ) {
+        let ring = ring_from(ids);
+        let from = ring.at(start_sel as usize % ring.len());
+        for kind in GraphKind::ALL {
+            let g = kind.build(ring.clone());
+            let r = g.route(from, Id(key));
+            prop_assert_eq!(r.hops[0], from);
+            for &h in &r.hops {
+                prop_assert!(ring.contains(h), "{}: off-ring hop", kind.name());
+            }
+        }
+    }
+}

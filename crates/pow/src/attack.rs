@@ -1,0 +1,209 @@
+//! The attacks §IV defends against, made concrete.
+//!
+//! * [`targeted_interval_attack`] — against the **single-hash** scheme
+//!   the adversary confines `σ` to a chosen interval and every solution
+//!   lands there, letting it capture all groups whose members are drawn
+//!   from that interval. Against the paper's `f∘g` scheme the same
+//!   strategy yields u.a.r. IDs (Lemma 11).
+//! * [`precomputation_attack`] — without fresh epoch strings, the
+//!   adversary grinds for many epochs, hoards solutions, and releases
+//!   them at once — holding `hoard_epochs × βn` IDs instead of `βn`.
+//!   With fresh strings (`r_i` changes each epoch) the hoard is stale and
+//!   verification rejects it (§IV-B).
+
+use crate::miner::sample_binomial;
+use crate::puzzle::{attempt, attempt_single_hash, verify, PuzzleParams, Solution};
+use rand::rngs::StdRng;
+use rand::Rng;
+use tg_crypto::OracleFamily;
+use tg_idspace::{Id, RingInterval};
+
+/// Result of the targeted-interval comparison.
+#[derive(Clone, Copy, Debug)]
+pub struct TargetedAttackOutcome {
+    /// Fraction of single-hash IDs inside the target interval.
+    pub single_hash_in_target: f64,
+    /// Fraction of two-hash IDs inside the target interval.
+    pub two_hash_in_target: f64,
+    /// Interval width (the uniform baseline fraction).
+    pub target_width: f64,
+    /// Solutions minted under each scheme.
+    pub single_hash_count: usize,
+    /// Two-hash solutions minted.
+    pub two_hash_count: usize,
+}
+
+/// Run the chosen-σ strategy against both schemes with `attempts` tries.
+///
+/// The adversary wants its IDs inside `target`. Under the single-hash
+/// scheme it draws `σ` from the target interval directly; under the
+/// two-hash scheme the best it can do is draw anything (the output is
+/// uniform regardless).
+pub fn targeted_interval_attack(
+    fam: &OracleFamily,
+    params: &PuzzleParams,
+    target: RingInterval,
+    attempts: u64,
+    rng: &mut StdRng,
+) -> TargetedAttackOutcome {
+    let width = target.len().as_f64();
+    let mut single_ids: Vec<Id> = Vec::new();
+    let mut two_ids: Vec<Id> = Vec::new();
+    for _ in 0..attempts {
+        // Single-hash: σ drawn inside the target interval.
+        let sigma_in = target.start().add(tg_idspace::RingDistance(
+            (rng.gen::<f64>() * target.len().0 as f64) as u64,
+        ));
+        if let Some(id) = attempt_single_hash(fam, params, sigma_in.raw()) {
+            single_ids.push(id);
+        }
+        // Two-hash: σ choice is irrelevant; use the same biased draw to
+        // make the comparison as favorable to the adversary as possible.
+        if let Some(sol) = attempt(fam, params, (sigma_in.raw(), 0), 0) {
+            two_ids.push(sol.id);
+        }
+    }
+    let frac_in = |ids: &[Id]| {
+        if ids.is_empty() {
+            0.0
+        } else {
+            ids.iter().filter(|&&x| target.contains(x)).count() as f64 / ids.len() as f64
+        }
+    };
+    TargetedAttackOutcome {
+        single_hash_in_target: frac_in(&single_ids),
+        two_hash_in_target: frac_in(&two_ids),
+        target_width: width,
+        single_hash_count: single_ids.len(),
+        two_hash_count: two_ids.len(),
+    }
+}
+
+/// Result of the pre-computation comparison.
+#[derive(Clone, Copy, Debug)]
+pub struct PrecomputationOutcome {
+    /// IDs the adversary can present in the attack epoch when strings
+    /// refresh each epoch (hoard is stale).
+    pub accepted_with_fresh_strings: u64,
+    /// IDs accepted when the string never changes (hoard fully valid).
+    pub accepted_without_fresh_strings: u64,
+    /// The per-epoch budget `≈ βn` the adversary is supposed to be
+    /// limited to.
+    pub per_epoch_budget: u64,
+}
+
+/// Hoard solutions for `hoard_epochs` epochs, then attack.
+///
+/// Counts are statistical (binomial over the grinding budget — valid by
+/// the random-oracle assumption); acceptance logic mirrors
+/// [`crate::puzzle::verify`]'s string check.
+pub fn precomputation_attack(
+    params: &PuzzleParams,
+    adversary_units: f64,
+    hoard_epochs: u64,
+    rng: &mut StdRng,
+) -> PrecomputationOutcome {
+    let window_attempts =
+        (adversary_units * (params.attempts_per_step * params.t_epoch / 2) as f64) as u64;
+    let p = params.success_prob();
+
+    // Each hoarding epoch the adversary grinds a full window against the
+    // string it sees *then*.
+    let mut hoard_per_epoch: Vec<u64> = Vec::with_capacity(hoard_epochs as usize);
+    for _ in 0..hoard_epochs {
+        hoard_per_epoch.push(sample_binomial(window_attempts, p, rng));
+    }
+    let current_epoch_mint = *hoard_per_epoch.last().unwrap_or(&0);
+    let total_hoard: u64 = hoard_per_epoch.iter().sum();
+
+    PrecomputationOutcome {
+        // Fresh strings: only solutions bound to the *current* string
+        // survive — i.e. the last window's output.
+        accepted_with_fresh_strings: current_epoch_mint,
+        // Stale string forever: the entire hoard is valid at once.
+        accepted_without_fresh_strings: total_hoard,
+        per_epoch_budget: (adversary_units).round() as u64,
+    }
+}
+
+/// Exact (hashing) demonstration that hoarded solutions die when the
+/// string refreshes: mint against `r0`, verify against `r1`.
+pub fn hoard_goes_stale(
+    fam: &OracleFamily,
+    params: &PuzzleParams,
+    attempts: u64,
+    r0: u64,
+    r1: u64,
+) -> (Vec<Solution>, usize) {
+    let mut hoard = Vec::new();
+    for s in 0..attempts {
+        if let Some(sol) = attempt(fam, params, (s, s ^ 0xF00D), r0) {
+            hoard.push(sol);
+        }
+    }
+    let still_valid = hoard.iter().filter(|sol| verify(fam, params, sol, r1)).count();
+    (hoard, still_valid)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn easy_params() -> PuzzleParams {
+        PuzzleParams { tau: Id::from_f64(0.02), attempts_per_step: 1, t_epoch: 2 }
+    }
+
+    #[test]
+    fn single_hash_is_fully_biased_two_hash_is_not() {
+        let fam = OracleFamily::new(1);
+        let params = easy_params();
+        let target = RingInterval::between(Id::from_f64(0.3), Id::from_f64(0.31));
+        let mut rng = StdRng::seed_from_u64(2);
+        let out = targeted_interval_attack(&fam, &params, target, 30_000, &mut rng);
+        assert!(out.single_hash_count > 300, "sample too small");
+        assert!(out.two_hash_count > 300, "sample too small");
+        assert!(
+            out.single_hash_in_target > 0.99,
+            "single-hash: all IDs in target, got {:.3}",
+            out.single_hash_in_target
+        );
+        assert!(
+            out.two_hash_in_target < 0.05,
+            "two-hash: ≈width fraction in target, got {:.3} (width {:.3})",
+            out.two_hash_in_target,
+            out.target_width
+        );
+    }
+
+    #[test]
+    fn precomputation_pays_only_without_fresh_strings() {
+        let params = PuzzleParams::calibrated(16, 2048);
+        let mut rng = StdRng::seed_from_u64(3);
+        let out = precomputation_attack(&params, 500.0, 10, &mut rng);
+        // Without fresh strings the adversary shows up with ~10× its
+        // per-epoch budget; with them, ~1×.
+        assert!(
+            out.accepted_without_fresh_strings as f64
+                > 8.0 * out.accepted_with_fresh_strings as f64,
+            "hoard {} vs fresh {}",
+            out.accepted_without_fresh_strings,
+            out.accepted_with_fresh_strings
+        );
+        let fresh = out.accepted_with_fresh_strings as f64;
+        let budget = out.per_epoch_budget as f64;
+        assert!(
+            (fresh - budget).abs() < 0.25 * budget,
+            "fresh-string acceptance {fresh} should sit near the βn budget {budget}"
+        );
+    }
+
+    #[test]
+    fn hoarded_solutions_fail_verification_after_refresh() {
+        let fam = OracleFamily::new(4);
+        let params = easy_params();
+        let (hoard, still_valid) = hoard_goes_stale(&fam, &params, 5000, 111, 222);
+        assert!(hoard.len() > 50, "hoard too small: {}", hoard.len());
+        assert_eq!(still_valid, 0, "every hoarded solution must expire");
+    }
+}

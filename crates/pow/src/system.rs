@@ -1,0 +1,256 @@
+//! The complete tiny-groups system: §II + §III + §IV composed.
+//!
+//! One [`FullSystem::run_epoch`] call performs the paper's whole
+//! per-epoch pipeline:
+//!
+//! 1. **strings** — the Appendix VIII protocol runs over the current
+//!    operational group graph; the agreed minimum becomes the next epoch
+//!    string `r_i` (every good ID can verify any ID signed by a string
+//!    in its solution set),
+//! 2. **minting** — participants grind puzzles against `r_i`
+//!    (`g(σ ⊕ r_i) ≤ τ`, ID = `f(g(σ ⊕ r_i))`); the adversary's pooled
+//!    compute yields its `≈ βn` u.a.r. IDs (Lemma 11),
+//! 3. **dynamics** — the §III epoch advance: churn, dual-search
+//!    construction of the next two group graphs through the current
+//!    ones, robustness measurement, swap.
+//!
+//! This is the type a downstream system would embed; the examples and
+//! integration tests drive it end to end.
+
+use crate::miner::MintingSim;
+use crate::puzzle::PuzzleParams;
+use crate::strings::{run_string_protocol, StringAdversary, StringOutcome, StringParams};
+use rand::rngs::StdRng;
+use tg_core::dynamic::{BuildMode, DynamicSystem, EpochIds, EpochReport, IdentityProvider};
+use tg_core::Params;
+use tg_overlay::GraphKind;
+use tg_sim::stream_rng;
+
+/// A provider that hands the dynamic layer a pre-minted ID set.
+struct PreMinted {
+    ids: Option<EpochIds>,
+}
+
+impl IdentityProvider for PreMinted {
+    fn ids_for_epoch(&mut self, _epoch: u64, _rng: &mut StdRng) -> EpochIds {
+        self.ids.take().expect("one epoch's IDs staged per advance")
+    }
+}
+
+/// Everything one epoch produced.
+#[derive(Clone, Debug)]
+pub struct FullEpochReport {
+    /// Epoch index the new graphs serve.
+    pub epoch: u64,
+    /// String-protocol measurements (Lemma 12).
+    pub strings: StringOutcome,
+    /// The epoch string agreed for minting.
+    pub epoch_string: u64,
+    /// Fraction of good giant-component pairs able to verify each
+    /// other's signing strings (1.0 when `strings.agreement`).
+    pub verification_coverage: f64,
+    /// Good IDs minted for the next epoch.
+    pub minted_good: usize,
+    /// Adversarial IDs minted (Lemma 11's `≈ βn`).
+    pub minted_bad: usize,
+    /// Good participants who missed the minting window (realistic mode).
+    pub good_misses: usize,
+    /// The §III dynamic-epoch report.
+    pub dynamics: EpochReport,
+}
+
+/// The composed system.
+pub struct FullSystem {
+    /// The §III dynamic layer (owns the operational group graphs).
+    pub dynamics: DynamicSystem,
+    /// Puzzle difficulty/rate parameters.
+    pub puzzle: PuzzleParams,
+    /// String-protocol parameters.
+    pub string_params: StringParams,
+    /// String-release adversary applied each epoch.
+    pub string_adversary: StringAdversary,
+    /// Good participants per epoch.
+    pub n_good: usize,
+    /// Adversary compute in units (`≈ βn`).
+    pub adversary_units: f64,
+    /// Idealized good minting (paper assumption) vs realistic misses.
+    pub idealized_good: bool,
+    epoch_string: u64,
+    master_seed: u64,
+}
+
+impl FullSystem {
+    /// Boot the system: initial graphs from a first minting window
+    /// against a genesis string.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        params: Params,
+        kind: GraphKind,
+        puzzle: PuzzleParams,
+        string_params: StringParams,
+        n_good: usize,
+        adversary_units: f64,
+        idealized_good: bool,
+        master_seed: u64,
+    ) -> Self {
+        let genesis = 0xD00D_F00D_0000_0001u64;
+        let sim = MintingSim { params: puzzle, n_good, adversary_units, idealized_good };
+        let mut rng = stream_rng(master_seed, "full-init-mint", 0);
+        let minted = sim.run_window(&mut rng);
+        let mut provider =
+            PreMinted { ids: Some(EpochIds { good: minted.good_ids, bad: minted.bad_ids }) };
+        let dynamics =
+            DynamicSystem::new(params, kind, BuildMode::DualGraph, &mut provider, master_seed);
+        FullSystem {
+            dynamics,
+            puzzle,
+            string_params,
+            string_adversary: StringAdversary::None,
+            n_good,
+            adversary_units,
+            idealized_good,
+            epoch_string: genesis,
+            master_seed,
+        }
+    }
+
+    /// The current epoch string.
+    pub fn epoch_string(&self) -> u64 {
+        self.epoch_string
+    }
+
+    /// Run one full epoch: strings → minting → dynamics.
+    pub fn run_epoch(&mut self) -> FullEpochReport {
+        let epoch = self.dynamics.epoch;
+
+        // 1. Agree on the next epoch string over the operational graph.
+        let mut srng = stream_rng(self.master_seed, "full-strings", epoch);
+        let strings = run_string_protocol(
+            &self.dynamics.graphs[0],
+            &self.string_params,
+            self.string_adversary,
+            &mut srng,
+        );
+        let pairs = (strings.giant_size as u64).pow(2);
+        let verification_coverage = if pairs == 0 {
+            0.0
+        } else {
+            1.0 - strings.missing_pairs as f64 / pairs as f64
+        };
+        // Fold the agreed minimum into the epoch string (a fresh string
+        // per epoch is what defeats pre-computation, §IV-B).
+        let next_string = strings
+            .global_min_key
+            .map(|k| k ^ self.epoch_string.rotate_left(17) ^ epoch)
+            .unwrap_or_else(|| self.epoch_string.wrapping_mul(0x9e3779b97f4a7c15) ^ epoch);
+
+        // 2. Mint against the fresh string.
+        let sim = MintingSim {
+            params: self.puzzle,
+            n_good: self.n_good,
+            adversary_units: self.adversary_units,
+            idealized_good: self.idealized_good,
+        };
+        let mut mrng = stream_rng(self.master_seed ^ next_string, "full-mint", epoch);
+        let minted = sim.run_window(&mut mrng);
+        let (minted_good, minted_bad, good_misses) =
+            (minted.good_ids.len(), minted.bad_ids.len(), minted.good_misses);
+
+        // 3. Advance the dynamic layer on the minted population.
+        let mut provider =
+            PreMinted { ids: Some(EpochIds { good: minted.good_ids, bad: minted.bad_ids }) };
+        let dynamics = self.dynamics.advance_epoch(&mut provider);
+
+        self.epoch_string = next_string;
+        FullEpochReport {
+            epoch: dynamics.epoch,
+            strings,
+            epoch_string: next_string,
+            verification_coverage,
+            minted_good,
+            minted_bad,
+            good_misses,
+            dynamics,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn system(seed: u64) -> FullSystem {
+        let mut params = Params::paper_defaults();
+        params.churn_rate = 0.15;
+        params.attack_requests_per_id = 1;
+        let mut sys = FullSystem::new(
+            params,
+            GraphKind::Chord,
+            PuzzleParams::calibrated(16, 2048),
+            StringParams::default(),
+            700,
+            35.0, // β = 5%
+            true,
+            seed,
+        );
+        sys.dynamics.searches_per_epoch = 200;
+        sys
+    }
+
+    #[test]
+    fn full_pipeline_stays_robust_over_epochs() {
+        let mut sys = system(41);
+        let mut last_string = sys.epoch_string();
+        for _ in 0..4 {
+            let r = sys.run_epoch();
+            assert!(r.strings.agreement, "epoch {}: string disagreement", r.epoch);
+            assert_eq!(r.verification_coverage, 1.0);
+            assert_ne!(r.epoch_string, last_string, "epoch strings must refresh");
+            last_string = r.epoch_string;
+            let bad_ratio = r.minted_bad as f64 / 35.0;
+            assert!((0.5..1.6).contains(&bad_ratio), "minted_bad {}", r.minted_bad);
+            assert!(
+                r.dynamics.search_success_dual > 0.9,
+                "epoch {}: dual success {:.3}",
+                r.epoch,
+                r.dynamics.search_success_dual
+            );
+        }
+    }
+
+    #[test]
+    fn full_pipeline_with_string_adversary() {
+        let mut sys = system(43);
+        sys.string_adversary =
+            crate::strings::StringAdversary::ForcedRecords { strings: 4, release_frac: 0.49 };
+        for _ in 0..3 {
+            let r = sys.run_epoch();
+            assert!(r.strings.agreement, "epoch {}: forced records broke agreement", r.epoch);
+            assert!(r.dynamics.search_success_dual > 0.9);
+        }
+    }
+
+    #[test]
+    fn realistic_minting_shrinks_population_but_survives() {
+        let mut sys = system(47);
+        sys.idealized_good = false;
+        let r = sys.run_epoch();
+        // ≈ 1/e of good participants miss the window; the system keeps
+        // running on the (1 − 1/e) that minted.
+        assert!(r.good_misses > 0);
+        let frac = r.minted_good as f64 / 700.0;
+        assert!((0.55..0.75).contains(&frac), "minted fraction {frac:.3}");
+        assert!(r.dynamics.search_success_dual > 0.85);
+    }
+
+    #[test]
+    fn deterministic() {
+        let mut a = system(53);
+        let mut b = system(53);
+        let ra = a.run_epoch();
+        let rb = b.run_epoch();
+        assert_eq!(ra.epoch_string, rb.epoch_string);
+        assert_eq!(ra.minted_bad, rb.minted_bad);
+        assert_eq!(ra.dynamics.frac_red, rb.dynamics.frac_red);
+    }
+}

@@ -1,0 +1,34 @@
+//! # tg-sim
+//!
+//! The deterministic simulation substrate for the tiny-groups workspace.
+//!
+//! All of the paper's claims are probabilistic statements about message
+//! counts, state sizes, and failure fractions — not wall-clock latency —
+//! so the faithful substrate is a **seeded, synchronous-round simulator**
+//! with exact accounting, rather than an async network runtime (see
+//! DESIGN.md §3 for the substitution rationale). This crate provides:
+//!
+//! * [`rng`] — disciplined seed derivation: every component draws its
+//!   randomness from a labelled stream of a single master seed, so whole
+//!   experiments replay bit-for-bit,
+//! * [`metrics`] — mergeable message/state counters used to reproduce the
+//!   cost claims of Corollary 1,
+//! * [`clock`] — the epoch/step structure of §III (epochs of `T` steps,
+//!   half-epoch boundaries for PoW minting),
+//! * [`stats`] — summary statistics and uniformity tests shared by the
+//!   experiment harness,
+//! * [`parallel`] — a crossbeam-based deterministic parallel map for
+//!   parameter sweeps (results are ordered, so parallelism never changes
+//!   output).
+
+pub mod clock;
+pub mod metrics;
+pub mod parallel;
+pub mod rng;
+pub mod stats;
+
+pub use clock::EpochClock;
+pub use metrics::{CostReport, Metrics};
+pub use parallel::parallel_map;
+pub use rng::{derive_seed, stream_rng};
+pub use stats::Summary;

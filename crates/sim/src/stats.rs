@@ -1,0 +1,150 @@
+//! Summary statistics and distribution tests for the experiment harness.
+
+/// Summary statistics over a sample of `f64` observations.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Summary {
+    /// Number of observations.
+    pub n: usize,
+    /// Sample mean.
+    pub mean: f64,
+    /// Sample standard deviation (unbiased, `n-1` denominator).
+    pub std: f64,
+    /// Minimum observation.
+    pub min: f64,
+    /// Median (lower median for even `n`).
+    pub median: f64,
+    /// Maximum observation.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Summarize a sample. Returns the zero summary for an empty sample.
+    pub fn of(sample: &[f64]) -> Summary {
+        if sample.is_empty() {
+            return Summary::default();
+        }
+        let n = sample.len();
+        let mean = sample.iter().sum::<f64>() / n as f64;
+        let var = if n > 1 {
+            sample.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1) as f64
+        } else {
+            0.0
+        };
+        let mut sorted = sample.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+        Summary {
+            n,
+            mean,
+            std: var.sqrt(),
+            min: sorted[0],
+            median: sorted[(n - 1) / 2],
+            max: sorted[n - 1],
+        }
+    }
+
+    /// The `q`-quantile of a sample (nearest-rank), `q ∈ \[0,1\]`.
+    pub fn quantile(sample: &[f64], q: f64) -> f64 {
+        assert!(!sample.is_empty(), "quantile of empty sample");
+        assert!((0.0..=1.0).contains(&q), "quantile out of range");
+        let mut sorted = sample.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+        let rank = ((sorted.len() as f64 - 1.0) * q).round() as usize;
+        sorted[rank]
+    }
+}
+
+/// Pearson's chi-square statistic for uniformity over `bins` equal cells.
+///
+/// Returns `(statistic, degrees_of_freedom)`. Used by experiment E6 to test
+/// that adversarially minted IDs are uniform on the ring (Lemma 11): under
+/// uniformity the statistic concentrates around `bins - 1` with standard
+/// deviation `√(2(bins-1))`; a targeted-interval attack inflates it by
+/// orders of magnitude.
+pub fn chi_square_uniform(values: &[f64], bins: usize) -> (f64, usize) {
+    assert!(bins >= 2, "need at least two bins");
+    assert!(!values.is_empty(), "chi-square of empty sample");
+    let mut counts = vec![0u64; bins];
+    for &v in values {
+        assert!((0.0..1.0).contains(&v), "values must lie in [0,1)");
+        let b = ((v * bins as f64) as usize).min(bins - 1);
+        counts[b] += 1;
+    }
+    let expected = values.len() as f64 / bins as f64;
+    let stat = counts
+        .iter()
+        .map(|&c| {
+            let d = c as f64 - expected;
+            d * d / expected
+        })
+        .sum();
+    (stat, bins - 1)
+}
+
+/// Whether a chi-square statistic is consistent with uniformity at roughly
+/// the 3-sigma level (the normal approximation to the chi-square tail —
+/// adequate for the ≥32-bin, ≥1000-sample uses in this workspace).
+pub fn chi_square_accepts_uniform(stat: f64, dof: usize) -> bool {
+    let dof = dof as f64;
+    stat <= dof + 3.0 * (2.0 * dof).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn summary_basics() {
+        let s = Summary::of(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.n, 4);
+        assert!((s.mean - 2.5).abs() < 1e-12);
+        assert!((s.std - (5.0f64 / 3.0).sqrt()).abs() < 1e-12);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.median, 2.0, "lower median");
+        assert_eq!(s.max, 4.0);
+    }
+
+    #[test]
+    fn summary_empty_and_single() {
+        assert_eq!(Summary::of(&[]).n, 0);
+        let s = Summary::of(&[7.0]);
+        assert_eq!(s.mean, 7.0);
+        assert_eq!(s.std, 0.0);
+        assert_eq!(s.median, 7.0);
+    }
+
+    #[test]
+    fn quantiles() {
+        let v: Vec<f64> = (0..101).map(|i| i as f64).collect();
+        assert_eq!(Summary::quantile(&v, 0.0), 0.0);
+        assert_eq!(Summary::quantile(&v, 0.5), 50.0);
+        assert_eq!(Summary::quantile(&v, 1.0), 100.0);
+        assert_eq!(Summary::quantile(&v, 0.9), 90.0);
+    }
+
+    #[test]
+    fn chi_square_accepts_uniform_sample() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let values: Vec<f64> = (0..10_000).map(|_| rng.gen::<f64>()).collect();
+        let (stat, dof) = chi_square_uniform(&values, 64);
+        assert!(chi_square_accepts_uniform(stat, dof), "stat={stat:.1} dof={dof}");
+    }
+
+    #[test]
+    fn chi_square_rejects_clustered_sample() {
+        let mut rng = StdRng::seed_from_u64(5);
+        // Half the mass crammed into [0, 0.1): a targeted-interval attack.
+        let values: Vec<f64> = (0..10_000)
+            .map(|i| {
+                if i % 2 == 0 {
+                    rng.gen::<f64>() * 0.1
+                } else {
+                    rng.gen::<f64>()
+                }
+            })
+            .collect();
+        let (stat, dof) = chi_square_uniform(&values, 64);
+        assert!(!chi_square_accepts_uniform(stat, dof), "stat={stat:.1} dof={dof}");
+    }
+}

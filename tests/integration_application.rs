@@ -1,0 +1,100 @@
+//! Cross-crate integration: the application layer (storage, bootstrap,
+//! full pipeline) on top of the whole stack.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tiny_groups::ba::AdversaryMode;
+use tiny_groups::core::dht::GetOutcome;
+use tiny_groups::core::dynamic::{BuildMode, DynamicSystem, UniformProvider};
+use tiny_groups::core::{
+    assemble_bootstrap, recommended_contacts, Params, SecureDht,
+};
+use tiny_groups::idspace::Id;
+use tiny_groups::overlay::GraphKind;
+use tiny_groups::pow::{FullSystem, PuzzleParams, StringAdversary, StringParams};
+use tiny_groups::sim::Metrics;
+
+/// The storage service survives epochs of full membership turnover with
+/// zero forged reads, even with every Byzantine replica colluding.
+#[test]
+fn dht_over_dynamic_epochs_never_serves_forged_data() {
+    let mut params = Params::paper_defaults();
+    params.churn_rate = 0.15;
+    params.attack_requests_per_id = 0;
+    let mut provider = UniformProvider { n_good: 800, n_bad: 42 };
+    let mut sys =
+        DynamicSystem::new(params, GraphKind::Chord, BuildMode::DualGraph, &mut provider, 61);
+    sys.searches_per_epoch = 100;
+
+    let mut rng = StdRng::seed_from_u64(62);
+    let items: Vec<(Id, u64)> = (0..150).map(|i| (Id(rng.gen()), 5000 + i)).collect();
+
+    for _ in 0..3 {
+        sys.advance_epoch(&mut provider);
+        let gg = &sys.graphs[0];
+        let mut dht = SecureDht::new(gg, AdversaryMode::Collude { value: 0xF0F0 });
+        let mut m = Metrics::new();
+        let (stored, available) = dht.measure_availability(&items, &mut rng, &mut m);
+        assert!(stored > 0.95, "stored {stored:.3}");
+        assert!(available > 0.93, "available {available:.3}");
+        // Absolutely no forged value is ever served.
+        for &(key, value) in &items {
+            if let GetOutcome::Value(v) = dht.get(0, key, &mut m) {
+                assert_eq!(v, value, "forged read");
+            }
+        }
+    }
+}
+
+/// Joiners can always assemble a trustworthy bootstrap from the live
+/// system, epoch after epoch (Appendix IX over §III).
+#[test]
+fn bootstrap_assembly_over_live_epochs() {
+    let mut params = Params::paper_defaults();
+    params.churn_rate = 0.15;
+    params.attack_requests_per_id = 0;
+    let mut provider = UniformProvider { n_good: 600, n_bad: 32 };
+    let mut sys =
+        DynamicSystem::new(params, GraphKind::D2B, BuildMode::DualGraph, &mut provider, 63);
+    sys.searches_per_epoch = 80;
+    let mut rng = StdRng::seed_from_u64(64);
+    for _ in 0..3 {
+        sys.advance_epoch(&mut provider);
+        let gg = &sys.graphs[0];
+        let k = recommended_contacts(gg.len());
+        for _ in 0..50 {
+            let boot = assemble_bootstrap(gg, k, &mut rng);
+            assert!(boot.has_good_majority(), "bootstrap lost its majority");
+        }
+    }
+}
+
+/// The composed FullSystem holds all its invariants simultaneously for
+/// several epochs under a forced-record string adversary.
+#[test]
+fn full_system_invariants_hold_jointly() {
+    let mut params = Params::paper_defaults();
+    params.churn_rate = 0.15;
+    params.attack_requests_per_id = 1;
+    let mut sys = FullSystem::new(
+        params,
+        GraphKind::Chord,
+        PuzzleParams::calibrated(16, 2048),
+        StringParams::default(),
+        600,
+        30.0,
+        true,
+        65,
+    );
+    sys.string_adversary = StringAdversary::ForcedRecords { strings: 3, release_frac: 0.49 };
+    sys.dynamics.searches_per_epoch = 150;
+    let mut seen_strings = std::collections::HashSet::new();
+    for _ in 0..3 {
+        let r = sys.run_epoch();
+        assert!(r.strings.agreement);
+        assert!(seen_strings.insert(r.epoch_string), "epoch string reused");
+        assert!(r.minted_bad as f64 <= 30.0 * 1.7, "minted_bad {}", r.minted_bad);
+        assert!(r.dynamics.search_success_dual > 0.9);
+        assert!(r.dynamics.frac_red[0] < 0.05);
+    }
+}
