@@ -83,7 +83,9 @@ pub fn eig_agreement(inputs: &[u64], bad: &[bool], mode: AdversaryMode) -> BaOut
                             continue;
                         }
                         let lie_round = r as u64 * 1_000_003
-                            + label.iter().fold(0u64, |a, &b| a.wrapping_mul(257).wrapping_add(b as u64));
+                            + label
+                                .iter()
+                                .fold(0u64, |a, &b| a.wrapping_mul(257).wrapping_add(b as u64));
                         if let Some(v) = mode.send(j, i, lie_round, Some(DEFAULT)) {
                             msgs += 1;
                             if !bad[i] {

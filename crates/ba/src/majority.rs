@@ -16,10 +16,7 @@ pub fn majority_value(values: impl IntoIterator<Item = Option<u64>>) -> Option<u
     for v in values.into_iter().flatten() {
         *counts.entry(v).or_insert(0) += 1;
     }
-    counts
-        .into_iter()
-        .max_by(|a, b| a.1.cmp(&b.1).then(b.0.cmp(&a.0)))
-        .map(|(v, _)| v)
+    counts.into_iter().max_by(|a, b| a.1.cmp(&b.1).then(b.0.cmp(&a.0))).map(|(v, _)| v)
 }
 
 /// Majority-filter an all-to-all exchange: `claims[i]` is what sender `i`
@@ -87,9 +84,9 @@ mod tests {
             let mut claims: Vec<Option<u64>> = vec![Some(truth); n - bad];
             for b in 0..bad {
                 claims.push(match lie_style {
-                    0 => None,                    // omit
-                    1 => Some(7),                 // collude on one lie
-                    _ => Some(1000 + b as u64),   // scatter distinct lies
+                    0 => None,                  // omit
+                    1 => Some(7),               // collude on one lie
+                    _ => Some(1000 + b as u64), // scatter distinct lies
                 });
             }
             let (v, strict) = majority_filter(&claims);

@@ -10,8 +10,8 @@
 //! paper's group-size reduction shrinks each all-to-all round from
 //! `Θ(log²n)` to `Θ((log log n)²)` messages.
 
-use crate::model::{check_group, AdversaryMode, BaOutcome};
 use crate::majority::majority_value;
+use crate::model::{check_group, AdversaryMode, BaOutcome};
 
 /// Run Phase King over a group.
 ///
@@ -58,7 +58,8 @@ pub fn phase_king(inputs: &[u64], bad: &[bool], mode: AdversaryMode) -> BaOutcom
         }
         // Good members always send; count their messages to bad members
         // too (they cannot tell who is bad).
-        msgs += (0..n).filter(|&j| !bad[j]).count() as u64 * bad.iter().filter(|&&b| b).count() as u64;
+        msgs +=
+            (0..n).filter(|&j| !bad[j]).count() as u64 * bad.iter().filter(|&&b| b).count() as u64;
 
         // Round B: the king broadcasts its majority candidate.
         rounds += 1;

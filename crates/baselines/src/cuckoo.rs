@@ -83,15 +83,9 @@ impl CuckooSim {
         assert!(params.group_size >= 1 && params.group_size <= n);
         let regions = (n / params.group_size).max(1);
         let positions: Vec<f64> = (0..n).map(|_| rng.gen::<f64>()).collect();
-        let by_position =
-            positions.iter().enumerate().map(|(i, &x)| (pos_key(x), i)).collect();
-        let mut sim = CuckooSim {
-            params,
-            positions,
-            regions,
-            by_position,
-            counts: vec![(0, 0); regions],
-        };
+        let by_position = positions.iter().enumerate().map(|(i, &x)| (pos_key(x), i)).collect();
+        let mut sim =
+            CuckooSim { params, positions, regions, by_position, counts: vec![(0, 0); regions] };
         for i in 0..n {
             sim.count_add(i, 1);
         }
@@ -160,9 +154,7 @@ impl CuckooSim {
     fn adversary_event(&mut self, strategy: CuckooStrategy, rng: &mut StdRng) {
         let first_bad = self.params.n_good;
         let node = match strategy {
-            CuckooStrategy::RandomRejoin => {
-                first_bad + rng.gen_range(0..self.params.n_bad)
-            }
+            CuckooStrategy::RandomRejoin => first_bad + rng.gen_range(0..self.params.n_bad),
             CuckooStrategy::Consolidate => {
                 // The bad node in the region where the adversary holds the
                 // smallest share — giving it a fresh lottery ticket while
@@ -206,11 +198,11 @@ impl CuckooSim {
             events += 1;
             // Checking every event is O(n); check periodically plus the
             // tail for efficiency without missing sustained failures.
-            if (events.is_multiple_of(64) || events == budget)
-                && self.any_bad_majority().is_some() {
-                    failed_at = Some(events);
-                    break;
-                }
+            if (events.is_multiple_of(64) || events == budget) && self.any_bad_majority().is_some()
+            {
+                failed_at = Some(events);
+                break;
+            }
         }
         let worst = self
             .region_counts()
@@ -251,10 +243,7 @@ mod tests {
         // The motivating contrast: cuckoo with log-log-sized groups (~8)
         // cannot withstand even modest β for long.
         let out = run_once(2000, 100, 8, 50_000, 2);
-        assert!(
-            out.failed_at.is_some(),
-            "8-node regions at β≈0.05 must fall within 50k events"
-        );
+        assert!(out.failed_at.is_some(), "8-node regions at β≈0.05 must fall within 50k events");
     }
 
     #[test]
@@ -282,7 +271,8 @@ mod tests {
         for seed in 0..3 {
             let mut rng = StdRng::seed_from_u64(300 + seed);
             let mut sim = CuckooSim::new(params, &mut rng);
-            fail_random += sim.run(15_000, CuckooStrategy::RandomRejoin, &mut rng).failed_at.unwrap_or(15_000);
+            fail_random +=
+                sim.run(15_000, CuckooStrategy::RandomRejoin, &mut rng).failed_at.unwrap_or(15_000);
             let mut rng = StdRng::seed_from_u64(300 + seed);
             let mut sim = CuckooSim::new(params, &mut rng);
             fail_consolidate +=
@@ -311,12 +301,7 @@ mod tests {
         let mut sim = CuckooSim::new(params, &mut rng);
         let before = sim.positions.clone();
         sim.cuckoo_join(0, &mut rng);
-        let moved = sim
-            .positions
-            .iter()
-            .zip(before.iter())
-            .filter(|(a, b)| a != b)
-            .count();
+        let moved = sim.positions.iter().zip(before.iter()).filter(|(a, b)| a != b).count();
         // The joiner moved, plus however many occupied its k-region.
         assert!(moved >= 1, "at least the joiner moves");
         assert!(moved < 40, "evictions are local, not global");

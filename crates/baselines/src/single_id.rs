@@ -43,10 +43,8 @@ pub fn measure_single_id_routing(
         let key = Id(rng.gen());
         let route = graph.route(ring.at(from), key);
         hops += route.len();
-        let clean = route
-            .hops
-            .iter()
-            .all(|&h| !pop.is_bad(ring.index_of(h).expect("route on ring")));
+        let clean =
+            route.hops.iter().all(|&h| !pop.is_bad(ring.index_of(h).expect("route on ring")));
         if clean {
             ok += 1;
         }

@@ -11,8 +11,7 @@ fn bench(c: &mut Criterion) {
     for group_size in [8usize, 64] {
         g.bench_function(format!("1000_events_n2048_g{group_size}"), |b| {
             b.iter(|| {
-                let params =
-                    CuckooParams { n_good: 2007, n_bad: 41, group_size, k: 4 };
+                let params = CuckooParams { n_good: 2007, n_bad: 41, group_size, k: 4 };
                 let mut rng = StdRng::seed_from_u64(3);
                 let mut sim = CuckooSim::new(params, &mut rng);
                 sim.run(1000, CuckooStrategy::RandomRejoin, &mut rng)

@@ -47,10 +47,7 @@ impl AbstractGroupGraph {
     pub fn search_fails(&self, from: usize, key: Id) -> bool {
         let ring = self.topology.ring();
         let route = self.topology.route(ring.at(from), key);
-        route
-            .hops
-            .iter()
-            .any(|&h| self.red[ring.index_of(h).expect("route hops on ring")])
+        route.hops.iter().any(|&h| self.red[ring.index_of(h).expect("route hops on ring")])
     }
 
     /// Estimate `X`: the probability that a search from a random group
@@ -84,22 +81,14 @@ mod tests {
     #[test]
     fn zero_pf_never_fails() {
         let mut rng = StdRng::seed_from_u64(1);
-        let g = AbstractGroupGraph::new(
-            GraphKind::Chord.build(random_ring(256, 1)),
-            0.0,
-            &mut rng,
-        );
+        let g = AbstractGroupGraph::new(GraphKind::Chord.build(random_ring(256, 1)), 0.0, &mut rng);
         assert_eq!(g.measure_failure_prob(200, &mut rng), 0.0);
     }
 
     #[test]
     fn full_pf_always_fails() {
         let mut rng = StdRng::seed_from_u64(2);
-        let g = AbstractGroupGraph::new(
-            GraphKind::Chord.build(random_ring(256, 2)),
-            1.0,
-            &mut rng,
-        );
+        let g = AbstractGroupGraph::new(GraphKind::Chord.build(random_ring(256, 2)), 1.0, &mut rng);
         assert_eq!(g.measure_failure_prob(200, &mut rng), 1.0);
     }
 
@@ -111,11 +100,8 @@ mod tests {
         let n = 2048;
         let mut rng = StdRng::seed_from_u64(3);
         for &pf in &[0.005, 0.02] {
-            let g = AbstractGroupGraph::new(
-                GraphKind::Chord.build(random_ring(n, 3)),
-                pf,
-                &mut rng,
-            );
+            let g =
+                AbstractGroupGraph::new(GraphKind::Chord.build(random_ring(n, 3)), pf, &mut rng);
             let x = g.measure_failure_prob(4000, &mut rng);
             // Mean Chord path ≈ (1/2)log2 n + 1 ≈ 6.5 groups.
             let predict = pf * 7.0;

@@ -57,18 +57,12 @@ pub fn assemble_bootstrap(gg: &GroupGraph, k: usize, rng: &mut StdRng) -> Bootst
     for _ in 0..k {
         let gi = rng.gen_range(0..gg.len());
         contacted.push(gi);
-        members.extend(
-            gg.groups[gi]
-                .members
-                .iter()
-                .copied()
-                .filter(|&m| gg.pool.is_live(m as usize)),
-        );
+        members
+            .extend(gg.groups[gi].members.iter().copied().filter(|&m| gg.pool.is_live(m as usize)));
     }
     members.sort_unstable();
     members.dedup();
-    let bad_members =
-        members.iter().filter(|&&m| gg.pool.is_bad(m as usize)).count();
+    let bad_members = members.iter().filter(|&&m| gg.pool.is_bad(m as usize)).count();
     BootstrapGroup { contacted, members, bad_members }
 }
 
@@ -80,9 +74,8 @@ pub fn measure_bootstrap_failure(
     trials: usize,
     rng: &mut StdRng,
 ) -> f64 {
-    let failures = (0..trials)
-        .filter(|_| !assemble_bootstrap(gg, k, rng).has_good_majority())
-        .count();
+    let failures =
+        (0..trials).filter(|_| !assemble_bootstrap(gg, k, rng).has_good_majority()).count();
     failures as f64 / trials.max(1) as f64
 }
 
@@ -99,7 +92,12 @@ mod tests {
     fn graph(n_good: usize, n_bad: usize, seed: u64) -> GroupGraph {
         let mut rng = StdRng::seed_from_u64(seed);
         let pop = Population::uniform(n_good, n_bad, &mut rng);
-        build_initial_graph(pop, GraphKind::Chord, OracleFamily::new(seed).h1, &Params::paper_defaults())
+        build_initial_graph(
+            pop,
+            GraphKind::Chord,
+            OracleFamily::new(seed).h1,
+            &Params::paper_defaults(),
+        )
     }
 
     #[test]
@@ -138,8 +136,10 @@ mod tests {
     fn failure_decreases_monotonically_in_k() {
         let gg = graph(1200, 300, 5); // β = 20%
         let mut rng = StdRng::seed_from_u64(6);
-        let rates: Vec<f64> =
-            [1usize, 3, 8].iter().map(|&k| measure_bootstrap_failure(&gg, k, 600, &mut rng)).collect();
+        let rates: Vec<f64> = [1usize, 3, 8]
+            .iter()
+            .map(|&k| measure_bootstrap_failure(&gg, k, 600, &mut rng))
+            .collect();
         assert!(rates[0] >= rates[1] && rates[1] >= rates[2], "rates {rates:?}");
     }
 

@@ -57,13 +57,7 @@ impl<'g> SecureDht<'g> {
     /// Store `value` under `key`, initiating from the group of
     /// `from_leader`. Returns `false` if the route failed (the write
     /// never reached the owner group).
-    pub fn put(
-        &mut self,
-        from_leader: usize,
-        key: Id,
-        value: u64,
-        metrics: &mut Metrics,
-    ) -> bool {
+    pub fn put(&mut self, from_leader: usize, key: Id, value: u64, metrics: &mut Metrics) -> bool {
         if !search_path(self.gg, from_leader, key, metrics).is_success() {
             return false;
         }
@@ -139,10 +133,7 @@ impl<'g> SecureDht<'g> {
                 ok += 1;
             }
         }
-        (
-            stored as f64 / items.len().max(1) as f64,
-            ok as f64 / items.len().max(1) as f64,
-        )
+        (stored as f64 / items.len().max(1) as f64, ok as f64 / items.len().max(1) as f64)
     }
 }
 
@@ -159,7 +150,12 @@ mod tests {
     fn graph(n_good: usize, n_bad: usize, seed: u64) -> GroupGraph {
         let mut rng = StdRng::seed_from_u64(seed);
         let pop = Population::uniform(n_good, n_bad, &mut rng);
-        build_initial_graph(pop, GraphKind::Chord, OracleFamily::new(seed).h1, &Params::paper_defaults())
+        build_initial_graph(
+            pop,
+            GraphKind::Chord,
+            OracleFamily::new(seed).h1,
+            &Params::paper_defaults(),
+        )
     }
 
     #[test]
@@ -192,13 +188,9 @@ mod tests {
         ] {
             let mut dht = SecureDht::new(&gg, mode);
             let mut m = Metrics::new();
-            let items: Vec<(Id, u64)> =
-                (0..120).map(|i| (Id(rng.gen()), 1000 + i)).collect();
+            let items: Vec<(Id, u64)> = (0..120).map(|i| (Id(rng.gen()), 1000 + i)).collect();
             let (_, available) = dht.measure_availability(&items, &mut rng, &mut m);
-            assert!(
-                available > 0.95,
-                "mode {mode:?}: availability {available:.3}"
-            );
+            assert!(available > 0.95, "mode {mode:?}: availability {available:.3}");
             // And no read ever returned a *wrong* value: re-check every
             // item individually.
             for &(key, value) in &items {

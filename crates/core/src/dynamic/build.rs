@@ -129,9 +129,7 @@ fn construction_search(
     point: Id,
     metrics: &mut Metrics,
 ) -> bool {
-    olds.iter()
-        .zip(from.iter())
-        .any(|(g, &f)| protocol_search(g, f, point, metrics))
+    olds.iter().zip(from.iter()).any(|(g, &f)| protocol_search(g, f, point, metrics))
 }
 
 /// Build the new group graphs for the next epoch.
@@ -184,8 +182,7 @@ pub fn build_new_graphs(
             let mut captured = 0u32;
             for i in 0..draws {
                 stats.member_slots += 1;
-                let boots: Vec<Option<usize>> =
-                    olds.iter().map(|g| pick_boot(g, rng)).collect();
+                let boots: Vec<Option<usize>> = olds.iter().map(|g| pick_boot(g, rng)).collect();
                 let point = oracle.hash_id_index(wid, i as u32);
                 if !construction_search(olds, &boots, point, metrics) {
                     // Both searches failed: the adversary answers and

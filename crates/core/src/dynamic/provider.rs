@@ -165,12 +165,8 @@ mod tests {
 
     #[test]
     fn targeted_ids_land_in_interval() {
-        let mut p = TargetedProvider {
-            n_good: 10,
-            n_bad: 50,
-            target_start: 0.25,
-            target_width: 0.01,
-        };
+        let mut p =
+            TargetedProvider { n_good: 10, n_bad: 50, target_start: 0.25, target_width: 0.01 };
         let mut rng = StdRng::seed_from_u64(3);
         let ids = p.ids_for_epoch(1, &mut rng);
         for id in &ids.bad {

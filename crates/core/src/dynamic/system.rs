@@ -148,12 +148,8 @@ impl DynamicSystem {
 
         // 3. Measure the fresh graphs (they serve epoch + 1).
         let mut meas_rng = stream_rng(self.master_seed, "measure", self.epoch);
-        let single = measure_robustness(
-            &news[0],
-            &self.params,
-            self.searches_per_epoch,
-            &mut meas_rng,
-        );
+        let single =
+            measure_robustness(&news[0], &self.params, self.searches_per_epoch, &mut meas_rng);
         let dual = if news.len() == 2 {
             let mut dual_rng = stream_rng(self.master_seed, "measure-dual", self.epoch);
             measure_dual_success([&news[0], &news[1]], self.searches_per_epoch, &mut dual_rng)
@@ -172,10 +168,8 @@ impl DynamicSystem {
                 }
             }
         }
-        let good_counts: Vec<usize> = (0..pool_len)
-            .filter(|&i| !news[0].pool.is_bad(i))
-            .map(|i| memberships[i])
-            .collect();
+        let good_counts: Vec<usize> =
+            (0..pool_len).filter(|&i| !news[0].pool.is_bad(i)).map(|i| memberships[i]).collect();
         let mean_memberships =
             good_counts.iter().sum::<usize>() as f64 / good_counts.len().max(1) as f64;
         let max_memberships = good_counts.iter().copied().max().unwrap_or(0);
@@ -185,7 +179,10 @@ impl DynamicSystem {
             frac_red: news.iter().map(|g| g.frac_red()).collect(),
             frac_good_majority: news.iter().map(|g| g.frac_good_majority()).collect(),
             frac_confused: news.iter().map(|g| g.frac_confused()).collect(),
-            frac_paper_invariant: news.iter().map(|g| g.frac_paper_invariant(&self.params)).collect(),
+            frac_paper_invariant: news
+                .iter()
+                .map(|g| g.frac_paper_invariant(&self.params))
+                .collect(),
             search_success_single: single.search_success,
             search_success_dual: dual,
             build,
@@ -268,7 +265,7 @@ mod tests {
     }
 
     #[test]
-    fn membership_state_is_small(){
+    fn membership_state_is_small() {
         let (mut sys, mut provider) = small_system(BuildMode::DualGraph, 3);
         let r = sys.advance_epoch(&mut provider);
         // Each ID serves in O(log log n) groups per side in expectation

@@ -56,8 +56,7 @@ impl GroupGraph {
     ) -> Self {
         assert_eq!(groups.len(), leaders.len(), "one group per leader");
         assert_eq!(confused.len(), groups.len());
-        let mut gg =
-            GroupGraph { leaders, pool, groups, confused, topology, colors: Vec::new() };
+        let mut gg = GroupGraph { leaders, pool, groups, confused, topology, colors: Vec::new() };
         gg.recolor();
         gg
     }
@@ -112,8 +111,7 @@ impl GroupGraph {
     /// Fraction of groups with a good majority (Theorem 3, first bullet,
     /// operational reading).
     pub fn frac_good_majority(&self) -> f64 {
-        let good =
-            self.groups.iter().filter(|g| g.has_good_majority(&self.pool)).count();
+        let good = self.groups.iter().filter(|g| g.has_good_majority(&self.pool)).count();
         good as f64 / self.groups.len().max(1) as f64
     }
 
@@ -121,11 +119,8 @@ impl GroupGraph {
     /// and `(1+δ)β` bad bound).
     pub fn frac_paper_invariant(&self, params: &Params) -> f64 {
         let n = self.leaders.len();
-        let ok = self
-            .groups
-            .iter()
-            .filter(|g| g.meets_paper_invariant(&self.pool, params, n))
-            .count();
+        let ok =
+            self.groups.iter().filter(|g| g.meets_paper_invariant(&self.pool, params, n)).count();
         ok as f64 / self.groups.len().max(1) as f64
     }
 
@@ -193,7 +188,9 @@ mod tests {
     fn fractions_are_consistent() {
         let gg = tiny_graph();
         assert!(gg.frac_red() >= 0.0 && gg.frac_red() <= 1.0);
-        assert!((gg.frac_red() + gg.blue_indices().len() as f64 / gg.len() as f64 - 1.0).abs() < 1e-12);
+        assert!(
+            (gg.frac_red() + gg.blue_indices().len() as f64 / gg.len() as f64 - 1.0).abs() < 1e-12
+        );
     }
 
     #[test]

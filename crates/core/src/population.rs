@@ -176,8 +176,7 @@ mod tests {
                 assert!(p.is_live(i), "bad IDs never depart in the worst case");
             }
         }
-        let live_good =
-            (0..p.len()).filter(|&i| !p.is_bad(i) && p.is_live(i)).count();
+        let live_good = (0..p.len()).filter(|&i| !p.is_bad(i) && p.is_live(i)).count();
         assert_eq!(live_good, 750);
     }
 

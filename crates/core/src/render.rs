@@ -122,7 +122,12 @@ mod tests {
     fn tiny() -> GroupGraph {
         let mut rng = StdRng::seed_from_u64(1);
         let pop = Population::uniform(12, 2, &mut rng);
-        build_initial_graph(pop, GraphKind::Chord, OracleFamily::new(1).h1, &Params::paper_defaults())
+        build_initial_graph(
+            pop,
+            GraphKind::Chord,
+            OracleFamily::new(1).h1,
+            &Params::paper_defaults(),
+        )
     }
 
     #[test]

@@ -95,11 +95,7 @@ pub fn measure_robustness(
 
 /// Fraction of sampled searches for which at least one of the two sides
 /// succeeds (the dual-graph availability the construction exploits).
-pub fn measure_dual_success(
-    sides: [&GroupGraph; 2],
-    searches: usize,
-    rng: &mut StdRng,
-) -> f64 {
+pub fn measure_dual_success(sides: [&GroupGraph; 2], searches: usize, rng: &mut StdRng) -> f64 {
     let mut metrics = Metrics::new();
     let mut ok = 0usize;
     for _ in 0..searches {
@@ -141,7 +137,7 @@ mod tests {
     }
 
     #[test]
-    fn responsibility_is_bounded_by_congestion(){
+    fn responsibility_is_bounded_by_congestion() {
         let (gg, params) = graph(1024, 50, 3);
         let mut rng = StdRng::seed_from_u64(4);
         let rep = measure_robustness(&gg, &params, 2000, &mut rng);

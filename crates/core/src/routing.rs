@@ -78,11 +78,7 @@ pub fn search_path(
     let mut msgs = 0u64;
     let mut prev_size = 0usize;
     for (pos, &hop) in route.hops.iter().enumerate() {
-        let gi = gg
-            .leaders
-            .ring()
-            .index_of(hop)
-            .expect("route hops are leader-ring IDs");
+        let gi = gg.leaders.ring().index_of(hop).expect("route hops are leader-ring IDs");
         let size = gg.group_size(gi);
         if pos > 0 {
             msgs += (prev_size * size) as u64;
@@ -169,13 +165,15 @@ pub fn secure_route_verified(
             let claims: Vec<Option<u64>> = senders
                 .iter()
                 .enumerate()
-                .map(|(si, &(s_bad, v))| {
-                    if s_bad {
-                        mode.send(si, ri + 1000 * pos, pos as u64, v)
-                    } else {
-                        v
-                    }
-                })
+                .map(
+                    |(si, &(s_bad, v))| {
+                        if s_bad {
+                            mode.send(si, ri + 1000 * pos, pos as u64, v)
+                        } else {
+                            v
+                        }
+                    },
+                )
                 .collect();
             msgs += claims.len() as u64;
             if r_bad {
@@ -185,7 +183,8 @@ pub fn secure_route_verified(
                 next_values.push((false, winner));
             }
         }
-        holder_values = next_values.iter().zip(receivers.iter()).map(|(&(b, v), _)| (b, v)).collect();
+        holder_values =
+            next_values.iter().zip(receivers.iter()).map(|(&(b, v), _)| (b, v)).collect();
     }
 
     // What does the resolver group deliver? Majority over its good

@@ -190,10 +190,7 @@ mod tests {
             bins[(x.raw() >> 60) as usize] += 1;
         }
         for (b, &count) in bins.iter().enumerate() {
-            assert!(
-                (128..=384).contains(&count),
-                "bin {b} wildly off uniform: {count}"
-            );
+            assert!((128..=384).contains(&count), "bin {b} wildly off uniform: {count}");
         }
     }
 

@@ -43,7 +43,7 @@ impl Options {
                 "--out" => {
                     opts.out_dir = it.next().unwrap_or_else(|| usage("--out needs a value"));
                 }
-                "--help" | "-h" => usage("") ,
+                "--help" | "-h" => usage(""),
                 other => usage(&format!("unknown flag {other}")),
             }
         }

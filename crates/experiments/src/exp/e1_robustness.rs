@@ -66,8 +66,16 @@ pub fn run(opts: &Options) -> Table {
     let mut table = Table::new(
         "e1_robustness",
         &[
-            "graph", "n", "beta", "trial", "|G|", "frac_red", "frac_good_maj",
-            "search_success", "mean_hops", "max_responsibility",
+            "graph",
+            "n",
+            "beta",
+            "trial",
+            "|G|",
+            "frac_red",
+            "frac_good_maj",
+            "search_success",
+            "mean_hops",
+            "max_responsibility",
         ],
     );
     for (c, rep) in results {
@@ -117,8 +125,16 @@ mod tests {
         let mut t = Table::new(
             "e1_robustness",
             &[
-                "graph", "n", "beta", "trial", "|G|", "frac_red", "frac_good_maj",
-                "search_success", "mean_hops", "max_responsibility",
+                "graph",
+                "n",
+                "beta",
+                "trial",
+                "|G|",
+                "frac_red",
+                "frac_good_maj",
+                "search_success",
+                "mean_hops",
+                "max_responsibility",
             ],
         );
         t.push(vec![

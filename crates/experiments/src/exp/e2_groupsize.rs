@@ -75,8 +75,12 @@ mod tests {
             let n_bad = (n as f64 * beta) as usize;
             let pop = Population::uniform(n - n_bad, n_bad, &mut rng);
             let params = Params::paper_defaults().with_fixed_groups(draws);
-            let gg =
-                build_initial_graph(pop, GraphKind::Chord, OracleFamily::new(draws as u64).h1, &params);
+            let gg = build_initial_graph(
+                pop,
+                GraphKind::Chord,
+                OracleFamily::new(draws as u64).h1,
+                &params,
+            );
             let rep = measure_robustness(&gg, &params, 400, &mut rng);
             1.0 - rep.search_success
         };

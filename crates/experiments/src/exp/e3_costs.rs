@@ -88,10 +88,7 @@ pub fn run(opts: &Options) -> Table {
 
     let mut table = Table::new(
         "e3_costs",
-        &[
-            "n", "scheme", "|G|", "ba_msgs", "route_msgs", "hops", "state_per_id",
-            "search_success",
-        ],
+        &["n", "scheme", "|G|", "ba_msgs", "route_msgs", "hops", "state_per_id", "search_success"],
     );
 
     for &n in &ns {

@@ -47,8 +47,14 @@ pub fn run(opts: &Options) -> Table {
     let mut table = Table::new(
         "e4_epochs",
         &[
-            "config", "epoch", "frac_red_s0", "frac_confused_s0", "success_single",
-            "success_dual", "captured_slots", "links_failed",
+            "config",
+            "epoch",
+            "frac_red_s0",
+            "frac_confused_s0",
+            "success_single",
+            "success_dual",
+            "captured_slots",
+            "links_failed",
         ],
     );
 
@@ -58,8 +64,7 @@ pub fn run(opts: &Options) -> Table {
         params.attack_requests_per_id = 0;
         params.link_retries = retries;
         let mut provider = UniformProvider { n_good, n_bad };
-        let mut sys =
-            DynamicSystem::new(params, GraphKind::Chord, mode, &mut provider, opts.seed);
+        let mut sys = DynamicSystem::new(params, GraphKind::Chord, mode, &mut provider, opts.seed);
         sys.searches_per_epoch = if opts.full { 800 } else { 400 };
         for _ in 0..epochs {
             let r = sys.advance_epoch(&mut provider);

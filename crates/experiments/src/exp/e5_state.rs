@@ -24,8 +24,13 @@ pub fn run(opts: &Options) -> Table {
     let mut table = Table::new(
         "e5_state",
         &[
-            "attack_reqs_per_id", "epoch", "mean_memberships", "max_memberships",
-            "spurious_issued", "spurious_accepted", "accept_rate",
+            "attack_reqs_per_id",
+            "epoch",
+            "mean_memberships",
+            "max_memberships",
+            "spurious_issued",
+            "spurious_accepted",
+            "accept_rate",
         ],
     );
 
@@ -76,8 +81,7 @@ mod tests {
         let t = run(&opts);
         // Partition rows by attack level; compare mean memberships.
         let mean_for = |attack: &str| -> f64 {
-            let rows: Vec<&Vec<String>> =
-                t.rows.iter().filter(|r| r[0] == attack).collect();
+            let rows: Vec<&Vec<String>> = t.rows.iter().filter(|r| r[0] == attack).collect();
             rows.iter().map(|r| r[2].parse::<f64>().unwrap()).sum::<f64>() / rows.len() as f64
         };
         let none = mean_for("0");

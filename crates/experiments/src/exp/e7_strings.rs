@@ -50,8 +50,15 @@ pub fn run(opts: &Options) -> Table {
     let mut table = Table::new(
         "e7_strings",
         &[
-            "adversary", "agreement", "missing_pairs", "giant_size", "mean_|R|", "max_|R|",
-            "forwards_per_node", "messages", "steps",
+            "adversary",
+            "agreement",
+            "missing_pairs",
+            "giant_size",
+            "mean_|R|",
+            "max_|R|",
+            "forwards_per_node",
+            "messages",
+            "steps",
         ],
     );
     for (idx, (label, adv)) in scenarios.into_iter().enumerate() {
@@ -92,7 +99,11 @@ mod tests {
             let max_r: f64 = row[5].parse().unwrap();
             assert!(max_r <= (3.0f64 * ln_n).ceil(), "|R| bound violated: {max_r}");
             let fw: f64 = row[6].parse().unwrap();
-            assert!(fw < bins * cap * degree, "forwards per node {fw} vs cap {:.0}", bins * cap * degree);
+            assert!(
+                fw < bins * cap * degree,
+                "forwards per node {fw} vs cap {:.0}",
+                bins * cap * degree
+            );
         }
     }
 }

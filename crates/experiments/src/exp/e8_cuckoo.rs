@@ -34,8 +34,7 @@ pub fn run(opts: &Options) -> Table {
     }
     let results = parallel_map(cells, move |(g, beta, trial): (usize, f64, u64)| {
         let n_bad = ((n as f64) * beta).round().max(1.0) as usize;
-        let params =
-            CuckooParams { n_good: n - n_bad, n_bad, group_size: g, k: 4 };
+        let params = CuckooParams { n_good: n - n_bad, n_bad, group_size: g, k: 4 };
         let mut rng = stream_rng(seed, "e8", (g as u64) << 32 | ((beta * 1e4) as u64) << 8 | trial);
         let mut sim = CuckooSim::new(params, &mut rng);
         let out = sim.run(budget, CuckooStrategy::RandomRejoin, &mut rng);
@@ -45,7 +44,12 @@ pub fn run(opts: &Options) -> Table {
     let mut table = Table::new(
         "e8_cuckoo",
         &[
-            "n", "group_size", "beta", "trial", "events_survived", "survived_budget",
+            "n",
+            "group_size",
+            "beta",
+            "trial",
+            "events_survived",
+            "survived_budget",
             "worst_bad_fraction",
         ],
     );
@@ -80,10 +84,7 @@ mod tests {
         };
         let small: u64 = (0..2).map(|s| survived(8, s)).sum();
         let large: u64 = (0..2).map(|s| survived(64, s)).sum();
-        assert!(
-            large > small,
-            "64-node regions must outlive 8-node regions: {large} vs {small}"
-        );
+        assert!(large > small, "64-node regions must outlive 8-node regions: {large} vs {small}");
         assert!(small < 2 * 20_000, "8-node regions must actually fail within budget");
     }
 }

@@ -23,8 +23,11 @@ pub fn run(opts: &Options) -> Table {
     let mut table = Table::new(
         "e9_precompute",
         &[
-            "hoard_epochs", "beta_n_budget", "accepted_fresh_strings",
-            "accepted_stale_strings", "amplification",
+            "hoard_epochs",
+            "beta_n_budget",
+            "accepted_fresh_strings",
+            "accepted_stale_strings",
+            "amplification",
         ],
     );
     for &h in &hoards {

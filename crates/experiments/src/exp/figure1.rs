@@ -25,9 +25,7 @@ pub fn run(opts: &Options) -> Table {
     let gg = build_initial_graph(pop, GraphKind::Chord, OracleFamily::new(opts.seed).h1, &params);
 
     // A search from a good leader for a random key.
-    let from = (0..gg.len())
-        .find(|&i| !gg.leaders.is_bad(i) && !gg.is_red(i))
-        .unwrap_or(0);
+    let from = (0..gg.len()).find(|&i| !gg.leaders.is_bad(i) && !gg.is_red(i)).unwrap_or(0);
     let key = Id(rng.gen());
     let (h_dot, g_dot) = render_figure1(&gg, from, key);
 
@@ -39,12 +37,7 @@ pub fn run(opts: &Options) -> Table {
         if let Err(e) = std::fs::write(&path, dot) {
             eprintln!("warning: could not write {path}: {e}");
         }
-        table.push(vec![
-            panel.to_string(),
-            path,
-            gg.len().to_string(),
-            red.to_string(),
-        ]);
+        table.push(vec![panel.to_string(), path, gg.len().to_string(), red.to_string()]);
     }
     table
 }

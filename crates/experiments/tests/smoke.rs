@@ -1,0 +1,103 @@
+//! Smoke suite: every experiment harness runs end-to-end at the small
+//! (non-`--full`) configuration and emits a non-empty CSV, so the e1–e9
+//! binaries cannot silently rot. Paper-scale runs stay behind `--full`
+//! on the binaries themselves; one `#[ignore]`d test covers that path.
+
+use tg_experiments::exp::*;
+use tg_experiments::{Options, Table};
+
+/// Options for a fast run: small parameters, CSV into a scratch dir.
+fn smoke_opts(name: &str) -> Options {
+    let out = std::env::temp_dir().join(format!("tg-smoke-{name}-{}", std::process::id()));
+    Options {
+        seed: 42,
+        full: false,
+        out_dir: out.to_str().expect("utf-8 temp path").to_string(),
+        quiet: true,
+    }
+}
+
+/// Emit the table and check both the in-memory rows and the CSV on disk.
+fn check(table: &Table, opts: &Options) {
+    assert!(!table.rows.is_empty(), "{} produced no rows", table.name);
+    for row in &table.rows {
+        assert_eq!(row.len(), table.headers.len(), "ragged row in {}", table.name);
+    }
+    table.emit(opts);
+    let csv = std::path::Path::new(&opts.out_dir).join(format!("{}.csv", table.name));
+    let written = std::fs::read_to_string(&csv).expect("CSV written");
+    assert_eq!(written.lines().count(), table.rows.len() + 1, "CSV rows + header");
+    std::fs::remove_dir_all(&opts.out_dir).ok();
+}
+
+#[test]
+fn e1_robustness_smoke() {
+    let opts = smoke_opts("e1");
+    check(&e1_robustness::run(&opts), &opts);
+}
+
+#[test]
+fn e2_groupsize_smoke() {
+    let opts = smoke_opts("e2");
+    check(&e2_groupsize::run(&opts), &opts);
+}
+
+#[test]
+fn e3_costs_smoke() {
+    let opts = smoke_opts("e3");
+    check(&e3_costs::run(&opts), &opts);
+}
+
+#[test]
+fn e4_epochs_smoke() {
+    let opts = smoke_opts("e4");
+    check(&e4_epochs::run(&opts), &opts);
+}
+
+#[test]
+fn e5_state_smoke() {
+    let opts = smoke_opts("e5");
+    check(&e5_state::run(&opts), &opts);
+}
+
+#[test]
+fn e6_pow_smoke() {
+    let opts = smoke_opts("e6");
+    for table in e6_pow::run(&opts) {
+        check(&table, &opts);
+    }
+}
+
+#[test]
+fn e7_strings_smoke() {
+    let opts = smoke_opts("e7");
+    check(&e7_strings::run(&opts), &opts);
+}
+
+#[test]
+fn e8_cuckoo_smoke() {
+    let opts = smoke_opts("e8");
+    check(&e8_cuckoo::run(&opts), &opts);
+}
+
+#[test]
+fn e9_precompute_smoke() {
+    let opts = smoke_opts("e9");
+    check(&e9_precompute::run(&opts), &opts);
+}
+
+#[test]
+fn figure1_smoke() {
+    let opts = smoke_opts("fig1");
+    check(&figure1::run(&opts), &opts);
+}
+
+/// Paper-scale configuration of the heaviest harness — minutes, not
+/// seconds, so it only runs on request: `cargo test -- --ignored`.
+#[test]
+#[ignore = "paper-scale run; minutes of wall clock"]
+fn e1_robustness_full_scale() {
+    let mut opts = smoke_opts("e1-full");
+    opts.full = true;
+    check(&e1_robustness::run(&opts), &opts);
+}

@@ -201,9 +201,8 @@ mod tests {
         // All IDs crammed into [0, 1e-6): full-scale fingers keep greedy
         // routing short even though the ring is wildly non-uniform.
         let mut rng = StdRng::seed_from_u64(10);
-        let ring = SortedRing::new(
-            (0..512).map(|_| Id::from_f64(rng.gen::<f64>() * 1e-6)).collect(),
-        );
+        let ring =
+            SortedRing::new((0..512).map(|_| Id::from_f64(rng.gen::<f64>() * 1e-6)).collect());
         let g = Chord::new(ring.clone());
         for _ in 0..50 {
             let from = ring.at(rng.gen_range(0..ring.len()));

@@ -225,11 +225,7 @@ mod tests {
             let nb = g.neighbors(w);
             for j in 0..80 {
                 let u = ring.at(j);
-                assert_eq!(
-                    g.is_link(w, u),
-                    nb.contains(&u) && u != w,
-                    "w={w:?} u={u:?}"
-                );
+                assert_eq!(g.is_link(w, u), nb.contains(&u) && u != w, "w={w:?} u={u:?}");
             }
         }
     }

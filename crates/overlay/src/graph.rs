@@ -78,21 +78,15 @@ pub enum GraphKind {
 
 impl GraphKind {
     /// All implemented topologies.
-    pub const ALL: [GraphKind; 4] = [
-        GraphKind::Chord,
-        GraphKind::D2B,
-        GraphKind::DistanceHalving,
-        GraphKind::Viceroy,
-    ];
+    pub const ALL: [GraphKind; 4] =
+        [GraphKind::Chord, GraphKind::D2B, GraphKind::DistanceHalving, GraphKind::Viceroy];
 
     /// Construct the graph over `ring`.
     pub fn build(self, ring: SortedRing) -> Box<dyn InputGraph> {
         match self {
             GraphKind::Chord => Box::new(crate::chord::Chord::new(ring)),
             GraphKind::D2B => Box::new(crate::debruijn::D2B::new(ring)),
-            GraphKind::DistanceHalving => {
-                Box::new(crate::halving::DistanceHalving::new(ring))
-            }
+            GraphKind::DistanceHalving => Box::new(crate::halving::DistanceHalving::new(ring)),
             GraphKind::Viceroy => Box::new(crate::viceroy::Viceroy::new(ring)),
         }
     }

@@ -164,7 +164,8 @@ impl InputGraph for Viceroy {
         // Ascend to level 1.
         let mut cur = self.ring.index_of(from).expect("route from ring ID") as u32;
         while self.level_of[cur as usize] > 1 {
-            let next = self.nearest_at_level(self.level_of[cur as usize] - 1, self.ring.at(cur as usize));
+            let next =
+                self.nearest_at_level(self.level_of[cur as usize] - 1, self.ring.at(cur as usize));
             self.push(&mut hops, next);
             cur = next;
         }
@@ -204,17 +205,15 @@ impl InputGraph for Viceroy {
         let lvl = self.level_of[cur as usize] as usize;
         let members = &self.level_members[lvl - 1];
         if members.len() > 1 {
-            let mut pos = members
-                .binary_search(&cur)
-                .expect("current node belongs to its level list");
+            let mut pos =
+                members.binary_search(&cur).expect("current node belongs to its level list");
             let mut guard = members.len();
             loop {
                 guard -= 1;
                 let here = idx_dist(cur as usize);
                 let fwd_m = members[(pos + 1) % members.len()];
                 let back_m = members[(pos + members.len() - 1) % members.len()];
-                let (best_m, best_pos) = if idx_dist(fwd_m as usize) <= idx_dist(back_m as usize)
-                {
+                let (best_m, best_pos) = if idx_dist(fwd_m as usize) <= idx_dist(back_m as usize) {
                     (fwd_m, (pos + 1) % members.len())
                 } else {
                     (back_m, (pos + members.len() - 1) % members.len())

@@ -51,9 +51,9 @@ pub fn targeted_interval_attack(
     let mut two_ids: Vec<Id> = Vec::new();
     for _ in 0..attempts {
         // Single-hash: σ drawn inside the target interval.
-        let sigma_in = target.start().add(tg_idspace::RingDistance(
-            (rng.gen::<f64>() * target.len().0 as f64) as u64,
-        ));
+        let sigma_in = target
+            .start()
+            .add(tg_idspace::RingDistance((rng.gen::<f64>() * target.len().0 as f64) as u64));
         if let Some(id) = attempt_single_hash(fam, params, sigma_in.raw()) {
             single_ids.push(id);
         }

@@ -175,10 +175,7 @@ mod tests {
         let out = s.run_window(&mut rng);
         let miss_rate = out.good_misses as f64 / 20_000.0;
         let e_inv = (-1.0f64).exp();
-        assert!(
-            (miss_rate - e_inv).abs() < 0.02,
-            "miss rate {miss_rate:.3} vs 1/e ≈ {e_inv:.3}"
-        );
+        assert!((miss_rate - e_inv).abs() < 0.02, "miss rate {miss_rate:.3} vs 1/e ≈ {e_inv:.3}");
     }
 
     #[test]

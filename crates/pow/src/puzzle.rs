@@ -68,7 +68,12 @@ pub struct Solution {
 
 /// Attempt one candidate `σ` against epoch string `r`. Returns the
 /// solution if `g(σ ⊕ r) ≤ τ`.
-pub fn attempt(fam: &OracleFamily, params: &PuzzleParams, sigma: (u64, u64), r: u64) -> Option<Solution> {
+pub fn attempt(
+    fam: &OracleFamily,
+    params: &PuzzleParams,
+    sigma: (u64, u64),
+    r: u64,
+) -> Option<Solution> {
     let g_out = fam.g.hash_u64_pair(sigma.0 ^ r, sigma.1 ^ r);
     if g_out <= params.tau {
         Some(Solution { sigma, epoch_string: r, id: fam.f.hash_id(g_out) })
@@ -93,11 +98,7 @@ pub fn verify(fam: &OracleFamily, params: &PuzzleParams, sol: &Solution, current
 /// The **single-hash variant** the paper warns against: `σ` (one word,
 /// interpreted as a ring point) is itself the ID whenever `g(σ) ≤ τ`.
 /// Because the solver chooses `σ`, it chooses the ID's location.
-pub fn attempt_single_hash(
-    fam: &OracleFamily,
-    params: &PuzzleParams,
-    sigma: u64,
-) -> Option<Id> {
+pub fn attempt_single_hash(fam: &OracleFamily, params: &PuzzleParams, sigma: u64) -> Option<Id> {
     let g_out = fam.g.hash_u64(sigma);
     if g_out <= params.tau {
         Some(Id(sigma))
@@ -147,9 +148,7 @@ mod tests {
         let fam = OracleFamily::new(8);
         let params = PuzzleParams { tau: Id::from_f64(0.02), attempts_per_step: 1, t_epoch: 2 };
         let trials = 20_000u64;
-        let hits = (0..trials)
-            .filter(|&s| attempt(&fam, &params, (s, !s), 99).is_some())
-            .count();
+        let hits = (0..trials).filter(|&s| attempt(&fam, &params, (s, !s), 99).is_some()).count();
         let rate = hits as f64 / trials as f64;
         assert!((0.015..0.025).contains(&rate), "hit rate {rate:.4} vs τ=0.02");
     }

@@ -263,8 +263,7 @@ pub fn run_string_protocol(
     match adversary {
         StringAdversary::None => {}
         StringAdversary::DelayedRelease { strings, release_frac, units } => {
-            let total_attempts =
-                units * params.attempts_per_step as f64 * params.t_epoch as f64;
+            let total_attempts = units * params.attempts_per_step as f64 * params.t_epoch as f64;
             let release_step =
                 ((steps_total as f64 * release_frac).floor() as u64).min(steps_total - 1);
             // Order statistics of the adversary's attempts via exponential
@@ -355,18 +354,15 @@ pub fn run_string_protocol(
     }
 
     // Solution sets: the rmax smallest stored strings.
-    let good_giant: Vec<usize> =
-        giant.iter().copied().filter(|&i| !gg.leaders.is_bad(i)).collect();
+    let good_giant: Vec<usize> = giant.iter().copied().filter(|&i| !gg.leaders.is_bad(i)).collect();
     let set_sizes: Vec<f64> =
         good_giant.iter().map(|&i| nodes[i].stored.len().min(rmax) as f64).collect();
 
     // Lemma 12 (i): every si* is in everyone's solution set.
     let mut missing = 0u64;
-    let si_stars: Vec<Flying> =
-        good_giant.iter().filter_map(|&i| nodes[i].si_star).collect();
+    let si_stars: Vec<Flying> = good_giant.iter().filter_map(|&i| nodes[i].si_star).collect();
     for &u in &good_giant {
-        let r_u: HashSet<u64> =
-            nodes[u].stored.iter().take(rmax).map(|&(_, key)| key).collect();
+        let r_u: HashSet<u64> = nodes[u].stored.iter().take(rmax).map(|&(_, key)| key).collect();
         for &(_, key) in &si_stars {
             if !r_u.contains(&key) {
                 missing += 1;
@@ -432,14 +428,20 @@ mod tests {
     fn graph(n_good: usize, n_bad: usize, seed: u64) -> GroupGraph {
         let mut rng = StdRng::seed_from_u64(seed);
         let pop = Population::uniform(n_good, n_bad, &mut rng);
-        build_initial_graph(pop, GraphKind::Chord, OracleFamily::new(seed).h1, &Params::paper_defaults())
+        build_initial_graph(
+            pop,
+            GraphKind::Chord,
+            OracleFamily::new(seed).h1,
+            &Params::paper_defaults(),
+        )
     }
 
     #[test]
     fn no_adversary_full_agreement() {
         let gg = graph(512, 0, 1);
         let mut rng = StdRng::seed_from_u64(2);
-        let out = run_string_protocol(&gg, &StringParams::default(), StringAdversary::None, &mut rng);
+        let out =
+            run_string_protocol(&gg, &StringParams::default(), StringAdversary::None, &mut rng);
         assert!(out.agreement, "missing pairs: {}", out.missing_pairs);
         assert_eq!(out.giant_size, 512, "clean system: everyone is in the giant component");
         assert!(out.solution_set_sizes.max >= 1.0);
@@ -562,8 +564,10 @@ mod tests {
     #[test]
     fn min_of_uniforms_sampler_scales() {
         let mut rng = StdRng::seed_from_u64(11);
-        let small: f64 = (0..2000).map(|_| sample_min_of_uniforms(10.0, &mut rng)).sum::<f64>() / 2000.0;
-        let large: f64 = (0..2000).map(|_| sample_min_of_uniforms(1000.0, &mut rng)).sum::<f64>() / 2000.0;
+        let small: f64 =
+            (0..2000).map(|_| sample_min_of_uniforms(10.0, &mut rng)).sum::<f64>() / 2000.0;
+        let large: f64 =
+            (0..2000).map(|_| sample_min_of_uniforms(1000.0, &mut rng)).sum::<f64>() / 2000.0;
         // E[min of k uniforms] = 1/(k+1).
         assert!((small - 1.0 / 11.0).abs() < 0.01, "mean {small:.4} vs 1/11");
         assert!((large - 1.0 / 1001.0).abs() < 2e-4, "mean {large:.5} vs 1/1001");

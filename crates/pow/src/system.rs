@@ -132,11 +132,8 @@ impl FullSystem {
             &mut srng,
         );
         let pairs = (strings.giant_size as u64).pow(2);
-        let verification_coverage = if pairs == 0 {
-            0.0
-        } else {
-            1.0 - strings.missing_pairs as f64 / pairs as f64
-        };
+        let verification_coverage =
+            if pairs == 0 { 0.0 } else { 1.0 - strings.missing_pairs as f64 / pairs as f64 };
         // Fold the agreed minimum into the epoch string (a fresh string
         // per epoch is what defeats pre-computation, §IV-B).
         let next_string = strings

@@ -17,7 +17,7 @@
 //!   half-epoch boundaries for PoW minting),
 //! * [`stats`] — summary statistics and uniformity tests shared by the
 //!   experiment harness,
-//! * [`parallel`] — a crossbeam-based deterministic parallel map for
+//! * [`parallel`] — a scoped-thread deterministic parallel map for
 //!   parameter sweeps (results are ordered, so parallelism never changes
 //!   output).
 

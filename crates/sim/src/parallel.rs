@@ -2,7 +2,7 @@
 //!
 //! Experiment harnesses sweep `(n, β, seed, …)` grids whose cells are
 //! independent simulations. [`parallel_map`] fans the cells out over OS
-//! threads with crossbeam's scoped threads and returns results **in input
+//! threads with `std::thread::scope` and returns results **in input
 //! order**, so parallel and serial runs produce byte-identical output —
 //! the reproducibility contract of the whole workspace.
 //!
@@ -10,8 +10,8 @@
 //! granularity) rather than pre-chunking, so heterogeneous cell costs
 //! (e.g. `n = 2^10` next to `n = 2^17`) still balance.
 
-use parking_lot::Mutex;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// Apply `f` to every item, in parallel, returning results in input order.
 ///
@@ -38,22 +38,25 @@ where
     let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
     let cursor = AtomicUsize::new(0);
 
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..threads {
-            scope.spawn(|_| loop {
+            scope.spawn(|| loop {
                 let i = cursor.fetch_add(1, Ordering::Relaxed);
                 if i >= n {
                     break;
                 }
-                let item = work[i].lock().take().expect("each cell claimed once");
+                let item =
+                    work[i].lock().expect("unpoisoned").take().expect("each cell claimed once");
                 let r = f(item);
-                *results[i].lock() = Some(r);
+                *results[i].lock().expect("unpoisoned") = Some(r);
             });
         }
-    })
-    .expect("sweep worker panicked");
+    });
 
-    results.into_iter().map(|m| m.into_inner().expect("all cells computed")).collect()
+    results
+        .into_iter()
+        .map(|m| m.into_inner().expect("unpoisoned").expect("all cells computed"))
+        .collect()
 }
 
 #[cfg(test)]

@@ -136,13 +136,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(5);
         // Half the mass crammed into [0, 0.1): a targeted-interval attack.
         let values: Vec<f64> = (0..10_000)
-            .map(|i| {
-                if i % 2 == 0 {
-                    rng.gen::<f64>() * 0.1
-                } else {
-                    rng.gen::<f64>()
-                }
-            })
+            .map(|i| if i % 2 == 0 { rng.gen::<f64>() * 0.1 } else { rng.gen::<f64>() })
             .collect();
         let (stat, dof) = chi_square_uniform(&values, 64);
         assert!(!chi_square_accepts_uniform(stat, dof), "stat={stat:.1} dof={dof}");

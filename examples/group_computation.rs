@@ -20,8 +20,7 @@ use tiny_groups::overlay::GraphKind;
 
 fn group_masks(gg: &tiny_groups::core::GroupGraph, gi: usize) -> (Vec<u64>, Vec<bool>) {
     let g = &gg.groups[gi];
-    let bad: Vec<bool> =
-        g.members.iter().map(|&m| gg.pool.is_bad(m as usize)).collect();
+    let bad: Vec<bool> = g.members.iter().map(|&m| gg.pool.is_bad(m as usize)).collect();
     // Task: agree on a checkpoint value; good members propose 7.
     let inputs: Vec<u64> = bad.iter().map(|&b| if b { 999 } else { 7 }).collect();
     (inputs, bad)
@@ -33,7 +32,8 @@ fn main() {
     let pop = Population::uniform(1900, 100, &mut rng);
     let fam = OracleFamily::new(seed);
 
-    let tiny = build_initial_graph(pop.clone(), GraphKind::Chord, fam.h1, &Params::paper_defaults());
+    let tiny =
+        build_initial_graph(pop.clone(), GraphKind::Chord, fam.h1, &Params::paper_defaults());
     let classic = build_initial_graph(
         pop,
         GraphKind::Chord,
@@ -44,7 +44,9 @@ fn main() {
     for (label, gg) in [("tiny Θ(log log n)", &tiny), ("classic Θ(log n)", &classic)] {
         // Pick a group with at least one Byzantine member.
         let gi = (0..gg.len())
-            .find(|&i| gg.groups[i].bad_count(&gg.pool) >= 1 && gg.groups[i].has_good_majority(&gg.pool))
+            .find(|&i| {
+                gg.groups[i].bad_count(&gg.pool) >= 1 && gg.groups[i].has_good_majority(&gg.pool)
+            })
             .expect("some infiltrated-but-good group exists");
         let (inputs, bad) = group_masks(gg, gi);
         let m = inputs.len();
@@ -52,13 +54,25 @@ fn main() {
         println!("== {label} groups: G_{gi} has {m} members, {t} Byzantine ==");
 
         let pk = phase_king(&inputs, &bad, AdversaryMode::Equivocate { seed: 1 });
-        println!("  Phase King : decided {:?} in {} msgs, {} rounds", pk.agreed_value(), pk.msgs, pk.rounds);
+        println!(
+            "  Phase King : decided {:?} in {} msgs, {} rounds",
+            pk.agreed_value(),
+            pk.msgs,
+            pk.rounds
+        );
 
         if m <= 12 && t <= 2 {
             let eig = eig_agreement(&inputs, &bad, AdversaryMode::Collude { value: 999 });
-            println!("  EIG        : decided {:?} in {} msgs, {} rounds", eig.agreed_value(), eig.msgs, eig.rounds);
+            println!(
+                "  EIG        : decided {:?} in {} msgs, {} rounds",
+                eig.agreed_value(),
+                eig.msgs,
+                eig.rounds
+            );
         } else {
-            println!("  EIG        : skipped (exponential relay size at |G| = {m} — the log n problem!)");
+            println!(
+                "  EIG        : skipped (exponential relay size at |G| = {m} — the log n problem!)"
+            );
         }
 
         let mut coin_rng = StdRng::seed_from_u64(2);

@@ -60,10 +60,16 @@ fn main() {
         }
     }
     println!("\nchosen-σ attack, fraction of minted IDs in [0, 0.5):");
-    println!("  single-hash scheme: {:>5.1}%  ({} IDs — all exactly where the adversary aimed)",
-        100.0 * one_hash_low as f64 / one_total.max(1) as f64, one_total);
-    println!("  two-hash (paper):   {:>5.1}%  ({} IDs — uniform, Lemma 11)",
-        100.0 * two_hash_low as f64 / two_total.max(1) as f64, two_total);
+    println!(
+        "  single-hash scheme: {:>5.1}%  ({} IDs — all exactly where the adversary aimed)",
+        100.0 * one_hash_low as f64 / one_total.max(1) as f64,
+        one_total
+    );
+    println!(
+        "  two-hash (paper):   {:>5.1}%  ({} IDs — uniform, Lemma 11)",
+        100.0 * two_hash_low as f64 / two_total.max(1) as f64,
+        two_total
+    );
 
     // --- Global random strings (Appendix VIII) ---
     let mut rng = StdRng::seed_from_u64(99);
@@ -75,8 +81,15 @@ fn main() {
     println!("\nstring propagation with delayed release at the Phase-2 boundary:");
     println!("  giant component: {} good IDs", out.giant_size);
     println!("  agreement (every si* in every R_u): {}", out.agreement);
-    println!("  solution set size: mean {:.1}, max {:.0} (d0·ln n = {:.0})",
-        out.solution_set_sizes.mean, out.solution_set_sizes.max,
-        sp.d0 * (gg.len() as f64).ln());
-    println!("  forwards/node: {:.1}, messages: {}", out.forwards as f64 / gg.len() as f64, out.messages);
+    println!(
+        "  solution set size: mean {:.1}, max {:.0} (d0·ln n = {:.0})",
+        out.solution_set_sizes.mean,
+        out.solution_set_sizes.max,
+        sp.d0 * (gg.len() as f64).ln()
+    );
+    println!(
+        "  forwards/node: {:.1}, messages: {}",
+        out.forwards as f64 / gg.len() as f64,
+        out.messages
+    );
 }

@@ -32,7 +32,11 @@ fn main() {
     let fam = OracleFamily::new(seed);
     let gg = build_initial_graph(pop, GraphKind::Chord, fam.h1, &params);
     println!("n = {n} IDs, β = 5%");
-    println!("group size: {:.1} members (ln ln n = {:.2})", gg.mean_group_size(), (n as f64).ln().ln());
+    println!(
+        "group size: {:.1} members (ln ln n = {:.2})",
+        gg.mean_group_size(),
+        (n as f64).ln().ln()
+    );
 
     // 3. Robustness: sample searches from random groups to random keys.
     let rep = measure_robustness(&gg, &params, 2000, &mut rng);
@@ -47,8 +51,5 @@ fn main() {
     let key = Id(rng.gen());
     let mut metrics = tiny_groups::sim::Metrics::new();
     let outcome = tiny_groups::core::search_path(&gg, from, key, &mut metrics);
-    println!(
-        "\nsearch from group {from} for key {key}: {:?}",
-        outcome
-    );
+    println!("\nsearch from group {from} for key {key}: {:?}", outcome);
 }

@@ -26,12 +26,8 @@ fn main() {
     let mut rng = StdRng::seed_from_u64(seed);
     let pop = Population::uniform(1900, 100, &mut rng); // β = 5%
     let params = Params::paper_defaults();
-    let gg = build_initial_graph(
-        pop.clone(),
-        GraphKind::Chord,
-        OracleFamily::new(seed).h1,
-        &params,
-    );
+    let gg =
+        build_initial_graph(pop.clone(), GraphKind::Chord, OracleFamily::new(seed).h1, &params);
 
     let payload = 0xCAFEBABEu64;
     let trials = 400;
@@ -56,8 +52,15 @@ fn main() {
             sound += 1;
         }
     }
-    println!("tiny groups (|G| ≈ {:.0}), message-level all-to-all + majority filtering:", gg.mean_group_size());
-    println!("  payload delivered intact: {}/{trials} ({:.1}%)", delivered, 100.0 * delivered as f64 / trials as f64);
+    println!(
+        "tiny groups (|G| ≈ {:.0}), message-level all-to-all + majority filtering:",
+        gg.mean_group_size()
+    );
+    println!(
+        "  payload delivered intact: {}/{trials} ({:.1}%)",
+        delivered,
+        100.0 * delivered as f64 / trials as f64
+    );
     println!("  group-level abstraction sound in {sound}/{trials} runs");
     println!("  messages per search: {:.0}", metrics.routing_msgs as f64 / trials as f64);
 
@@ -65,6 +68,10 @@ fn main() {
     let graph = GraphKind::Chord.build(pop.ring().clone());
     let single = measure_single_id_routing(&pop, graph.as_ref(), trials, &mut rng);
     println!("\nsingle-ID routing over the same population:");
-    println!("  success: {:.1}% (predicted (1−β)^D = {:.1}%)", 100.0 * single.success_rate, 100.0 * single.predicted);
+    println!(
+        "  success: {:.1}% (predicted (1−β)^D = {:.1}%)",
+        100.0 * single.success_rate,
+        100.0 * single.predicted
+    );
     println!("  — cheap ({:.1} messages ≈ hops) but broken; groups buy correctness with |G|² messages per hop.", single.mean_route_len);
 }

@@ -6,9 +6,7 @@ use rand::{Rng, SeedableRng};
 use tiny_groups::ba::AdversaryMode;
 use tiny_groups::core::dht::GetOutcome;
 use tiny_groups::core::dynamic::{BuildMode, DynamicSystem, UniformProvider};
-use tiny_groups::core::{
-    assemble_bootstrap, recommended_contacts, Params, SecureDht,
-};
+use tiny_groups::core::{assemble_bootstrap, recommended_contacts, Params, SecureDht};
 use tiny_groups::idspace::Id;
 use tiny_groups::overlay::GraphKind;
 use tiny_groups::pow::{FullSystem, PuzzleParams, StringAdversary, StringParams};

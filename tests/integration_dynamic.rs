@@ -66,12 +66,8 @@ fn gap_filling_placement_beats_uniform_placement() {
             UniformProvider { n_good: 1140, n_bad: 60 }.ids_for_epoch(0, &mut rng)
         };
         let pop = Population::new(ids.good, ids.bad);
-        let gg = build_initial_graph(
-            pop,
-            GraphKind::Chord,
-            OracleFamily::new(23).h1,
-            &stable_params(),
-        );
+        let gg =
+            build_initial_graph(pop, GraphKind::Chord, OracleFamily::new(23).h1, &stable_params());
         let mut bad = 0usize;
         let mut total = 0usize;
         for g in &gg.groups {
@@ -99,13 +95,8 @@ fn targeted_interval_censors_chosen_resources() {
     let owned_fraction = |targeted: bool| -> f64 {
         let mut rng = StdRng::seed_from_u64(29);
         let ids = if targeted {
-            TargetedProvider {
-                n_good: 1140,
-                n_bad: 60,
-                target_start: 0.4,
-                target_width: 0.01,
-            }
-            .ids_for_epoch(0, &mut rng)
+            TargetedProvider { n_good: 1140, n_bad: 60, target_start: 0.4, target_width: 0.01 }
+                .ids_for_epoch(0, &mut rng)
         } else {
             UniformProvider { n_good: 1140, n_bad: 60 }.ids_for_epoch(0, &mut rng)
         };
@@ -126,10 +117,7 @@ fn targeted_interval_censors_chosen_resources() {
     let uniform = owned_fraction(false);
     let targeted = owned_fraction(true);
     assert!(uniform < 0.2, "uniform placement owns ≈β of any region: {uniform:.3}");
-    assert!(
-        targeted > 0.8,
-        "targeted placement must own the chosen region: {targeted:.3}"
-    );
+    assert!(targeted > 0.8, "targeted placement must own the chosen region: {targeted:.3}");
 }
 
 /// The two-graph construction is necessary: the single-graph ablation
@@ -138,7 +126,8 @@ fn targeted_interval_censors_chosen_resources() {
 fn single_graph_ablation_never_beats_dual() {
     let final_red = |mode: BuildMode| -> f64 {
         let mut provider = UniformProvider { n_good: 760, n_bad: 40 };
-        let mut sys = DynamicSystem::new(stable_params(), GraphKind::Chord, mode, &mut provider, 31);
+        let mut sys =
+            DynamicSystem::new(stable_params(), GraphKind::Chord, mode, &mut provider, 31);
         sys.searches_per_epoch = 150;
         let mut red = 0.0;
         for _ in 0..5 {

@@ -7,7 +7,9 @@ use tiny_groups::baselines::{CuckooParams, CuckooSim, CuckooStrategy};
 use tiny_groups::core::{build_initial_graph, Params, Population};
 use tiny_groups::crypto::OracleFamily;
 use tiny_groups::overlay::GraphKind;
-use tiny_groups::pow::{run_string_protocol, MintingSim, PuzzleParams, StringAdversary, StringParams};
+use tiny_groups::pow::{
+    run_string_protocol, MintingSim, PuzzleParams, StringAdversary, StringParams,
+};
 
 /// The headline comparison the paper's abstract promises: under a
 /// computationally-bounded adversary (PoW world), log-log-size groups
@@ -59,8 +61,7 @@ fn string_protocol_on_built_graphs_across_seeds() {
             OracleFamily::new(seed).h1,
             &Params::paper_defaults(),
         );
-        let adv =
-            StringAdversary::DelayedRelease { strings: 6, release_frac: 0.49, units: 40.0 };
+        let adv = StringAdversary::DelayedRelease { strings: 6, release_frac: 0.49, units: 40.0 };
         let out = run_string_protocol(&gg, &StringParams::default(), adv, &mut rng);
         assert!(out.agreement, "seed {seed}: {} missing pairs", out.missing_pairs);
         assert!(out.giant_size > 700, "seed {seed}: giant {}", out.giant_size);
@@ -76,7 +77,8 @@ fn cost_robustness_tradeoff_orders_correctly() {
     let mut rng = StdRng::seed_from_u64(6);
     let pop = Population::uniform(3800, 200, &mut rng);
     let fam = OracleFamily::new(6);
-    let tiny = build_initial_graph(pop.clone(), GraphKind::Chord, fam.h1, &Params::paper_defaults());
+    let tiny =
+        build_initial_graph(pop.clone(), GraphKind::Chord, fam.h1, &Params::paper_defaults());
     let classic = build_initial_graph(
         pop,
         GraphKind::Chord,

@@ -5,9 +5,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use tiny_groups::ba::AdversaryMode;
 use tiny_groups::core::routing::secure_route_verified;
-use tiny_groups::core::{
-    build_initial_graph, measure_robustness, search_path, Params, Population,
-};
+use tiny_groups::core::{build_initial_graph, measure_robustness, search_path, Params, Population};
 use tiny_groups::crypto::OracleFamily;
 use tiny_groups::idspace::Id;
 use tiny_groups::overlay::GraphKind;
@@ -102,7 +100,8 @@ fn static_stack_is_deterministic() {
         let mut rng = StdRng::seed_from_u64(99);
         let pop = Population::uniform(480, 20, &mut rng);
         let params = Params::paper_defaults();
-        let gg = build_initial_graph(pop, GraphKind::DistanceHalving, OracleFamily::new(4).h1, &params);
+        let gg =
+            build_initial_graph(pop, GraphKind::DistanceHalving, OracleFamily::new(4).h1, &params);
         let rep = measure_robustness(&gg, &params, 200, &mut rng);
         (gg.frac_red(), rep.search_success, rep.mean_msgs)
     };

@@ -1,0 +1,470 @@
+//! Offline subset of `proptest`: random-input property testing.
+//!
+//! Vendored because the workspace builds with no crates.io access. The
+//! `proptest!` macro here runs each property against `cases` random
+//! inputs from a per-test deterministic seed (FNV-1a of the test name),
+//! so failures reproduce across runs and machines. Unlike upstream there
+//! is **no shrinking**: a failing case reports the generated inputs via
+//! `Debug` where available and the assertion message otherwise.
+
+use rand::rngs::StdRng;
+
+pub mod strategy {
+    //! The [`Strategy`] trait: a recipe for generating random values.
+
+    use super::StdRng;
+    use rand::Rng;
+    use std::ops::{Range, RangeFrom, RangeInclusive};
+
+    pub trait Strategy {
+        type Value;
+        fn new_value(&self, rng: &mut StdRng) -> Self::Value;
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+        fn new_value(&self, rng: &mut StdRng) -> Self::Value {
+            (**self).new_value(rng)
+        }
+    }
+
+    macro_rules! range_strategies {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn new_value(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn new_value(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+
+            impl Strategy for RangeFrom<$t> {
+                type Value = $t;
+                fn new_value(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.start..=<$t>::MAX)
+                }
+            }
+        )*};
+    }
+    range_strategies!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+        fn new_value(&self, rng: &mut StdRng) -> f64 {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    /// Strategy returning a fixed value (upstream `Just`).
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn new_value(&self, _rng: &mut StdRng) -> T {
+            self.0.clone()
+        }
+    }
+}
+
+pub mod arbitrary {
+    //! `any::<T>()` — the canonical strategy for a type.
+
+    use super::StdRng;
+    use rand::distributions::{Distribution, Standard};
+    use std::marker::PhantomData;
+
+    pub trait Arbitrary: Sized {
+        fn generate(rng: &mut StdRng) -> Self;
+    }
+
+    impl<T> Arbitrary for T
+    where
+        Standard: Distribution<T>,
+    {
+        fn generate(rng: &mut StdRng) -> T {
+            Standard.sample(rng)
+        }
+    }
+
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T: Arbitrary> super::strategy::Strategy for Any<T> {
+        type Value = T;
+        fn new_value(&self, rng: &mut StdRng) -> T {
+            T::generate(rng)
+        }
+    }
+
+    /// The canonical strategy for `T`: uniform over the whole type.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+pub mod collection {
+    //! Collection strategies with a target size range.
+
+    use super::strategy::Strategy;
+    use super::StdRng;
+    use rand::Rng;
+    use std::collections::BTreeSet;
+    use std::ops::Range;
+
+    /// Inclusive-exclusive size bounds for a generated collection.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        pub lo: usize,
+        pub hi: usize,
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty collection size range");
+            SizeRange { lo: r.start, hi: r.end }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// A `Vec` of values from `element`, length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn new_value(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.size.lo..self.size.hi);
+            (0..len).map(|_| self.element.new_value(rng)).collect()
+        }
+    }
+
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// A `BTreeSet` of values from `element`, cardinality drawn from `size`.
+    ///
+    /// Duplicates are retried; if the element domain is too small to reach
+    /// the drawn cardinality the set is returned at its attainable size
+    /// (still at least `lo` for domains of at least `lo` distinct values).
+    pub fn btree_set<S>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        BTreeSetStrategy { element, size: size.into() }
+    }
+
+    impl<S> Strategy for BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+        fn new_value(&self, rng: &mut StdRng) -> BTreeSet<S::Value> {
+            let target = rng.gen_range(self.size.lo..self.size.hi);
+            let mut out = BTreeSet::new();
+            let mut attempts = 0usize;
+            while out.len() < target && attempts < target * 10 + 100 {
+                out.insert(self.element.new_value(rng));
+                attempts += 1;
+            }
+            out
+        }
+    }
+}
+
+pub mod option {
+    //! `prop::option::of` — optional values.
+
+    use super::strategy::Strategy;
+    use super::StdRng;
+    use rand::Rng;
+
+    pub struct OptionStrategy<S>(S);
+
+    /// `Some` from the inner strategy with probability 3/4, else `None`.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy(inner)
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn new_value(&self, rng: &mut StdRng) -> Option<S::Value> {
+            if rng.gen_range(0u32..4) == 0 {
+                None
+            } else {
+                Some(self.0.new_value(rng))
+            }
+        }
+    }
+}
+
+pub mod test_runner {
+    //! Configuration and the per-case error protocol used by the macros.
+
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of accepted (non-rejected) cases each property must pass.
+        pub cases: u32,
+        /// Abort if this many cases are rejected by `prop_assume!` overall.
+        pub max_global_rejects: u32,
+    }
+
+    impl ProptestConfig {
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases, ..Default::default() }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256, max_global_rejects: 65_536 }
+        }
+    }
+
+    #[derive(Clone, Debug)]
+    pub enum TestCaseError {
+        /// Input rejected by `prop_assume!` — retry with fresh input.
+        Reject(String),
+        /// Property falsified.
+        Fail(String),
+    }
+
+    impl TestCaseError {
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError::Fail(msg.into())
+        }
+
+        pub fn reject(msg: impl Into<String>) -> Self {
+            TestCaseError::Reject(msg.into())
+        }
+    }
+
+    /// The generator driving value generation (re-exported so the macros
+    /// resolve it via `$crate` regardless of the caller's dependencies).
+    pub type TestRng = rand::rngs::StdRng;
+
+    /// Deterministic per-test generator for the given seed.
+    pub fn rng_for(seed: u64) -> TestRng {
+        <TestRng as rand::SeedableRng>::seed_from_u64(seed)
+    }
+
+    /// FNV-1a of the test path — the per-test deterministic seed.
+    pub fn seed_for(name: &str) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h
+    }
+}
+
+/// Everything the `use proptest::prelude::*;` idiom expects.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// The `prop::` namespace (`prop::collection::vec`, `prop::option::of`, …).
+pub mod prop {
+    pub use crate::collection;
+    pub use crate::option;
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`",
+            l,
+            r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`: {}",
+            l,
+            r,
+            format!($($fmt)+)
+        );
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `(left != right)`\n  both: `{:?}`",
+            l
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `(left != right)`\n  both: `{:?}`: {}",
+            l,
+            format!($($fmt)+)
+        );
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                concat!("assumption failed: ", stringify!($cond)),
+            ));
+        }
+    };
+}
+
+/// Define property tests. Supports the upstream surface used in this
+/// workspace: an optional `#![proptest_config(..)]` header and any number
+/// of `#[test] fn name(pat in strategy, ...) { body }` items.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items!($config; $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items!($crate::test_runner::ProptestConfig::default(); $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    ($config:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $config;
+            let seed = $crate::test_runner::seed_for(concat!(module_path!(), "::", stringify!($name)));
+            let mut rng = $crate::test_runner::rng_for(seed);
+            let mut accepted: u32 = 0;
+            let mut rejected: u32 = 0;
+            while accepted < config.cases {
+                $(let $arg = $crate::strategy::Strategy::new_value(&($strat), &mut rng);)+
+                let outcome: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| {
+                        let _: () = $body;
+                        ::core::result::Result::Ok(())
+                    })();
+                match outcome {
+                    ::core::result::Result::Ok(()) => accepted += 1,
+                    ::core::result::Result::Err($crate::test_runner::TestCaseError::Reject(_)) => {
+                        rejected += 1;
+                        if rejected > config.max_global_rejects {
+                            panic!(
+                                "{}: too many inputs rejected by prop_assume! ({} rejects, {} accepted)",
+                                stringify!($name), rejected, accepted
+                            );
+                        }
+                    }
+                    ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                        panic!(
+                            "{} falsified after {} passing case(s) (seed {:#x}):\n{}",
+                            stringify!($name), accepted, seed, msg
+                        );
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn addition_commutes(a in any::<u64>(), b in any::<u64>()) {
+            prop_assert_eq!(a.wrapping_add(b), b.wrapping_add(a));
+        }
+
+        #[test]
+        fn assume_filters(a in any::<u64>()) {
+            prop_assume!(a != 0);
+            prop_assert!(a > 0, "a = {a}");
+        }
+
+        #[test]
+        fn collections_respect_sizes(
+            v in prop::collection::vec(any::<u8>(), 3..10),
+            s in prop::collection::btree_set(any::<u64>(), 1..50),
+            o in prop::option::of(0u64..6),
+        ) {
+            prop_assert!((3..10).contains(&v.len()));
+            prop_assert!(!s.is_empty() && s.len() < 50);
+            if let Some(x) = o {
+                prop_assert!(x < 6);
+            }
+        }
+
+        #[test]
+        fn range_from_strategy(x in 1u64..) {
+            prop_assert_ne!(x, 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "falsified")]
+    fn failing_property_panics() {
+        // No #[test] on the inner item: it is invoked directly below.
+        proptest! {
+            fn always_false(_a in any::<u8>()) {
+                prop_assert!(false);
+            }
+        }
+        always_false();
+    }
+}

@@ -1,0 +1,141 @@
+//! The `Standard` distribution and uniform range sampling.
+
+use crate::RngCore;
+
+/// A distribution over values of type `T`.
+pub trait Distribution<T> {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// The "natural" distribution for a type: uniform over all values for
+/// integers, uniform in `[0, 1)` for floats, fair coin for `bool`.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Standard;
+
+macro_rules! standard_uint {
+    ($($t:ty),*) => {$(
+        impl Distribution<$t> for Standard {
+            fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+standard_uint!(u8, u16, u32, u64, usize);
+
+impl Distribution<u128> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u128 {
+        ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128
+    }
+}
+
+macro_rules! standard_int {
+    ($($t:ty),*) => {$(
+        impl Distribution<$t> for Standard {
+            fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+standard_int!(i8, i16, i32, i64, isize);
+
+impl Distribution<i128> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> i128 {
+        <Standard as Distribution<u128>>::sample(self, rng) as i128
+    }
+}
+
+impl Distribution<bool> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> bool {
+        // Use a high bit: low bits of some generators are weaker.
+        rng.next_u64() >> 63 == 1
+    }
+}
+
+impl Distribution<f64> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        // 53 uniform mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Distribution<f32> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f32 {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+impl<T, const N: usize> Distribution<[T; N]> for Standard
+where
+    Standard: Distribution<T>,
+{
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> [T; N] {
+        std::array::from_fn(|_| self.sample(rng))
+    }
+}
+
+pub mod uniform {
+    //! Range sampling for `Rng::gen_range`.
+
+    use crate::RngCore;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A range that `Rng::gen_range` can sample from.
+    pub trait SampleRange<T> {
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+    }
+
+    /// Uniform `u64` in `[0, span)` by 128-bit multiply-shift (Lemire).
+    /// The residual bias is O(span / 2^64) — immaterial for simulation.
+    #[inline]
+    fn mul_shift(word: u64, span: u64) -> u64 {
+        ((word as u128 * span as u128) >> 64) as u64
+    }
+
+    macro_rules! sample_range_int {
+        ($($t:ty => $wide:ty),*) => {$(
+            impl SampleRange<$t> for Range<$t> {
+                fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                    assert!(self.start < self.end, "cannot sample empty range");
+                    let span = (self.end as $wide).wrapping_sub(self.start as $wide) as u64;
+                    let off = mul_shift(rng.next_u64(), span);
+                    ((self.start as $wide).wrapping_add(off as $wide)) as $t
+                }
+            }
+
+            impl SampleRange<$t> for RangeInclusive<$t> {
+                fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "cannot sample empty range");
+                    let span = (hi as $wide).wrapping_sub(lo as $wide) as u64;
+                    if span == u64::MAX {
+                        return rng.next_u64() as $t;
+                    }
+                    let off = mul_shift(rng.next_u64(), span + 1);
+                    ((lo as $wide).wrapping_add(off as $wide)) as $t
+                }
+            }
+        )*};
+    }
+    sample_range_int!(
+        u8 => u64, u16 => u64, u32 => u64, u64 => u64, usize => u64,
+        i8 => i64, i16 => i64, i32 => i64, i64 => i64, isize => i64
+    );
+
+    // Each float type keeps the unit draw within its own mantissa width
+    // (53 bits for f64, 24 for f32): drawing more bits and casting down
+    // can round up to exactly 1.0, breaking the half-open contract.
+    macro_rules! sample_range_float {
+        ($($t:ty => $shift:expr, $denom:expr),*) => {$(
+            impl SampleRange<$t> for Range<$t> {
+                fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                    assert!(self.start < self.end, "cannot sample empty range");
+                    let unit = (rng.next_u64() >> $shift) as $t * (1.0 / $denom as $t);
+                    self.start + unit * (self.end - self.start)
+                }
+            }
+        )*};
+    }
+    sample_range_float!(f32 => 40, (1u64 << 24), f64 => 11, (1u64 << 53));
+}
