@@ -1,0 +1,55 @@
+//! E10 kernels: adversary-strategy placement over a good-ID census, and
+//! a full dynamic epoch driven by a strategic (no-PoW) provider.
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tg_core::dynamic::adversary::{
+    AdaptiveMajorityFlipper, AdversaryStrategy, AdversaryView, GapFilling, IntervalTargeting,
+    StrategicProvider, Uniform,
+};
+use tg_core::dynamic::{BuildMode, DynamicSystem};
+use tg_core::Params;
+use tg_idspace::Id;
+use tg_overlay::GraphKind;
+
+fn bench_placement(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e10_placement");
+    let mut census_rng = StdRng::seed_from_u64(1);
+    let good: Vec<Id> = (0..20_000).map(|_| Id(census_rng.gen())).collect();
+    let strategies: Vec<(&str, Box<dyn AdversaryStrategy>)> = vec![
+        ("uniform", Box::new(Uniform)),
+        ("gap_filling", Box::new(GapFilling)),
+        ("interval", Box::new(IntervalTargeting { victim: Id::from_f64(0.4), width: 0.01 })),
+        ("flipper", Box::new(AdaptiveMajorityFlipper::default())),
+    ];
+    for (label, mut s) in strategies {
+        g.bench_function(format!("place_n20k_{label}"), |b| {
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(2);
+                s.place(&AdversaryView::genesis(0), &good, 1000, &mut rng)
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_epoch(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e10_epochs");
+    g.sample_size(10);
+    g.bench_function("advance_epoch_n400_gap_filling", |b| {
+        b.iter(|| {
+            let mut params = Params::paper_defaults();
+            params.churn_rate = 0.1;
+            params.attack_requests_per_id = 0;
+            let mut provider = StrategicProvider::new(380, 20, GapFilling);
+            let mut sys =
+                DynamicSystem::new(params, GraphKind::D2B, BuildMode::DualGraph, &mut provider, 5);
+            sys.searches_per_epoch = 100;
+            sys.advance_epoch(&mut provider)
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_placement, bench_epoch);
+criterion_main!(benches);

@@ -14,13 +14,20 @@
 //! epoch-`j` IDs (which stay passive and forwarding through epoch `j+1`),
 //! while the leaders are the epoch-`j+1` IDs minted in advance (§III-A,
 //! "Preliminaries" / "Making a Group-Membership Request").
+//!
+//! The [`adversary`] module supplies the other side of the game: a
+//! pluggable [`AdversaryStrategy`] that observes each epoch's graphs
+//! and chooses the bad-ID placement for the next (swept by E10).
 
+pub mod adversary;
 pub mod build;
 pub mod provider;
 pub mod system;
 
-pub use build::{BuildMode, BuildStats};
-pub use provider::{
-    EpochIds, GapFillingProvider, IdentityProvider, TargetedProvider, UniformProvider,
+pub use adversary::{
+    AdaptiveMajorityFlipper, AdversaryStrategy, AdversaryView, GapFilling, IntervalTargeting,
+    StrategicProvider, Uniform,
 };
+pub use build::{BuildMode, BuildStats};
+pub use provider::{EpochIds, IdentityProvider, UniformProvider};
 pub use system::{DynamicSystem, EpochReport};

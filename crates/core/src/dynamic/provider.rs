@@ -2,15 +2,17 @@
 //!
 //! §II–III *assume* the adversary holds at most `βn` IDs distributed
 //! u.a.r. ([`UniformProvider`]; justified by Lemma 5 + Lemma 11). §IV
-//! *enforces* this with proof-of-work; the `tg-pow` crate implements a
-//! provider backed by the actual puzzle pipeline. [`TargetedProvider`]
-//! models the world the paper is defending against — an adversary that
-//! can *choose* its ID values (no PoW): it concentrates them in an
-//! interval and captures every group whose members are drawn there.
+//! *enforces* this with proof-of-work; the `tg-pow` crate implements
+//! providers backed by the actual puzzle pipeline. Adversaries that can
+//! *choose* their ID values (no PoW) are modelled by
+//! [`crate::dynamic::adversary::StrategicProvider`] composed with an
+//! [`crate::dynamic::adversary::AdversaryStrategy`] — the pluggable
+//! placement engine experiment E10 sweeps.
 
+use crate::dynamic::adversary::AdversaryView;
 use rand::rngs::StdRng;
 use rand::Rng;
-use tg_idspace::Id;
+use tg_idspace::{Id, SortedRing};
 
 /// The IDs that will be active in one epoch.
 #[derive(Clone, Debug)]
@@ -21,10 +23,35 @@ pub struct EpochIds {
     pub bad: Vec<Id>,
 }
 
+impl EpochIds {
+    /// The fraction of the key space owned by bad IDs under the
+    /// successor rule — the adversary's recruitment probability per
+    /// membership draw. Uniform placement gives `≈ β`; placement
+    /// strategies amplify it (E10's `bad_share` column).
+    pub fn bad_ring_share(&self) -> f64 {
+        if self.bad.is_empty() {
+            return 0.0;
+        }
+        let all: Vec<Id> = self.good.iter().chain(self.bad.iter()).copied().collect();
+        let ring = SortedRing::new(all);
+        let bad_set: std::collections::HashSet<Id> = self.bad.iter().copied().collect();
+        (0..ring.len())
+            .filter(|&i| bad_set.contains(&ring.at(i)))
+            .map(|i| ring.responsibility_of(i).len().as_f64())
+            .sum()
+    }
+}
+
 /// A source of per-epoch ID populations.
+///
+/// `view` is what a state-observing adversary inside the provider may
+/// inspect before committing its placement: the previous epoch's
+/// operational graphs and (under PoW) the current epoch string. Honest
+/// providers ignore it.
 pub trait IdentityProvider {
     /// The IDs for epoch `epoch` (called once per epoch, in order).
-    fn ids_for_epoch(&mut self, epoch: u64, rng: &mut StdRng) -> EpochIds;
+    fn ids_for_epoch(&mut self, epoch: u64, view: &AdversaryView<'_>, rng: &mut StdRng)
+        -> EpochIds;
 }
 
 /// The §II–III standing assumption: `n_good` good and `n_bad` bad IDs,
@@ -38,7 +65,12 @@ pub struct UniformProvider {
 }
 
 impl IdentityProvider for UniformProvider {
-    fn ids_for_epoch(&mut self, _epoch: u64, rng: &mut StdRng) -> EpochIds {
+    fn ids_for_epoch(
+        &mut self,
+        _epoch: u64,
+        _view: &AdversaryView<'_>,
+        rng: &mut StdRng,
+    ) -> EpochIds {
         EpochIds {
             good: (0..self.n_good).map(|_| Id(rng.gen())).collect(),
             bad: (0..self.n_bad).map(|_| Id(rng.gen())).collect(),
@@ -46,85 +78,17 @@ impl IdentityProvider for UniformProvider {
     }
 }
 
-/// A no-PoW adversary that fills the **largest gaps** between good IDs
-/// with its own, maximizing the key-space responsibility of its IDs.
-///
-/// Membership draws select `suc(h(w,i))` for u.a.r. points, so an ID's
-/// chance of being recruited equals its responsibility arc. Good IDs
-/// placed u.a.r. leave largest gaps of width `≈ ln n / n`; an adversary
-/// that may *choose* values (no PoW) claims them and amplifies its
-/// recruitment share from `β` to `≈ β·ln n / 2` — enough to flip group
-/// majorities that uniform placement never threatens. This is the
-/// placement attack that motivates §IV.
-#[derive(Clone, Debug)]
-pub struct GapFillingProvider {
-    /// Good IDs per epoch.
-    pub n_good: usize,
-    /// Bad IDs per epoch.
-    pub n_bad: usize,
-}
-
-impl IdentityProvider for GapFillingProvider {
-    fn ids_for_epoch(&mut self, _epoch: u64, rng: &mut StdRng) -> EpochIds {
-        let mut good: Vec<Id> = (0..self.n_good).map(|_| Id(rng.gen())).collect();
-        good.sort_unstable();
-        good.dedup();
-        // Rank gaps by width; claim the midpoint of the widest n_bad.
-        let mut gaps: Vec<(u64, usize)> = (0..good.len())
-            .map(|i| {
-                let a = good[i];
-                let b = good[(i + 1) % good.len()];
-                (a.distance_cw(b).0, i)
-            })
-            .collect();
-        gaps.sort_unstable_by_key(|&(width, _)| std::cmp::Reverse(width));
-        let bad: Vec<Id> = gaps
-            .iter()
-            .take(self.n_bad)
-            .map(|&(width, i)| good[i].add(tg_idspace::RingDistance(width / 2)))
-            .collect();
-        EpochIds { good, bad }
-    }
-}
-
-/// A no-PoW adversary that *chooses* its ID values, concentrating them in
-/// a target interval `[start, start+width)` — the **censorship** attack:
-/// every resource whose key falls in the interval resolves to an
-/// adversarial owner, so the adversary picks *which* `ε`-fraction of the
-/// data dies instead of a random one.
-#[derive(Clone, Debug)]
-pub struct TargetedProvider {
-    /// Good IDs per epoch.
-    pub n_good: usize,
-    /// Bad IDs per epoch.
-    pub n_bad: usize,
-    /// Interval start for the concentration attack.
-    pub target_start: f64,
-    /// Interval width (fraction of the ring).
-    pub target_width: f64,
-}
-
-impl IdentityProvider for TargetedProvider {
-    fn ids_for_epoch(&mut self, _epoch: u64, rng: &mut StdRng) -> EpochIds {
-        EpochIds {
-            good: (0..self.n_good).map(|_| Id(rng.gen())).collect(),
-            bad: (0..self.n_bad)
-                .map(|_| Id::from_f64(self.target_start + rng.gen::<f64>() * self.target_width))
-                .collect(),
-        }
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::dynamic::adversary::{GapFilling, IntervalTargeting, StrategicProvider};
     use rand::SeedableRng;
 
     #[test]
     fn uniform_counts() {
         let mut p = UniformProvider { n_good: 100, n_bad: 7 };
         let mut rng = StdRng::seed_from_u64(1);
-        let ids = p.ids_for_epoch(1, &mut rng);
+        let ids = p.ids_for_epoch(1, &AdversaryView::genesis(1), &mut rng);
         assert_eq!(ids.good.len(), 100);
         assert_eq!(ids.bad.len(), 7);
     }
@@ -133,30 +97,21 @@ mod tests {
     fn epochs_differ() {
         let mut p = UniformProvider { n_good: 10, n_bad: 0 };
         let mut rng = StdRng::seed_from_u64(2);
-        let a = p.ids_for_epoch(1, &mut rng);
-        let b = p.ids_for_epoch(2, &mut rng);
+        let a = p.ids_for_epoch(1, &AdversaryView::genesis(1), &mut rng);
+        let b = p.ids_for_epoch(2, &AdversaryView::genesis(2), &mut rng);
         assert_ne!(a.good, b.good, "fresh IDs every epoch");
     }
 
     #[test]
     fn gap_filling_amplifies_responsibility() {
-        use tg_idspace::SortedRing;
-        let mut p = GapFillingProvider { n_good: 2000, n_bad: 100 };
+        let mut p = StrategicProvider::new(2000, 100, GapFilling);
         let mut rng = StdRng::seed_from_u64(5);
-        let ids = p.ids_for_epoch(1, &mut rng);
+        let ids = p.ids_for_epoch(1, &AdversaryView::genesis(1), &mut rng);
         // Total responsibility of bad IDs: each owns the arc from its
         // predecessor; gap-filling should hold far more than β of the
         // key space.
-        let all: Vec<Id> = ids.good.iter().chain(ids.bad.iter()).copied().collect();
-        let ring = SortedRing::new(all);
-        let bad_set: std::collections::HashSet<Id> = ids.bad.iter().copied().collect();
-        let mut bad_share = 0.0;
-        for i in 0..ring.len() {
-            if bad_set.contains(&ring.at(i)) {
-                bad_share += ring.responsibility_of(i).len().as_f64();
-            }
-        }
-        let beta = ids.bad.len() as f64 / ring.len() as f64;
+        let beta = ids.bad.len() as f64 / (ids.good.len() + ids.bad.len()) as f64;
+        let bad_share = ids.bad_ring_share();
         assert!(
             bad_share > 2.0 * beta,
             "gap filling must amplify: share {bad_share:.4} vs β {beta:.4}"
@@ -165,13 +120,25 @@ mod tests {
 
     #[test]
     fn targeted_ids_land_in_interval() {
-        let mut p =
-            TargetedProvider { n_good: 10, n_bad: 50, target_start: 0.25, target_width: 0.01 };
+        let mut p = StrategicProvider::new(
+            10,
+            50,
+            IntervalTargeting { victim: Id::from_f64(0.26), width: 0.01 },
+        );
         let mut rng = StdRng::seed_from_u64(3);
-        let ids = p.ids_for_epoch(1, &mut rng);
+        let ids = p.ids_for_epoch(1, &AdversaryView::genesis(1), &mut rng);
         for id in &ids.bad {
             let f = id.as_f64();
             assert!((0.25..0.26).contains(&f), "bad ID {f} outside target interval");
         }
+    }
+
+    #[test]
+    fn uniform_bad_share_tracks_beta() {
+        let mut p = UniformProvider { n_good: 1900, n_bad: 100 };
+        let mut rng = StdRng::seed_from_u64(9);
+        let ids = p.ids_for_epoch(1, &AdversaryView::genesis(1), &mut rng);
+        let share = ids.bad_ring_share();
+        assert!((0.025..0.10).contains(&share), "uniform share {share:.4} vs β = 0.05");
     }
 }

@@ -1,5 +1,6 @@
 //! The epoch loop: churn, build, measure, swap (§III).
 
+use crate::dynamic::adversary::AdversaryView;
 use crate::dynamic::build::{build_new_graphs, BuildMode, BuildStats};
 use crate::dynamic::provider::IdentityProvider;
 use crate::graph::GroupGraph;
@@ -73,7 +74,7 @@ impl DynamicSystem {
     ) -> Self {
         let fam = OracleFamily::new(master_seed);
         let mut rng = stream_rng(master_seed, "init", 0);
-        let ids = provider.ids_for_epoch(0, &mut rng);
+        let ids = provider.ids_for_epoch(0, &AdversaryView::genesis(0), &mut rng);
         let pop = Population::new(ids.good, ids.bad);
         let graphs: Vec<GroupGraph> = (0..mode.sides())
             .map(|s| {
@@ -132,8 +133,11 @@ impl DynamicSystem {
         }
 
         // 2. Mint the next epoch's IDs and build the new graphs through
-        //    the (churned) current ones.
-        let ids = provider.ids_for_epoch(self.epoch + 1, &mut rng);
+        //    the (churned) current ones. A strategic adversary inside the
+        //    provider observes the graphs that just served this epoch.
+        let view =
+            AdversaryView { epoch: self.epoch + 1, graphs: &self.graphs, epoch_string: None };
+        let ids = provider.ids_for_epoch(self.epoch + 1, &view, &mut rng);
         let new_pop = Population::new(ids.good, ids.bad);
         let (news, build) = build_new_graphs(
             &self.graphs,

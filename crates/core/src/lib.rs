@@ -26,6 +26,10 @@
 //! * [`dynamic`] — the dynamic case (§III): epochs, two old + two new
 //!   group graphs, dual-search membership and neighbor construction with
 //!   verification, churn, and the single-graph ablation,
+//! * [`dynamic::adversary`] — the pluggable adversary-strategy engine:
+//!   placement policies (uniform, gap-filling, interval-targeting,
+//!   adaptive majority flipping) that observe each epoch's graphs and
+//!   choose the next epoch's bad-ID values (swept by E10),
 //! * [`bootstrap`] — pooled bootstrap groups for joiners (Appendix IX),
 //! * [`dht`] — the replicated key→value store over groups (the §I-A
 //!   motivating application),

@@ -1,0 +1,11 @@
+//! CLI wrapper for the `e10_adversaries` experiment; see the library
+//! module docs.
+use tg_experiments::exp::e10_adversaries;
+use tg_experiments::Options;
+
+fn main() {
+    let opts = Options::from_env();
+    for table in e10_adversaries::run(&opts) {
+        table.emit(&opts);
+    }
+}

@@ -26,6 +26,10 @@ fn main() {
     e8_cuckoo::run(&opts).emit(&opts);
     eprintln!("[run_all] E9 pre-computation attack…");
     e9_precompute::run(&opts).emit(&opts);
+    eprintln!("[run_all] E10 adversary strategies…");
+    for t in e10_adversaries::run(&opts) {
+        t.emit(&opts);
+    }
     eprintln!("[run_all] Figure 1…");
     figure1::run(&opts).emit(&opts);
     eprintln!("[run_all] done in {:.1?}", t0.elapsed());

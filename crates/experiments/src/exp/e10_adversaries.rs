@@ -1,0 +1,399 @@
+//! **E10 — the adversary-strategy sweep** (the boundary Theorem 3
+//! defends, probed from the other side).
+//!
+//! Every placement strategy of the `tg-core::dynamic::adversary` engine
+//! runs against every identity pipeline:
+//!
+//! * `none` — no PoW: the adversary's chosen values go straight in (the
+//!   world §IV exists to prevent),
+//! * `single-hash` — the warned-against `ID = σ` scheme: the puzzle
+//!   rate-limits the adversary but leaves placement free,
+//! * `f∘g` — the paper: placement is discarded by the two-hash
+//!   composition (Lemma 11) and only the `≈ βn` count survives.
+//!
+//! Reported per epoch: the adversary's identity count and key-space
+//! share, groups without a good majority (captured), the red fraction,
+//! dual-search success, and the success of searches aimed at the
+//! interval-targeting victim key. Expected shape: `gap-filling` and
+//! `adaptive-majority-flipper` capture far more groups than `uniform`
+//! whenever placement is free, `interval-targeting` owns its arc but
+//! captures ≈ uniform (the group layer blunts censorship placement),
+//! and under `f∘g` every strategy collapses back to the uniform row.
+//!
+//! A second table isolates §IV-B: the `precompute-hoarder` under fresh
+//! vs frozen epoch strings — the hoard dies at verification when
+//! strings refresh and compounds without bound when they do not.
+
+use crate::args::Options;
+use crate::table::{f, Table};
+use rand::rngs::StdRng;
+use rand::Rng;
+use tg_core::dynamic::adversary::{
+    AdaptiveMajorityFlipper, AdversaryStrategy, AdversaryView, GapFilling, IntervalTargeting,
+    StrategicProvider, Uniform,
+};
+use tg_core::dynamic::{BuildMode, DynamicSystem, EpochIds, IdentityProvider};
+use tg_core::routing::dual_search;
+use tg_core::Params;
+use tg_crypto::OracleFamily;
+use tg_idspace::{Id, RingDistance};
+use tg_overlay::GraphKind;
+use tg_pow::{MintScheme, PrecomputeHoarder, PuzzleParams, StrategicPowProvider};
+use tg_sim::{stream_rng, Metrics};
+
+/// The victim key the interval-targeting strategy concentrates on (all
+/// strategies are probed with searches for keys in its arc).
+const VICTIM: f64 = 0.40;
+/// Width of the victim arc, as a ring fraction.
+const VICTIM_WIDTH: f64 = 0.01;
+
+/// The strategy axis of the sweep.
+pub const STRATEGIES: [&str; 5] = [
+    "uniform",
+    "gap-filling",
+    "interval-targeting",
+    "adaptive-majority-flipper",
+    "precompute-hoarder",
+];
+
+/// The identity-pipeline axis of the sweep.
+pub const PIPELINES: [&str; 3] = ["none", "single-hash", "f∘g"];
+
+/// A fresh strategy instance by name. The hoarder grinds real puzzles,
+/// so it needs the oracle family and an easy calibration (exact hashing
+/// at ≈ `budget/τ` attempts per epoch stays cheap).
+fn make_strategy(name: &str, fam: OracleFamily, n_bad: usize) -> Box<dyn AdversaryStrategy> {
+    match name {
+        "uniform" => Box::new(Uniform),
+        "gap-filling" => Box::new(GapFilling),
+        "interval-targeting" => {
+            Box::new(IntervalTargeting { victim: Id::from_f64(VICTIM), width: VICTIM_WIDTH })
+        }
+        "adaptive-majority-flipper" => Box::new(AdaptiveMajorityFlipper::default()),
+        "precompute-hoarder" => {
+            let puzzle = PuzzleParams { tau: Id::from_f64(0.02), attempts_per_step: 1, t_epoch: 2 };
+            Box::new(PrecomputeHoarder::new(fam, puzzle, (n_bad as f64 / 0.02) as u64))
+        }
+        other => panic!("unknown strategy {other}"),
+    }
+}
+
+/// A provider composing `strategy` with the named identity pipeline.
+fn make_provider(
+    strategy: &str,
+    pipeline: &str,
+    n_good: usize,
+    n_bad: usize,
+    fam: OracleFamily,
+) -> Box<dyn IdentityProvider> {
+    let s = make_strategy(strategy, fam, n_bad);
+    match pipeline {
+        "none" => Box::new(StrategicProvider::boxed(n_good, n_bad, s)),
+        "single-hash" | "f∘g" => {
+            let scheme =
+                if pipeline == "f∘g" { MintScheme::TwoHash } else { MintScheme::SingleHash };
+            Box::new(StrategicPowProvider::boxed(n_good, n_bad as f64, scheme, s))
+        }
+        other => panic!("unknown pipeline {other}"),
+    }
+}
+
+/// Wraps a provider to record each epoch's adversary census (the
+/// dynamic system consumes the IDs, so measure them on the way in).
+struct Recording {
+    inner: Box<dyn IdentityProvider>,
+    /// Whether to compute the (O(n log n)) key-space share per epoch.
+    track_share: bool,
+    last_bad: usize,
+    last_share: f64,
+}
+
+impl IdentityProvider for Recording {
+    fn ids_for_epoch(
+        &mut self,
+        epoch: u64,
+        view: &AdversaryView<'_>,
+        rng: &mut StdRng,
+    ) -> EpochIds {
+        let ids = self.inner.ids_for_epoch(epoch, view, rng);
+        self.last_bad = ids.bad.len();
+        if self.track_share {
+            self.last_share = ids.bad_ring_share();
+        }
+        ids
+    }
+}
+
+/// The shared per-cell scaffolding: a recording provider around `inner`
+/// and a dual-graph Chord system seeded for the cell.
+fn cell_system(
+    inner: Box<dyn IdentityProvider>,
+    cell_seed: u64,
+    searches: usize,
+    track_share: bool,
+) -> (Recording, DynamicSystem) {
+    let mut provider = Recording { inner, track_share, last_bad: 0, last_share: 0.0 };
+    let mut sys = DynamicSystem::new(
+        sweep_params(),
+        GraphKind::Chord,
+        BuildMode::DualGraph,
+        &mut provider,
+        cell_seed,
+    );
+    sys.searches_per_epoch = searches;
+    (provider, sys)
+}
+
+/// Groups without a good majority, summed over both sides — the
+/// captured-group count the acceptance contrast is stated over.
+fn captured_groups(sys: &DynamicSystem) -> usize {
+    sys.graphs
+        .iter()
+        .map(|g| g.groups.iter().filter(|gr| !gr.has_good_majority(&g.pool)).count())
+        .sum()
+}
+
+/// Dual-search success for keys u.a.r. in the victim arc.
+fn victim_success(sys: &DynamicSystem, probes: usize, rng: &mut StdRng) -> f64 {
+    let mut metrics = Metrics::new();
+    let start = Id::from_f64(VICTIM).sub(RingDistance::from_f64(VICTIM_WIDTH));
+    let mut ok = 0usize;
+    for _ in 0..probes {
+        let from = rng.gen_range(0..sys.graphs[0].len());
+        let key = start.add(RingDistance::from_f64(rng.gen::<f64>() * VICTIM_WIDTH));
+        if dual_search([&sys.graphs[0], &sys.graphs[1]], from, key, &mut metrics) {
+            ok += 1;
+        }
+    }
+    ok as f64 / probes.max(1) as f64
+}
+
+fn sweep_params() -> Params {
+    let mut params = Params::paper_defaults();
+    params.churn_rate = 0.1;
+    params.attack_requests_per_id = 0;
+    params
+}
+
+/// One (strategy, pipeline) cell: run `epochs` epochs, one row each.
+/// Cells are driven entirely by labelled RNG streams derived from the
+/// master seed, so they can run in parallel without losing determinism.
+fn run_cell(
+    strategy: &str,
+    pipeline: &str,
+    n_good: usize,
+    n_bad: usize,
+    epochs: usize,
+    searches: usize,
+    seed: u64,
+) -> Vec<Vec<String>> {
+    let pipeline_idx = PIPELINES.iter().position(|&p| p == pipeline).unwrap() as u64;
+    let cell_seed = tg_sim::derive_seed(seed, strategy, pipeline_idx);
+    let fam = OracleFamily::new(cell_seed ^ 0xE10);
+    let inner = make_provider(strategy, pipeline, n_good, n_bad, fam);
+    let (mut provider, mut sys) = cell_system(inner, cell_seed, searches, true);
+    (0..epochs)
+        .map(|e| {
+            let r = sys.advance_epoch(&mut provider);
+            let mut vrng = stream_rng(cell_seed, "e10-victim", e as u64);
+            vec![
+                strategy.to_string(),
+                pipeline.to_string(),
+                r.epoch.to_string(),
+                provider.last_bad.to_string(),
+                f(provider.last_share),
+                captured_groups(&sys).to_string(),
+                f(r.frac_red[0]),
+                f(r.search_success_dual),
+                f(victim_success(&sys, searches / 2, &mut vrng)),
+            ]
+        })
+        .collect()
+}
+
+/// Run E10 and return the result tables (strategy sweep + hoard axis).
+pub fn run(opts: &Options) -> Vec<Table> {
+    let n_good: usize = if opts.full { 4000 } else { 1200 };
+    let beta = 0.06;
+    let n_bad = (n_good as f64 * beta / (1.0 - beta)).round() as usize;
+    let epochs = if opts.full { 8 } else { 4 };
+    let searches = if opts.full { 600 } else { 300 };
+
+    let mut sweep = Table::new(
+        "e10_adversaries",
+        &[
+            "strategy",
+            "pipeline",
+            "epoch",
+            "bad_ids",
+            "bad_share",
+            "captured_groups",
+            "frac_red_s0",
+            "success_dual",
+            "victim_success",
+        ],
+    );
+    let mut cells = Vec::new();
+    for strategy in STRATEGIES {
+        for pipeline in PIPELINES {
+            cells.push((strategy, pipeline));
+        }
+    }
+    let seed = opts.seed;
+    let results = tg_sim::parallel_map(cells, move |(strategy, pipeline)| {
+        run_cell(strategy, pipeline, n_good, n_bad, epochs, searches, seed)
+    });
+    for rows in results {
+        for row in rows {
+            sweep.push(row);
+        }
+    }
+
+    // --- §IV-B isolated: the hoard vs the fresh-string defense ---
+    let mut hoard = Table::new(
+        "e10_hoard",
+        &[
+            "fresh_strings",
+            "epoch",
+            "bad_ids",
+            "beta_effective",
+            "captured_groups",
+            "frac_red_s0",
+            "success_dual",
+        ],
+    );
+    let hoard_rows = tg_sim::parallel_map(vec![true, false], move |fresh| {
+        let cell_seed = tg_sim::derive_seed(seed, "e10-hoard", fresh as u64);
+        let fam = OracleFamily::new(cell_seed ^ 0xB0A);
+        let mut p = StrategicPowProvider::boxed(
+            n_good,
+            n_bad as f64,
+            MintScheme::TwoHash,
+            make_strategy("precompute-hoarder", fam, n_bad),
+        );
+        p.fresh_strings = fresh;
+        let (mut provider, mut sys) = cell_system(Box::new(p), cell_seed, searches, false);
+        (0..epochs)
+            .map(|_| {
+                let r = sys.advance_epoch(&mut provider);
+                let beta_eff = provider.last_bad as f64 / (n_good + provider.last_bad) as f64;
+                vec![
+                    fresh.to_string(),
+                    r.epoch.to_string(),
+                    provider.last_bad.to_string(),
+                    f(beta_eff),
+                    captured_groups(&sys).to_string(),
+                    f(r.frac_red[0]),
+                    f(r.search_success_dual),
+                ]
+            })
+            .collect::<Vec<_>>()
+    });
+    for rows in hoard_rows {
+        for row in rows {
+            hoard.push(row);
+        }
+    }
+
+    vec![sweep, hoard]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn opts() -> Options {
+        Options { seed: 42, full: false, out_dir: "/tmp".into(), quiet: true }
+    }
+
+    /// One shared sweep for all assertions in this module (the
+    /// determinism test pays for its own second run).
+    fn shared_run() -> &'static Vec<Table> {
+        static RUN: std::sync::OnceLock<Vec<Table>> = std::sync::OnceLock::new();
+        RUN.get_or_init(|| run(&opts()))
+    }
+
+    /// Cumulative captured groups per (strategy, pipeline) cell.
+    fn captured_by_cell(sweep: &Table) -> std::collections::BTreeMap<(String, String), usize> {
+        let mut out = std::collections::BTreeMap::new();
+        for row in &sweep.rows {
+            let captured: usize = row[5].parse().unwrap();
+            *out.entry((row[0].clone(), row[1].clone())).or_insert(0) += captured;
+        }
+        out
+    }
+
+    /// The acceptance contrast: placement strategies beat uniform when
+    /// placement is free; the paper's `f∘g` pipeline erases the edge.
+    #[test]
+    fn placement_attacks_work_without_pow_and_die_under_fog() {
+        let tables = shared_run();
+        let by_cell = captured_by_cell(&tables[0]);
+        let get = |s: &str, p: &str| by_cell[&(s.to_string(), p.to_string())];
+
+        for pipeline in ["none", "single-hash"] {
+            let uniform = get("uniform", pipeline);
+            assert!(
+                get("gap-filling", pipeline) > uniform,
+                "{pipeline}: gap-filling {} must capture strictly more than uniform {}",
+                get("gap-filling", pipeline),
+                uniform
+            );
+            assert!(
+                get("adaptive-majority-flipper", pipeline) > uniform,
+                "{pipeline}: flipper {} must capture strictly more than uniform {}",
+                get("adaptive-majority-flipper", pipeline),
+                uniform
+            );
+        }
+        // Under f∘g every strategy sits within noise of uniform: the
+        // capture counts are small binomial tails, so "noise" is a small
+        // absolute band around the uniform row, not a tight ratio.
+        let uniform_fog = get("uniform", "f∘g");
+        for s in STRATEGIES {
+            let c = get(s, "f∘g");
+            assert!(
+                c <= 3 * uniform_fog + 12,
+                "f∘g must neutralize {s}: captured {c} vs uniform {uniform_fog}"
+            );
+        }
+        // And the flipper's no-PoW edge is large, not marginal.
+        assert!(get("adaptive-majority-flipper", "none") > 3 * get("uniform", "none") + 10);
+    }
+
+    /// §IV-B: the hoard compounds only when strings never refresh.
+    #[test]
+    fn hoard_axis_shows_fresh_string_defense() {
+        let tables = shared_run();
+        let hoard = &tables[1];
+        let last_bad = |fresh: &str| -> usize {
+            hoard
+                .rows
+                .iter()
+                .filter(|r| r[0] == fresh)
+                .map(|r| r[2].parse::<usize>().unwrap())
+                .next_back()
+                .unwrap()
+        };
+        assert!(
+            last_bad("false") > 2 * last_bad("true"),
+            "frozen-string hoard {} vs fresh {}",
+            last_bad("false"),
+            last_bad("true")
+        );
+    }
+
+    /// Same seed ⇒ byte-identical tables (the whole sweep is driven by
+    /// labelled RNG streams; nothing depends on scheduling or iteration
+    /// order).
+    #[test]
+    fn sweep_is_byte_identical_across_runs() {
+        let a = shared_run();
+        let b = run(&opts());
+        assert_eq!(a.len(), b.len());
+        for (ta, tb) in a.iter().zip(b.iter()) {
+            assert_eq!(ta.render(), tb.render(), "table {} not deterministic", ta.name);
+            assert_eq!(ta.to_csv(), tb.to_csv());
+        }
+    }
+}

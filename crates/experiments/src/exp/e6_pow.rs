@@ -112,22 +112,20 @@ mod tests {
 
     #[test]
     fn minting_rows_have_ratio_near_one_and_attack_contrast() {
-        let opts = Options { seed: 9, full: false, out_dir: "/tmp".into(), quiet: true };
+        let opts = Options { seed: 42, full: false, out_dir: "/tmp".into(), quiet: true };
         let tables = run(&opts);
         let minting = &tables[0];
-        // The acceptance threshold is a 3-sigma test per window, so out of
-        // 30 windows a lone false rejection is within the expected tail
-        // mass; a targeted attack inflates the statistic by orders of
-        // magnitude across every window (covered by the bias checks below).
-        let mut uniform_rejects = 0;
+        // The experiment is a pure function of the seed (labelled RNG
+        // streams, no scheduling dependence), so the chi-square outcome
+        // per window is deterministic: at this pinned seed every one of
+        // the 30 windows accepts uniformity. No statistical tolerance —
+        // any refactor that shifts the stream or the statistic fails
+        // this exactly.
         for row in &minting.rows {
             let ratio: f64 = row[5].parse().unwrap();
             assert!((0.7..1.3).contains(&ratio), "adversary count ratio {ratio}");
-            if row[6] != "true" {
-                uniform_rejects += 1;
-            }
+            assert_eq!(row[6], "true", "uniformity must hold at seed 42: row {row:?}");
         }
-        assert!(uniform_rejects <= 1, "uniformity rejected in {uniform_rejects} windows");
         // Realistic rows show the 1/e miss rate; idealized rows zero.
         for row in &minting.rows {
             let miss: f64 = row[8].parse().unwrap();

@@ -18,6 +18,7 @@
 //! | `e7_strings` | Lemma 12: agreement, `O(ln n)` sets, `Õ(n ln T)` messages |
 //! | `e8_cuckoo` | The \[47\] data point: cuckoo-rule group-size trade-off |
 //! | `e9_precompute` | §IV-B: pre-computation attack neutralized |
+//! | `e10_adversaries` | The adversary-strategy matrix: placement strategies × identity pipelines |
 //! | `figure1` | Figure 1: the input graph and group graph panels |
 //! | `run_all` | Everything above with default settings |
 

@@ -1,0 +1,84 @@
+//! Golden-report regression suite: pinned-seed runs of the simulation
+//! kernels compared byte-for-byte against committed snapshots.
+//!
+//! Every experiment is a pure function of its seed (labelled RNG
+//! streams, order-preserving parallel sweeps, no iteration-order
+//! dependence), so refactors to the sim kernels must reproduce these
+//! files *exactly* — a silent numerical drift in construction, routing,
+//! or measurement fails here even when every statistical bound still
+//! holds.
+//!
+//! To regenerate after an *intentional* behavior change:
+//!
+//! ```sh
+//! GOLDEN_REGEN=1 cargo test -p tg-experiments --test golden
+//! ```
+//!
+//! and commit the diff under `tests/golden/` alongside the change that
+//! explains it.
+
+use tg_core::dynamic::{BuildMode, DynamicSystem, UniformProvider};
+use tg_core::Params;
+use tg_experiments::exp::{e1_robustness, e4_epochs};
+use tg_experiments::Options;
+use tg_overlay::GraphKind;
+
+fn golden_dir() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden")
+}
+
+/// Compare `actual` against the committed snapshot `name`, or rewrite
+/// the snapshot when `GOLDEN_REGEN` is set.
+fn check_golden(name: &str, actual: &str) {
+    let path = golden_dir().join(name);
+    if std::env::var_os("GOLDEN_REGEN").is_some() {
+        std::fs::create_dir_all(golden_dir()).expect("create golden dir");
+        std::fs::write(&path, actual).expect("write golden file");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden file {} ({e}); run with GOLDEN_REGEN=1", name));
+    assert_eq!(
+        actual, expected,
+        "{name} drifted from its golden snapshot; if the change is intentional, regenerate with \
+         GOLDEN_REGEN=1 and commit the diff"
+    );
+}
+
+fn opts() -> Options {
+    Options { seed: 42, full: false, out_dir: "/tmp".into(), quiet: true }
+}
+
+/// E1 (static robustness sweep): every `RobustnessReport`-derived cell,
+/// pinned.
+#[test]
+fn e1_robustness_matches_golden() {
+    check_golden("e1_robustness.csv", &e1_robustness::run(&opts()).to_csv());
+}
+
+/// E4 (dynamic epochs + ablations): every `EpochReport`-derived cell,
+/// pinned.
+#[test]
+fn e4_epochs_matches_golden() {
+    check_golden("e4_epochs.csv", &e4_epochs::run(&opts()).to_csv());
+}
+
+/// The raw `EpochReport` structure of a small dynamic run — all fields,
+/// full float precision (Debug prints shortest-roundtrip), including
+/// the construction counters and message metrics the CSVs round away.
+#[test]
+fn epoch_report_matches_golden() {
+    let mut params = Params::paper_defaults();
+    params.churn_rate = 0.1;
+    params.attack_requests_per_id = 1;
+    let mut provider = UniformProvider { n_good: 380, n_bad: 20 };
+    let mut sys =
+        DynamicSystem::new(params, GraphKind::D2B, BuildMode::DualGraph, &mut provider, 42);
+    sys.searches_per_epoch = 200;
+    let mut snapshot = String::new();
+    for _ in 0..2 {
+        let r = sys.advance_epoch(&mut provider);
+        snapshot.push_str(&format!("{r:#?}\n"));
+    }
+    check_golden("epoch_report_seed42.txt", &snapshot);
+}

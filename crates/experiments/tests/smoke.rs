@@ -1,7 +1,8 @@
 //! Smoke suite: every experiment harness runs end-to-end at the small
-//! (non-`--full`) configuration and emits a non-empty CSV, so the e1–e9
-//! binaries cannot silently rot. Paper-scale runs stay behind `--full`
-//! on the binaries themselves; one `#[ignore]`d test covers that path.
+//! (non-`--full`) configuration and emits a non-empty CSV, so the
+//! e1–e10 binaries cannot silently rot. Paper-scale runs stay behind
+//! `--full` on the binaries themselves; the `#[ignore]`d tests cover
+//! that path (run nightly in CI).
 
 use tg_experiments::exp::*;
 use tg_experiments::{Options, Table};
@@ -87,17 +88,49 @@ fn e9_precompute_smoke() {
 }
 
 #[test]
+fn e10_adversaries_smoke() {
+    let opts = smoke_opts("e10");
+    let tables = e10_adversaries::run(&opts);
+    assert_eq!(tables.len(), 2, "strategy sweep + hoard axis");
+    // Full strategy × pipeline coverage, one row per epoch.
+    let sweep = &tables[0];
+    for strategy in e10_adversaries::STRATEGIES {
+        for pipeline in e10_adversaries::PIPELINES {
+            assert!(
+                sweep.rows.iter().any(|r| r[0] == strategy && r[1] == pipeline),
+                "missing cell {strategy} × {pipeline}"
+            );
+        }
+    }
+    for table in &tables {
+        check(table, &opts);
+    }
+}
+
+#[test]
 fn figure1_smoke() {
     let opts = smoke_opts("fig1");
     check(&figure1::run(&opts), &opts);
 }
 
 /// Paper-scale configuration of the heaviest harness — minutes, not
-/// seconds, so it only runs on request: `cargo test -- --ignored`.
+/// seconds, so it only runs on request: `cargo test -- --ignored`
+/// (locally, or via the nightly CI job).
 #[test]
 #[ignore = "paper-scale run; minutes of wall clock"]
 fn e1_robustness_full_scale() {
     let mut opts = smoke_opts("e1-full");
     opts.full = true;
     check(&e1_robustness::run(&opts), &opts);
+}
+
+/// The full adversary-strategy sweep at paper scale (nightly CI).
+#[test]
+#[ignore = "paper-scale run; minutes of wall clock"]
+fn e10_adversaries_full_scale() {
+    let mut opts = smoke_opts("e10-full");
+    opts.full = true;
+    for table in e10_adversaries::run(&opts) {
+        check(&table, &opts);
+    }
 }

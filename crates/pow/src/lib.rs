@@ -23,8 +23,13 @@
 //!   delayed release; Lemma 12's agreement/size/message claims,
 //! * [`provider`] — an [`tg_core::dynamic::IdentityProvider`] backed by
 //!   the puzzle pipeline, closing the loop: the dynamic construction of
-//!   §III runs on PoW-minted IDs.
+//!   §III runs on PoW-minted IDs,
+//! * [`adversary`] — `tg-core`'s pluggable adversary strategies pushed
+//!   through the minting pipeline: the `f∘g` vs single-hash placement
+//!   contrast and the solution-hoarding strategy the fresh-string
+//!   defense (§IV-B) exists to stop.
 
+pub mod adversary;
 pub mod attack;
 pub mod miner;
 pub mod provider;
@@ -32,6 +37,7 @@ pub mod puzzle;
 pub mod strings;
 pub mod system;
 
+pub use adversary::{MintScheme, PrecomputeHoarder, StrategicPowProvider};
 pub use miner::{MintingOutcome, MintingSim};
 pub use provider::PowProvider;
 pub use puzzle::{PuzzleParams, Solution};

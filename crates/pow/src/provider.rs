@@ -9,7 +9,7 @@
 
 use crate::miner::MintingSim;
 use rand::rngs::StdRng;
-use tg_core::dynamic::{EpochIds, IdentityProvider};
+use tg_core::dynamic::{AdversaryView, EpochIds, IdentityProvider};
 
 /// Per-epoch IDs minted through proof-of-work.
 #[derive(Clone, Copy, Debug)]
@@ -19,7 +19,12 @@ pub struct PowProvider {
 }
 
 impl IdentityProvider for PowProvider {
-    fn ids_for_epoch(&mut self, _epoch: u64, rng: &mut StdRng) -> EpochIds {
+    fn ids_for_epoch(
+        &mut self,
+        _epoch: u64,
+        _view: &AdversaryView<'_>,
+        rng: &mut StdRng,
+    ) -> EpochIds {
         let out = self.sim.run_window(rng);
         EpochIds { good: out.good_ids, bad: out.bad_ids }
     }
@@ -49,7 +54,7 @@ mod tests {
     fn provider_outputs_track_beta() {
         let mut p = provider(1000, 0.05);
         let mut rng = StdRng::seed_from_u64(1);
-        let ids = p.ids_for_epoch(1, &mut rng);
+        let ids = p.ids_for_epoch(1, &AdversaryView::genesis(1), &mut rng);
         assert_eq!(ids.good.len(), 1000);
         let bad = ids.bad.len() as f64;
         assert!((25.0..80.0).contains(&bad), "≈50 expected, got {bad}");

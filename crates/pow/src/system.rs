@@ -21,7 +21,9 @@ use crate::miner::MintingSim;
 use crate::puzzle::PuzzleParams;
 use crate::strings::{run_string_protocol, StringAdversary, StringOutcome, StringParams};
 use rand::rngs::StdRng;
-use tg_core::dynamic::{BuildMode, DynamicSystem, EpochIds, EpochReport, IdentityProvider};
+use tg_core::dynamic::{
+    AdversaryView, BuildMode, DynamicSystem, EpochIds, EpochReport, IdentityProvider,
+};
 use tg_core::Params;
 use tg_overlay::GraphKind;
 use tg_sim::stream_rng;
@@ -32,7 +34,12 @@ struct PreMinted {
 }
 
 impl IdentityProvider for PreMinted {
-    fn ids_for_epoch(&mut self, _epoch: u64, _rng: &mut StdRng) -> EpochIds {
+    fn ids_for_epoch(
+        &mut self,
+        _epoch: u64,
+        _view: &AdversaryView<'_>,
+        _rng: &mut StdRng,
+    ) -> EpochIds {
         self.ids.take().expect("one epoch's IDs staged per advance")
     }
 }

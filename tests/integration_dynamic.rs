@@ -4,14 +4,14 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use tiny_groups::core::dynamic::{
-    BuildMode, DynamicSystem, GapFillingProvider, IdentityProvider, TargetedProvider,
-    UniformProvider,
+    AdversaryView, BuildMode, DynamicSystem, GapFilling, IdentityProvider, IntervalTargeting,
+    StrategicProvider, Uniform, UniformProvider,
 };
 use tiny_groups::core::{build_initial_graph, Params, Population};
 use tiny_groups::crypto::OracleFamily;
 use tiny_groups::idspace::Id;
 use tiny_groups::overlay::GraphKind;
-use tiny_groups::pow::{MintingSim, PowProvider, PuzzleParams};
+use tiny_groups::pow::{MintScheme, MintingSim, PowProvider, PuzzleParams, StrategicPowProvider};
 
 fn stable_params() -> Params {
     let mut p = Params::paper_defaults();
@@ -60,10 +60,11 @@ fn full_stack_pow_dynamics_stay_robust() {
 fn gap_filling_placement_beats_uniform_placement() {
     let bad_member_fraction = |gap_filling: bool| -> f64 {
         let mut rng = StdRng::seed_from_u64(23);
+        let view = AdversaryView::genesis(0);
         let ids = if gap_filling {
-            GapFillingProvider { n_good: 1140, n_bad: 60 }.ids_for_epoch(0, &mut rng)
+            StrategicProvider::new(1140, 60, GapFilling).ids_for_epoch(0, &view, &mut rng)
         } else {
-            UniformProvider { n_good: 1140, n_bad: 60 }.ids_for_epoch(0, &mut rng)
+            UniformProvider { n_good: 1140, n_bad: 60 }.ids_for_epoch(0, &view, &mut rng)
         };
         let pop = Population::new(ids.good, ids.bad);
         let gg =
@@ -94,11 +95,16 @@ fn gap_filling_placement_beats_uniform_placement() {
 fn targeted_interval_censors_chosen_resources() {
     let owned_fraction = |targeted: bool| -> f64 {
         let mut rng = StdRng::seed_from_u64(29);
+        let view = AdversaryView::genesis(0);
         let ids = if targeted {
-            TargetedProvider { n_good: 1140, n_bad: 60, target_start: 0.4, target_width: 0.01 }
-                .ids_for_epoch(0, &mut rng)
+            StrategicProvider::new(
+                1140,
+                60,
+                IntervalTargeting { victim: Id::from_f64(0.41), width: 0.01 },
+            )
+            .ids_for_epoch(0, &view, &mut rng)
         } else {
-            UniformProvider { n_good: 1140, n_bad: 60 }.ids_for_epoch(0, &mut rng)
+            UniformProvider { n_good: 1140, n_bad: 60 }.ids_for_epoch(0, &view, &mut rng)
         };
         let pop = Population::new(ids.good, ids.bad);
         // Keys inside the attacked interval: who owns them?
@@ -118,6 +124,59 @@ fn targeted_interval_censors_chosen_resources() {
     let targeted = owned_fraction(true);
     assert!(uniform < 0.2, "uniform placement owns ≈β of any region: {uniform:.3}");
     assert!(targeted > 0.8, "targeted placement must own the chosen region: {targeted:.3}");
+}
+
+/// The same strategy object composes with both identity pipelines, and
+/// the pipelines disagree exactly as §IV predicts: gap-filling pushed
+/// through the paper's `f∘g` minting is indistinguishable from uniform
+/// placement, while the no-PoW pipeline hands it its amplified share.
+#[test]
+fn strategies_compose_with_both_identity_pipelines() {
+    let total_captured = |mut provider: Box<dyn IdentityProvider>| -> usize {
+        let mut sys = DynamicSystem::new(
+            stable_params(),
+            GraphKind::Chord,
+            BuildMode::DualGraph,
+            provider.as_mut(),
+            37,
+        );
+        sys.searches_per_epoch = 100;
+        let mut captured = 0usize;
+        for _ in 0..3 {
+            sys.advance_epoch(provider.as_mut());
+            captured += sys
+                .graphs
+                .iter()
+                .map(|g| g.groups.iter().filter(|gr| !gr.has_good_majority(&g.pool)).count())
+                .sum::<usize>();
+        }
+        captured
+    };
+    let no_pow = total_captured(Box::new(StrategicProvider::new(900, 60, GapFilling)));
+    let fog = total_captured(Box::new(StrategicPowProvider::new(
+        900,
+        60.0,
+        MintScheme::TwoHash,
+        GapFilling,
+    )));
+    let uniform = total_captured(Box::new(StrategicProvider::new(900, 60, Uniform)));
+    let uniform_pow = total_captured(Box::new(StrategicPowProvider::new(
+        900,
+        60.0,
+        MintScheme::TwoHash,
+        Uniform,
+    )));
+    assert!(
+        no_pow > 3 * uniform,
+        "no-PoW gap filling must capture far more groups: {no_pow} vs uniform {uniform}"
+    );
+    // Under f∘g the strategy is indistinguishable from uniform minting:
+    // both sit at the small binomial-tail noise floor.
+    assert!(
+        fog <= uniform_pow + 10 && fog < no_pow / 5,
+        "f∘g must collapse gap filling to the uniform level: \
+         {fog} vs uniform-PoW {uniform_pow}, no-PoW {no_pow}"
+    );
 }
 
 /// The two-graph construction is necessary: the single-graph ablation
