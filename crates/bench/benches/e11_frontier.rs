@@ -1,0 +1,67 @@
+//! E11 kernels: one full-protocol epoch under a strategic adversary
+//! (string agreement + strategic minting + dynamic advance), and a
+//! miniature frontier grid through the sweep engine itself.
+use criterion::{criterion_group, criterion_main, Criterion};
+use tg_core::dynamic::GapFilling;
+use tg_core::Params;
+use tg_experiments::frontier::{run_frontier, Defense, FrontierConfig};
+use tg_overlay::GraphKind;
+use tg_pow::{FullSystem, MintScheme, PuzzleParams, StrategicPowProvider, StringParams};
+
+fn bench_strategic_epoch(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e11_full_system");
+    g.sample_size(10);
+    g.bench_function("strategic_epoch_n400_gap_filling_single_hash", |b| {
+        b.iter(|| {
+            let mut params = Params::paper_defaults();
+            params.churn_rate = 0.1;
+            params.attack_requests_per_id = 0;
+            let mut sys = FullSystem::new(
+                params,
+                GraphKind::Chord,
+                PuzzleParams::calibrated(16, 2048),
+                StringParams::default(),
+                400,
+                20.0,
+                true,
+                5,
+            )
+            .with_adversary(StrategicPowProvider::boxed(
+                400,
+                20.0,
+                MintScheme::SingleHash,
+                Box::new(GapFilling),
+            ));
+            sys.dynamics.searches_per_epoch = 100;
+            sys.run_epoch()
+        });
+    });
+    g.finish();
+}
+
+fn bench_mini_grid(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e11_frontier");
+    g.sample_size(10);
+    g.bench_function("grid_1x2_strategic_no_pow_vs_fog", |b| {
+        b.iter(|| {
+            run_frontier(&FrontierConfig {
+                n_good: 260,
+                betas: vec![0.06, 0.25],
+                d2s: vec![4.0],
+                strategies: vec!["gap-filling"],
+                defenses: vec![
+                    Defense::NoPow,
+                    Defense::Pow { scheme: MintScheme::TwoHash, fresh_strings: true },
+                ],
+                epochs: 1,
+                trials: 1,
+                searches: 60,
+                seed: 7,
+            })
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_strategic_epoch, bench_mini_grid);
+criterion_main!(benches);

@@ -1,0 +1,16 @@
+//! CLI wrapper for the `e11_frontier` experiment; see the library
+//! module docs. Besides the two CSVs, prints the text-rendered β × d₂
+//! capture heatmaps (one pane per strategy × defense).
+use tg_experiments::exp::e11_frontier;
+use tg_experiments::Options;
+
+fn main() {
+    let opts = Options::from_env();
+    let out = e11_frontier::run(&opts);
+    for table in out.tables() {
+        table.emit(&opts);
+    }
+    if !opts.quiet {
+        println!("{}", out.heatmaps);
+    }
+}

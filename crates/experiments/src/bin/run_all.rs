@@ -30,6 +30,10 @@ fn main() {
     for t in e10_adversaries::run(&opts) {
         t.emit(&opts);
     }
+    eprintln!("[run_all] E11 adversary-vs-defense frontier…");
+    for t in e11_frontier::run(&opts).tables() {
+        t.emit(&opts);
+    }
     eprintln!("[run_all] Figure 1…");
     figure1::run(&opts).emit(&opts);
     eprintln!("[run_all] done in {:.1?}", t0.elapsed());

@@ -1,6 +1,7 @@
 //! Experiment implementations (one module per DESIGN.md §5 entry).
 
 pub mod e10_adversaries;
+pub mod e11_frontier;
 pub mod e1_robustness;
 pub mod e2_groupsize;
 pub mod e3_costs;

@@ -1,0 +1,513 @@
+//! The adversary-vs-defense **frontier engine**: β × d₂ capture
+//! heatmaps over the real protocols.
+//!
+//! Every result before this module was a point sample — one β, one
+//! group-size factor. The paper's core claim is a *boundary*: tiny
+//! groups of `d₂·ln ln n` members survive every placement strategy a
+//! `β < 1/2` adversary can mount, **provided** §IV's minting defenses
+//! are in force. This engine maps that boundary empirically. A grid of
+//! cells
+//!
+//! ```text
+//! (β, d₂, strategy, defense, fresh-vs-frozen strings)
+//! ```
+//!
+//! each runs a multi-seed epoch simulation and reports how much of the
+//! group population lost its good majority (*capture*). The defense
+//! axis decides which system is simulated:
+//!
+//! * [`Defense::NoPow`] — the adversary's chosen ID values go straight
+//!   into the §III dynamic layer ([`DynamicSystem`] +
+//!   `StrategicProvider`): the world §IV exists to prevent,
+//! * [`Defense::Pow`] — the **full §IV protocol** ([`FullSystem`] with
+//!   a `StrategicPowProvider`): the epoch-string agreement runs for
+//!   real, minting binds to the agreed string (or to a frozen genesis
+//!   string when the §IV-B defense is switched off), and the strategy's
+//!   desired placement survives only as far as the minting scheme
+//!   allows (realized under `single-hash`, discarded under `f∘g`).
+//!
+//! The **frontier** of a (strategy, defense, d₂) row is the smallest β
+//! whose cell captures more than [`CAPTURE_EPS`] of the groups — the β
+//! at which that strategy first breaks through that defense at that
+//! group size. Expected shape, and what E11's acceptance test pins: the
+//! `f∘g` frontier sits at strictly higher β than the no-PoW frontier
+//! for every adaptive placement strategy, and both frontiers rise with
+//! d₂ (bigger groups buy β headroom).
+//!
+//! The sweep is embarrassingly parallel and fully deterministic: rows
+//! fan out through [`tg_sim::parallel_map`], and every trial draws from
+//! a [`tg_sim::derive_seed_grid`] stream keyed by the cell's coordinate
+//! — results are byte-identical regardless of thread count. Within a
+//! row, β is swept ascending with an early exit: once a cell captures
+//! at least [`OVERRUN`] of the groups, higher-β cells are emitted as
+//! `skipped-overrun` instead of simulated (capture is monotone in β, so
+//! the simulation would only spend time confirming a lost system).
+
+use crate::table::{f, Table};
+use rand::rngs::StdRng;
+use tg_core::dynamic::adversary::{
+    AdaptiveMajorityFlipper, AdversaryStrategy, GapFilling, IntervalTargeting, StrategicProvider,
+    Uniform,
+};
+use tg_core::dynamic::{AdversaryView, BuildMode, DynamicSystem, EpochIds, IdentityProvider};
+use tg_core::Params;
+use tg_crypto::OracleFamily;
+use tg_idspace::Id;
+use tg_overlay::GraphKind;
+use tg_pow::{
+    FullSystem, MintScheme, PrecomputeHoarder, PuzzleParams, StrategicPowProvider, StringParams,
+};
+use tg_sim::{derive_seed_grid, parallel_map};
+
+/// A cell counts as **captured** when the mean fraction of groups
+/// without a good majority exceeds this (an absolute noise floor — at
+/// small n a handful of binomial-tail captures is background, not a
+/// broken defense).
+pub const CAPTURE_EPS: f64 = 0.01;
+
+/// Early-exit threshold: once a cell's captured fraction reaches this,
+/// the system is overrun and higher β in the same row are skipped.
+pub const OVERRUN: f64 = 0.5;
+
+/// The victim key for the `interval-targeting` strategy.
+const VICTIM: f64 = 0.40;
+
+/// The identity-pipeline defense of one frontier column.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Defense {
+    /// No PoW: chosen ID values go straight into the dynamic layer.
+    NoPow,
+    /// The full §IV protocol ([`FullSystem`]): puzzle minting under the
+    /// given scheme, epoch strings agreed by the Appendix VIII protocol
+    /// (`fresh_strings: false` freezes minting to the genesis string —
+    /// the §IV-B defense disabled).
+    Pow {
+        /// Minting scheme (placement realized vs discarded).
+        scheme: MintScheme,
+        /// Whether minting binds to the freshly agreed string.
+        fresh_strings: bool,
+    },
+}
+
+impl Defense {
+    /// Stable column label for tables and CSVs.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Defense::NoPow => "none",
+            Defense::Pow { scheme: MintScheme::SingleHash, fresh_strings: true } => "single-hash",
+            Defense::Pow { scheme: MintScheme::SingleHash, fresh_strings: false } => {
+                "single-hash-frozen"
+            }
+            Defense::Pow { scheme: MintScheme::TwoHash, fresh_strings: true } => "f∘g",
+            Defense::Pow { scheme: MintScheme::TwoHash, fresh_strings: false } => "f∘g-frozen",
+        }
+    }
+}
+
+/// The grid one frontier sweep covers.
+#[derive(Clone, Debug)]
+pub struct FrontierConfig {
+    /// Good IDs per epoch.
+    pub n_good: usize,
+    /// Adversary budget fractions, **ascending** (early exit walks up).
+    pub betas: Vec<f64>,
+    /// Group-size factors swept (`draws = d₂·ln ln n`; `d₁ = d₂/2`).
+    pub d2s: Vec<f64>,
+    /// Strategy names (see [`make_strategy`]).
+    pub strategies: Vec<&'static str>,
+    /// Defense columns.
+    pub defenses: Vec<Defense>,
+    /// Epochs simulated per trial.
+    pub epochs: usize,
+    /// Independent trials (seeds) per cell.
+    pub trials: usize,
+    /// Robustness searches per epoch.
+    pub searches: usize,
+    /// Master seed; every trial derives its own grid stream from it.
+    pub seed: u64,
+}
+
+/// A fresh strategy instance by name. The hoarder grinds real puzzles
+/// against the epoch string its view carries, so it gets an oracle
+/// family derived from the trial seed and an easy calibration sized to
+/// yield ≈ `budget` solutions per epoch.
+pub fn make_strategy(name: &str, trial_seed: u64, budget: usize) -> Box<dyn AdversaryStrategy> {
+    match name {
+        "uniform" => Box::new(Uniform),
+        "gap-filling" => Box::new(GapFilling),
+        "interval-targeting" => {
+            Box::new(IntervalTargeting { victim: Id::from_f64(VICTIM), width: 0.01 })
+        }
+        "adaptive-majority-flipper" => Box::new(AdaptiveMajorityFlipper::default()),
+        "precompute-hoarder" => {
+            let puzzle = PuzzleParams { tau: Id::from_f64(0.02), attempts_per_step: 1, t_epoch: 2 };
+            let fam = OracleFamily::new(trial_seed ^ 0xE11);
+            let attempts = (budget.max(1) as f64 / puzzle.success_prob()).round() as u64;
+            Box::new(PrecomputeHoarder::new(fam, puzzle, attempts))
+        }
+        other => panic!("unknown strategy {other}"),
+    }
+}
+
+/// Construction parameters of one cell: the paper's defaults with the
+/// swept (β, d₂) installed and the E10 sweep conventions (mild churn,
+/// no join-request attack — capture is the measured variable).
+fn cell_params(beta: f64, d2: f64) -> Params {
+    let mut params = Params::paper_defaults();
+    params.beta = beta;
+    params.d2 = d2;
+    params.d1 = d2 / 2.0;
+    params.churn_rate = 0.1;
+    params.attack_requests_per_id = 0;
+    params
+}
+
+/// Groups without a good majority across all sides, as a fraction.
+fn captured_frac(sys: &DynamicSystem) -> f64 {
+    let (mut captured, mut total) = (0usize, 0usize);
+    for g in &sys.graphs {
+        total += g.groups.len();
+        captured += g.groups.iter().filter(|gr| !gr.has_good_majority(&g.pool)).count();
+    }
+    captured as f64 / total.max(1) as f64
+}
+
+/// Wraps a provider to record each epoch's adversary census on the way
+/// into the dynamic layer.
+struct Recording {
+    inner: Box<dyn IdentityProvider>,
+    last_bad: usize,
+    last_share: f64,
+}
+
+impl IdentityProvider for Recording {
+    fn ids_for_epoch(
+        &mut self,
+        epoch: u64,
+        view: &AdversaryView<'_>,
+        rng: &mut StdRng,
+    ) -> EpochIds {
+        let ids = self.inner.ids_for_epoch(epoch, view, rng);
+        self.last_bad = ids.bad.len();
+        self.last_share = ids.bad_ring_share();
+        ids
+    }
+}
+
+/// Mean per-epoch measurements of one trial.
+struct TrialStats {
+    captured_frac: f64,
+    bad_ids: f64,
+    bad_share: f64,
+    frac_red: f64,
+    success_dual: f64,
+}
+
+/// One seeded simulation of one cell.
+fn run_trial(
+    cfg: &FrontierConfig,
+    strategy: &'static str,
+    defense: Defense,
+    d2: f64,
+    beta: f64,
+    trial_seed: u64,
+) -> TrialStats {
+    let params = cell_params(beta, d2);
+    let budget = (beta / (1.0 - beta) * cfg.n_good as f64).round() as usize;
+    let strategy = make_strategy(strategy, trial_seed, budget);
+    let epochs = cfg.epochs.max(1);
+    let mut acc = TrialStats {
+        captured_frac: 0.0,
+        bad_ids: 0.0,
+        bad_share: 0.0,
+        frac_red: 0.0,
+        success_dual: 0.0,
+    };
+    match defense {
+        Defense::NoPow => {
+            let inner = Box::new(StrategicProvider::boxed(cfg.n_good, budget, strategy));
+            let mut provider = Recording { inner, last_bad: 0, last_share: 0.0 };
+            let mut sys = DynamicSystem::new(
+                params,
+                GraphKind::Chord,
+                BuildMode::DualGraph,
+                &mut provider,
+                trial_seed,
+            );
+            sys.searches_per_epoch = cfg.searches;
+            for _ in 0..epochs {
+                let r = sys.advance_epoch(&mut provider);
+                acc.captured_frac += captured_frac(&sys);
+                acc.bad_ids += provider.last_bad as f64;
+                acc.bad_share += provider.last_share;
+                acc.frac_red += r.frac_red[0];
+                acc.success_dual += r.search_success_dual;
+            }
+        }
+        Defense::Pow { scheme, fresh_strings } => {
+            let provider = StrategicPowProvider::boxed(cfg.n_good, budget as f64, scheme, strategy);
+            let mut sys = FullSystem::new(
+                params,
+                GraphKind::Chord,
+                PuzzleParams::calibrated(16, 2048),
+                StringParams::default(),
+                cfg.n_good,
+                budget as f64,
+                true,
+                trial_seed,
+            )
+            .with_adversary(provider);
+            if !fresh_strings {
+                sys = sys.with_frozen_strings();
+            }
+            sys.dynamics.searches_per_epoch = cfg.searches;
+            for _ in 0..epochs {
+                let r = sys.run_epoch();
+                acc.captured_frac += captured_frac(&sys.dynamics);
+                acc.bad_ids += r.minted_bad as f64;
+                acc.bad_share += r.bad_share;
+                acc.frac_red += r.dynamics.frac_red[0];
+                acc.success_dual += r.dynamics.search_success_dual;
+            }
+        }
+    }
+    let e = epochs as f64;
+    TrialStats {
+        captured_frac: acc.captured_frac / e,
+        bad_ids: acc.bad_ids / e,
+        bad_share: acc.bad_share / e,
+        frac_red: acc.frac_red / e,
+        success_dual: acc.success_dual / e,
+    }
+}
+
+/// One cell of the grid, aggregated over trials (`None` when skipped by
+/// the early exit).
+#[derive(Clone, Debug)]
+struct Cell {
+    strategy: &'static str,
+    defense: Defense,
+    d2: f64,
+    beta: f64,
+    stats: Option<CellStats>,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct CellStats {
+    captured_frac: f64,
+    capture_rate: f64,
+    bad_ids: f64,
+    bad_share: f64,
+    frac_red: f64,
+    success_dual: f64,
+}
+
+/// Everything one frontier sweep emits.
+#[derive(Clone, Debug)]
+pub struct FrontierOutcome {
+    /// The per-cell heatmap table (`e11_frontier.csv`).
+    pub cells: Table,
+    /// The capture frontier per (strategy, defense, d₂)
+    /// (`e11_frontier_map.csv`).
+    pub frontier: Table,
+    /// Text-rendered β × d₂ heatmap panes, one per (strategy, defense).
+    pub heatmaps: String,
+}
+
+impl FrontierOutcome {
+    /// The CSV-persisted tables, in emission order.
+    pub fn tables(&self) -> [&Table; 2] {
+        [&self.cells, &self.frontier]
+    }
+
+    /// The frontier β for a (strategy, defense, d₂) row, or `None` when
+    /// the strategy never captured within the swept range.
+    pub fn frontier_beta(&self, strategy: &str, defense: &str, d2: &str) -> Option<f64> {
+        self.frontier
+            .rows
+            .iter()
+            .find(|r| r[0] == strategy && r[1] == defense && r[2] == d2)
+            .and_then(|r| r[3].parse().ok())
+    }
+}
+
+/// Run the full grid. Rows — one per (strategy, defense, d₂) — fan out
+/// in parallel; each row walks β ascending with the overrun early exit.
+pub fn run_frontier(cfg: &FrontierConfig) -> FrontierOutcome {
+    let mut specs: Vec<(&'static str, Defense, f64)> = Vec::new();
+    for &strategy in &cfg.strategies {
+        for &defense in &cfg.defenses {
+            for &d2 in &cfg.d2s {
+                specs.push((strategy, defense, d2));
+            }
+        }
+    }
+
+    let rows: Vec<Vec<Cell>> = parallel_map(specs, |(strategy, defense, d2)| {
+        // The grid stream for this row: coordinates are (β index, trial),
+        // the label carries the row identity — early exits never shift
+        // another cell's randomness.
+        let label = format!("e11/{strategy}/{}/{d2}", defense.label());
+        let mut out = Vec::with_capacity(cfg.betas.len());
+        let mut overrun = false;
+        for (bi, &beta) in cfg.betas.iter().enumerate() {
+            if overrun {
+                out.push(Cell { strategy, defense, d2, beta, stats: None });
+                continue;
+            }
+            let trials: Vec<TrialStats> = (0..cfg.trials)
+                .map(|t| {
+                    let trial_seed = derive_seed_grid(cfg.seed, &label, bi as u64, t as u64);
+                    run_trial(cfg, strategy, defense, d2, beta, trial_seed)
+                })
+                .collect();
+            let n = trials.len().max(1) as f64;
+            let stats = CellStats {
+                captured_frac: trials.iter().map(|t| t.captured_frac).sum::<f64>() / n,
+                capture_rate: trials.iter().filter(|t| t.captured_frac > CAPTURE_EPS).count()
+                    as f64
+                    / n,
+                bad_ids: trials.iter().map(|t| t.bad_ids).sum::<f64>() / n,
+                bad_share: trials.iter().map(|t| t.bad_share).sum::<f64>() / n,
+                frac_red: trials.iter().map(|t| t.frac_red).sum::<f64>() / n,
+                success_dual: trials.iter().map(|t| t.success_dual).sum::<f64>() / n,
+            };
+            overrun = stats.captured_frac >= OVERRUN;
+            out.push(Cell { strategy, defense, d2, beta, stats: Some(stats) });
+        }
+        out
+    });
+
+    FrontierOutcome {
+        cells: cells_table(cfg, &rows),
+        frontier: frontier_table(&rows),
+        heatmaps: heatmaps(cfg, &rows),
+    }
+}
+
+fn cells_table(cfg: &FrontierConfig, rows: &[Vec<Cell>]) -> Table {
+    let mut t = Table::new(
+        "e11_frontier",
+        &[
+            "strategy",
+            "defense",
+            "d2",
+            "beta",
+            "status",
+            "trials",
+            "epochs",
+            "bad_ids",
+            "bad_share",
+            "captured_frac",
+            "capture_rate",
+            "frac_red_s0",
+            "success_dual",
+        ],
+    );
+    for cell in rows.iter().flatten() {
+        let mut row = vec![
+            cell.strategy.to_string(),
+            cell.defense.label().to_string(),
+            f(cell.d2),
+            f(cell.beta),
+        ];
+        match cell.stats {
+            Some(s) => row.extend([
+                "run".to_string(),
+                cfg.trials.to_string(),
+                cfg.epochs.to_string(),
+                f(s.bad_ids),
+                f(s.bad_share),
+                f(s.captured_frac),
+                f(s.capture_rate),
+                f(s.frac_red),
+                f(s.success_dual),
+            ]),
+            None => row.extend([
+                "skipped-overrun".to_string(),
+                cfg.trials.to_string(),
+                cfg.epochs.to_string(),
+                "-".to_string(),
+                "-".to_string(),
+                "-".to_string(),
+                "-".to_string(),
+                "-".to_string(),
+                "-".to_string(),
+            ]),
+        }
+        t.push(row);
+    }
+    t
+}
+
+fn frontier_table(rows: &[Vec<Cell>]) -> Table {
+    let mut t = Table::new(
+        "e11_frontier_map",
+        &["strategy", "defense", "d2", "frontier_beta", "captured_at_frontier"],
+    );
+    for row in rows {
+        if row.is_empty() {
+            continue;
+        }
+        let first =
+            row.iter().find(|c| c.stats.map(|s| s.captured_frac > CAPTURE_EPS).unwrap_or(false));
+        let (beta, at) = match first {
+            Some(c) => (f(c.beta), f(c.stats.expect("found by stats").captured_frac)),
+            None => ("-".to_string(), "-".to_string()),
+        };
+        let head = &row[0];
+        t.push(vec![
+            head.strategy.to_string(),
+            head.defense.label().to_string(),
+            f(head.d2),
+            beta,
+            at,
+        ]);
+    }
+    t
+}
+
+/// One glyph per cell: `·` below the noise floor, `+` captured, `#`
+/// overrun, `»` skipped (the row already overran at lower β).
+fn glyph(cell: &Cell) -> char {
+    match cell.stats {
+        None => '»',
+        Some(s) if s.captured_frac >= OVERRUN => '#',
+        Some(s) if s.captured_frac > CAPTURE_EPS => '+',
+        Some(_) => '·',
+    }
+}
+
+/// Render the β × d₂ panes, d₂ descending (large groups on top — the
+/// frontier reads as a coastline rising to the right).
+fn heatmaps(cfg: &FrontierConfig, rows: &[Vec<Cell>]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    for &strategy in &cfg.strategies {
+        for &defense in &cfg.defenses {
+            let _ = writeln!(out, "[{strategy} vs {}]", defense.label());
+            let header: Vec<String> = cfg.betas.iter().map(|&b| f(b)).collect();
+            let _ = writeln!(out, "  {:>7}  β= {}", "", header.join("  "));
+            let mut d2s = cfg.d2s.clone();
+            d2s.sort_by(|a, b| b.partial_cmp(a).expect("finite d2"));
+            for d2 in d2s {
+                let row = rows
+                    .iter()
+                    .flatten()
+                    .filter(|c| c.strategy == strategy && c.defense == defense && c.d2 == d2);
+                let glyphs: Vec<String> = cfg
+                    .betas
+                    .iter()
+                    .map(|&beta| {
+                        let cell = row.clone().find(|c| c.beta == beta).expect("full grid");
+                        format!("{:^width$}", glyph(cell), width = f(beta).len())
+                    })
+                    .collect();
+                let _ = writeln!(out, "  d2={:<4}     {}", f(d2), glyphs.join("  "));
+            }
+            let _ = writeln!(out);
+        }
+    }
+    out.push_str("·  quiet (< 1% groups captured)   +  captured   #  overrun (≥ 50%)   »  skipped after overrun\n");
+    out
+}

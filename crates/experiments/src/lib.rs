@@ -19,12 +19,15 @@
 //! | `e8_cuckoo` | The \[47\] data point: cuckoo-rule group-size trade-off |
 //! | `e9_precompute` | §IV-B: pre-computation attack neutralized |
 //! | `e10_adversaries` | The adversary-strategy matrix: placement strategies × identity pipelines |
+//! | `e11_frontier` | The adversary-vs-defense frontier: β × d₂ capture heatmaps over the real `FullSystem` protocol |
 //! | `figure1` | Figure 1: the input graph and group graph panels |
 //! | `run_all` | Everything above with default settings |
 
 pub mod args;
 pub mod exp;
+pub mod frontier;
 pub mod table;
 
 pub use args::Options;
+pub use frontier::{Defense, FrontierConfig, FrontierOutcome};
 pub use table::Table;

@@ -19,7 +19,7 @@
 
 use tg_core::dynamic::{BuildMode, DynamicSystem, UniformProvider};
 use tg_core::Params;
-use tg_experiments::exp::{e1_robustness, e4_epochs};
+use tg_experiments::exp::{e11_frontier, e1_robustness, e4_epochs};
 use tg_experiments::Options;
 use tg_overlay::GraphKind;
 
@@ -61,6 +61,19 @@ fn e1_robustness_matches_golden() {
 #[test]
 fn e4_epochs_matches_golden() {
     check_golden("e4_epochs.csv", &e4_epochs::run(&opts()).to_csv());
+}
+
+/// E11 (adversary-vs-defense frontier): the full seed-42 3×3 (β × d₂)
+/// grid — every cell, the frontier map, and the text heatmaps, pinned.
+/// This is the strongest regression net over the strategic `FullSystem`
+/// pipeline: any drift in string agreement, strategic minting, or the
+/// sweep's seed discipline shows up as a byte diff here.
+#[test]
+fn e11_frontier_matches_golden() {
+    let out = e11_frontier::run(&opts());
+    check_golden("e11_frontier.csv", &out.cells.to_csv());
+    check_golden("e11_frontier_map.csv", &out.frontier.to_csv());
+    check_golden("e11_frontier_heatmap.txt", &out.heatmaps);
 }
 
 /// The raw `EpochReport` structure of a small dynamic run — all fields,

@@ -1,6 +1,6 @@
 //! Smoke suite: every experiment harness runs end-to-end at the small
 //! (non-`--full`) configuration and emits a non-empty CSV, so the
-//! e1–e10 binaries cannot silently rot. Paper-scale runs stay behind
+//! e1–e11 binaries cannot silently rot. Paper-scale runs stay behind
 //! `--full` on the binaries themselves; the `#[ignore]`d tests cover
 //! that path (run nightly in CI).
 
@@ -107,6 +107,35 @@ fn e10_adversaries_smoke() {
     }
 }
 
+/// E11 acceptance shape: a full 3×3 (β × d₂) grid across 3 strategies ×
+/// 4 defenses, swept over the real `FullSystem` protocol for every PoW
+/// row (the engine constructs `FullSystem` for `Defense::Pow`; asserted
+/// here through the defense labels present in the CSV), with the
+/// early-exit bookkeeping visible in the status column. The frontier
+/// contrasts themselves (f∘g strictly dominating no-PoW for the
+/// adaptive strategies) are pinned by the unit tests in
+/// `exp::e11_frontier` and the golden snapshot.
+#[test]
+fn e11_frontier_smoke() {
+    let opts = smoke_opts("e11");
+    let out = e11_frontier::run(&opts);
+    let cfg = e11_frontier::config(&opts);
+    assert!(cfg.betas.len() >= 3 && cfg.d2s.len() >= 3, "≥3×3 β × d₂ grid");
+    assert!(cfg.strategies.len() >= 3 && cfg.defenses.len() >= 2, "≥3 strategies × ≥2 defenses");
+    for strategy in e11_frontier::STRATEGIES {
+        for defense in ["none", "single-hash", "f∘g", "f∘g-frozen"] {
+            assert!(
+                out.cells.rows.iter().any(|r| r[0] == strategy && r[1] == defense),
+                "missing pane {strategy} × {defense}"
+            );
+        }
+    }
+    assert!(!out.heatmaps.is_empty(), "text frontier must render");
+    for table in out.tables() {
+        check(table, &opts);
+    }
+}
+
 #[test]
 fn figure1_smoke() {
     let opts = smoke_opts("fig1");
@@ -132,5 +161,16 @@ fn e10_adversaries_full_scale() {
     opts.full = true;
     for table in e10_adversaries::run(&opts) {
         check(&table, &opts);
+    }
+}
+
+/// The full 8×5 frontier grid with all five strategies (nightly CI).
+#[test]
+#[ignore = "paper-scale run; minutes of wall clock"]
+fn e11_frontier_full_scale() {
+    let mut opts = smoke_opts("e11-full");
+    opts.full = true;
+    for table in e11_frontier::run(&opts).tables() {
+        check(table, &opts);
     }
 }

@@ -49,8 +49,11 @@ impl MintScheme {
     }
 }
 
-/// Genesis epoch string for providers that manage their own strings.
-const GENESIS_STRING: u64 = 0xD00D_F00D_0000_0001;
+/// Genesis epoch string (shared with [`crate::system::FullSystem`]: a
+/// standalone strategic run and a composed full-protocol run must agree
+/// on what "the string that shipped with the software" is, or the
+/// fresh-vs-frozen contrast would differ between the two pipelines).
+pub(crate) const GENESIS_STRING: u64 = 0xD00D_F00D_0000_0001;
 
 /// The epoch string in force for `epoch` under the fresh-string policy.
 fn epoch_string(fresh: bool, epoch: u64) -> u64 {
@@ -135,7 +138,11 @@ impl IdentityProvider for StrategicPowProvider {
         view: &AdversaryView<'_>,
         rng: &mut StdRng,
     ) -> EpochIds {
-        let r = epoch_string(self.fresh_strings, epoch);
+        // A composed system that runs a real string protocol (e.g.
+        // `FullSystem` via `advance_epoch_with_string`) supplies the
+        // agreed string through the view; standalone dynamic runs get a
+        // synthesized per-epoch string under the same fresh/frozen policy.
+        let r = view.epoch_string.unwrap_or_else(|| epoch_string(self.fresh_strings, epoch));
         let good: Vec<Id> = (0..self.n_good).map(|_| Id(rng.gen())).collect();
 
         // The adversary's pooled compute yields a binomial solution count

@@ -27,7 +27,11 @@
 //! * [`adversary`] — `tg-core`'s pluggable adversary strategies pushed
 //!   through the minting pipeline: the `f∘g` vs single-hash placement
 //!   contrast and the solution-hoarding strategy the fresh-string
-//!   defense (§IV-B) exists to stop.
+//!   defense (§IV-B) exists to stop,
+//! * [`system`] — the composed [`FullSystem`] (strings → minting →
+//!   dynamics); `FullSystem::with_adversary` threads any strategy
+//!   through the real epoch-string protocol (the E11 frontier's PoW
+//!   rows), `with_frozen_strings` ablates §IV-B.
 
 pub mod adversary;
 pub mod attack;

@@ -16,7 +16,17 @@
 //!
 //! This is the type a downstream system would embed; the examples and
 //! integration tests drive it end to end.
+//!
+//! The minting step runs at two fidelities. By default it is the
+//! statistical [`MintingSim`] (Lemma 11's counts, uniform values). With
+//! [`FullSystem::with_adversary`] it becomes the strategic pipeline: a
+//! [`StrategicPowProvider`] whose placement strategy observes the
+//! previous epoch's operational graphs and the **protocol-agreed epoch
+//! string** before committing its IDs — so the adaptive adversaries of
+//! `tg-core::dynamic::adversary` (and the §IV-B solution hoarder) face
+//! the real epoch-string mechanics rather than a synthesized stand-in.
 
+use crate::adversary::{StrategicPowProvider, GENESIS_STRING};
 use crate::miner::MintingSim;
 use crate::puzzle::PuzzleParams;
 use crate::strings::{run_string_protocol, StringAdversary, StringOutcome, StringParams};
@@ -44,6 +54,26 @@ impl IdentityProvider for PreMinted {
     }
 }
 
+/// Wraps the strategic provider to record what one epoch minted (the
+/// dynamic layer consumes the IDs, so they are measured on the way in).
+struct Counting<'a> {
+    inner: &'a mut StrategicPowProvider,
+    minted: Option<(usize, usize, f64)>,
+}
+
+impl IdentityProvider for Counting<'_> {
+    fn ids_for_epoch(
+        &mut self,
+        epoch: u64,
+        view: &AdversaryView<'_>,
+        rng: &mut StdRng,
+    ) -> EpochIds {
+        let ids = self.inner.ids_for_epoch(epoch, view, rng);
+        self.minted = Some((ids.good.len(), ids.bad.len(), ids.bad_ring_share()));
+        ids
+    }
+}
+
 /// Everything one epoch produced.
 #[derive(Clone, Debug)]
 pub struct FullEpochReport {
@@ -60,8 +90,15 @@ pub struct FullEpochReport {
     pub minted_good: usize,
     /// Adversarial IDs minted (Lemma 11's `≈ βn`).
     pub minted_bad: usize,
-    /// Good participants who missed the minting window (realistic mode).
+    /// Good participants who missed the minting window (realistic mode;
+    /// always 0 on the strategic pipeline, which mints idealized good
+    /// IDs).
     pub good_misses: usize,
+    /// Key-space fraction owned by the minted bad IDs under the
+    /// successor rule (the adversary's recruitment probability per
+    /// membership draw) — ≈ β when minting forces uniform placement,
+    /// amplified when a placement strategy gets through.
+    pub bad_share: f64,
     /// The §III dynamic-epoch report.
     pub dynamics: EpochReport,
 }
@@ -82,6 +119,17 @@ pub struct FullSystem {
     pub adversary_units: f64,
     /// Idealized good minting (paper assumption) vs realistic misses.
     pub idealized_good: bool,
+    /// When set, identities are minted through this strategic pipeline
+    /// instead of the statistical [`MintingSim`]: the adversary's
+    /// placement policy observes the previous epoch's operational graphs
+    /// *and* the protocol-agreed epoch string before committing its IDs
+    /// — the §IV-B mechanics (hoarding, stale-solution culling,
+    /// re-minting) facing an adaptive adversary.
+    pub adversary: Option<StrategicPowProvider>,
+    /// Whether minting binds to the freshly agreed string each epoch
+    /// (§IV-B). With `false` the genesis string stays in force forever —
+    /// the broken deployment that lets pre-computation hoards compound.
+    pub fresh_strings: bool,
     epoch_string: u64,
     master_seed: u64,
 }
@@ -100,7 +148,6 @@ impl FullSystem {
         idealized_good: bool,
         master_seed: u64,
     ) -> Self {
-        let genesis = 0xD00D_F00D_0000_0001u64;
         let sim = MintingSim { params: puzzle, n_good, adversary_units, idealized_good };
         let mut rng = stream_rng(master_seed, "full-init-mint", 0);
         let minted = sim.run_window(&mut rng);
@@ -116,9 +163,30 @@ impl FullSystem {
             n_good,
             adversary_units,
             idealized_good,
-            epoch_string: genesis,
+            adversary: None,
+            fresh_strings: true,
+            epoch_string: GENESIS_STRING,
             master_seed,
         }
+    }
+
+    /// Install a strategic adversary: from the next [`FullSystem::run_epoch`]
+    /// on, identities are minted through `provider` (placement strategy +
+    /// minting scheme) with the real protocol-agreed epoch string in its
+    /// [`AdversaryView`]. The initial graphs built by [`FullSystem::new`]
+    /// predate the adversary's first observation, matching the paper's
+    /// trusted-bootstrap assumption (Appendix X).
+    pub fn with_adversary(mut self, provider: StrategicPowProvider) -> Self {
+        self.adversary = Some(provider);
+        self
+    }
+
+    /// Disable the §IV-B fresh-string defense: minting stays bound to the
+    /// genesis string forever (the string protocol still runs and agrees;
+    /// the deployment just never rotates its minting string).
+    pub fn with_frozen_strings(mut self) -> Self {
+        self.fresh_strings = false;
+        self
     }
 
     /// The current epoch string.
@@ -148,22 +216,40 @@ impl FullSystem {
             .map(|k| k ^ self.epoch_string.rotate_left(17) ^ epoch)
             .unwrap_or_else(|| self.epoch_string.wrapping_mul(0x9e3779b97f4a7c15) ^ epoch);
 
-        // 2. Mint against the fresh string.
-        let sim = MintingSim {
-            params: self.puzzle,
-            n_good: self.n_good,
-            adversary_units: self.adversary_units,
-            idealized_good: self.idealized_good,
-        };
-        let mut mrng = stream_rng(self.master_seed ^ next_string, "full-mint", epoch);
-        let minted = sim.run_window(&mut mrng);
-        let (minted_good, minted_bad, good_misses) =
-            (minted.good_ids.len(), minted.bad_ids.len(), minted.good_misses);
+        // The string minting binds to: the freshly agreed one under the
+        // §IV-B defense, the genesis constant when the defense is off.
+        let mint_string = if self.fresh_strings { next_string } else { GENESIS_STRING };
 
-        // 3. Advance the dynamic layer on the minted population.
-        let mut provider =
-            PreMinted { ids: Some(EpochIds { good: minted.good_ids, bad: minted.bad_ids }) };
-        let dynamics = self.dynamics.advance_epoch(&mut provider);
+        // 2 + 3. Mint against that string and advance the dynamic layer.
+        let (minted_good, minted_bad, good_misses, bad_share, dynamics) =
+            if let Some(adv) = self.adversary.as_mut() {
+                // Strategic pipeline: minting happens inside the epoch
+                // advance, where the provider's view carries the churned
+                // operational graphs and the string in force — hoarders
+                // grind against the real string, and stale solutions die
+                // (or compound, under frozen strings) at verification.
+                let mut counting = Counting { inner: adv, minted: None };
+                let dynamics =
+                    self.dynamics.advance_epoch_with_string(&mut counting, Some(mint_string));
+                let (good, bad, share) = counting.minted.expect("provider runs once per advance");
+                (good, bad, 0, share, dynamics)
+            } else {
+                // Statistical pipeline (Lemma 11's counts, uniform values).
+                let sim = MintingSim {
+                    params: self.puzzle,
+                    n_good: self.n_good,
+                    adversary_units: self.adversary_units,
+                    idealized_good: self.idealized_good,
+                };
+                let mut mrng = stream_rng(self.master_seed ^ mint_string, "full-mint", epoch);
+                let minted = sim.run_window(&mut mrng);
+                let ids = EpochIds { good: minted.good_ids, bad: minted.bad_ids };
+                let share = ids.bad_ring_share();
+                let counts = (ids.good.len(), ids.bad.len(), minted.good_misses, share);
+                let mut provider = PreMinted { ids: Some(ids) };
+                let dynamics = self.dynamics.advance_epoch(&mut provider);
+                (counts.0, counts.1, counts.2, counts.3, dynamics)
+            };
 
         self.epoch_string = next_string;
         FullEpochReport {
@@ -174,6 +260,7 @@ impl FullSystem {
             minted_good,
             minted_bad,
             good_misses,
+            bad_share,
             dynamics,
         }
     }
@@ -182,6 +269,7 @@ impl FullSystem {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::adversary::MintScheme;
 
     fn system(seed: u64) -> FullSystem {
         let mut params = Params::paper_defaults();
@@ -256,5 +344,115 @@ mod tests {
         assert_eq!(ra.epoch_string, rb.epoch_string);
         assert_eq!(ra.minted_bad, rb.minted_bad);
         assert_eq!(ra.dynamics.frac_red, rb.dynamics.frac_red);
+    }
+
+    #[test]
+    fn statistical_minting_keeps_bad_share_near_beta() {
+        let mut sys = system(59);
+        let r = sys.run_epoch();
+        // β = 35/735 ≈ 0.0476; uniform minting keeps the key-space share
+        // in the same ballpark.
+        assert!((0.02..0.10).contains(&r.bad_share), "bad_share {:.4}", r.bad_share);
+    }
+
+    fn strategic_system(seed: u64, scheme: MintScheme) -> FullSystem {
+        let mut params = Params::paper_defaults();
+        params.churn_rate = 0.15;
+        params.attack_requests_per_id = 1;
+        let mut sys = FullSystem::new(
+            params,
+            GraphKind::Chord,
+            PuzzleParams::calibrated(16, 2048),
+            StringParams::default(),
+            700,
+            35.0, // β ≈ 5%
+            true,
+            seed,
+        )
+        .with_adversary(StrategicPowProvider::boxed(
+            700,
+            35.0,
+            scheme,
+            Box::new(tg_core::dynamic::GapFilling),
+        ));
+        sys.dynamics.searches_per_epoch = 200;
+        sys
+    }
+
+    /// The full protocol against a placement strategy: the single-hash
+    /// ablation lets gap-filling through, the paper's `f∘g` holds the
+    /// share at the uniform noise floor — measured on the real
+    /// epoch-string pipeline, not the abstract dynamic layer.
+    #[test]
+    fn strategic_single_hash_realizes_placement_fog_discards_it() {
+        let last_share = |scheme| {
+            let mut sys = strategic_system(61, scheme);
+            (0..2).map(|_| sys.run_epoch().bad_share).last().unwrap()
+        };
+        let beta = 35.0 / 735.0;
+        let single = last_share(MintScheme::SingleHash);
+        let fog = last_share(MintScheme::TwoHash);
+        assert!(single > 2.0 * beta, "single-hash share {single:.4} must be amplified");
+        assert!(fog < 2.0 * beta, "f∘g share {fog:.4} must stay near β {beta:.4}");
+    }
+
+    /// §IV-B over the real protocol strings: a hoarder grinding against
+    /// the string in force is held to one window's yield when the agreed
+    /// string rotates, and compounds epoch over epoch when the
+    /// deployment freezes its minting string.
+    #[test]
+    fn hoarder_vs_real_epoch_strings() {
+        let minted_bad = |frozen: bool| -> Vec<usize> {
+            let mut params = Params::paper_defaults();
+            params.churn_rate = 0.15;
+            params.attack_requests_per_id = 1;
+            let fam = tg_crypto::OracleFamily::new(71);
+            let puzzle = PuzzleParams {
+                tau: tg_idspace::Id::from_f64(0.02),
+                attempts_per_step: 1,
+                t_epoch: 2,
+            };
+            let hoarder = crate::adversary::PrecomputeHoarder::new(fam, puzzle, 2000);
+            let mut sys = FullSystem::new(
+                params,
+                GraphKind::Chord,
+                PuzzleParams::calibrated(16, 2048),
+                StringParams::default(),
+                700,
+                35.0,
+                true,
+                67,
+            )
+            .with_adversary(StrategicPowProvider::boxed(
+                700,
+                35.0,
+                MintScheme::TwoHash,
+                Box::new(hoarder),
+            ));
+            if frozen {
+                sys = sys.with_frozen_strings();
+            }
+            sys.dynamics.searches_per_epoch = 200;
+            (0..4).map(|_| sys.run_epoch().minted_bad).collect()
+        };
+        let fresh = minted_bad(false);
+        let frozen = minted_bad(true);
+        for &c in &fresh {
+            assert!(c < 100, "fresh strings must cull the hoard each epoch: {fresh:?}");
+        }
+        assert!(
+            *frozen.last().unwrap() > 3 * frozen[0] / 2
+                && *frozen.last().unwrap() > 2 * *fresh.last().unwrap(),
+            "frozen-string hoard must compound: frozen {frozen:?} vs fresh {fresh:?}"
+        );
+    }
+
+    #[test]
+    fn strategic_pipeline_is_deterministic() {
+        let run = || {
+            let mut sys = strategic_system(73, MintScheme::SingleHash);
+            format!("{:#?}", sys.run_epoch())
+        };
+        assert_eq!(run(), run());
     }
 }
