@@ -48,6 +48,8 @@ fn bench_mini_grid(c: &mut Criterion) {
                 n_good: 260,
                 betas: vec![0.06, 0.25],
                 d2s: vec![4.0],
+                churns: vec![0.1],
+                kinds: vec![GraphKind::Chord],
                 strategies: vec!["gap-filling"],
                 defenses: vec![
                     Defense::NoPow,

@@ -1,0 +1,44 @@
+//! E12 kernels: one row refined end-to-end (bracket probe, bisection,
+//! confidence seeds) against the equivalent uniform row, so the
+//! engine's overhead-vs-saving trade is visible as wall clock.
+use criterion::{criterion_group, criterion_main, Criterion};
+use tg_experiments::frontier::{run_frontier, Defense, FrontierConfig};
+use tg_experiments::refine::{run_refine, RefineConfig};
+use tg_overlay::GraphKind;
+use tg_pow::MintScheme;
+
+/// One no-PoW + one `f∘g` row over an 8-rung ladder — enough rungs for
+/// the bisection to actually skip work.
+fn grid() -> FrontierConfig {
+    FrontierConfig {
+        n_good: 260,
+        betas: vec![0.02, 0.04, 0.06, 0.09, 0.13, 0.19, 0.28, 0.42],
+        d2s: vec![4.0],
+        churns: vec![0.2],
+        kinds: vec![GraphKind::Chord],
+        strategies: vec!["churn-timed"],
+        defenses: vec![
+            Defense::NoPow,
+            Defense::Pow { scheme: MintScheme::TwoHash, fresh_strings: true },
+        ],
+        epochs: 1,
+        trials: 1,
+        searches: 60,
+        seed: 7,
+    }
+}
+
+fn bench_refine_vs_uniform(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e12_refine");
+    g.sample_size(10);
+    g.bench_function("refine_2rows_ladder8_churn_timed", |b| {
+        b.iter(|| run_refine(&RefineConfig { grid: grid(), z: 1.645, max_extra_rounds: 1 }));
+    });
+    g.bench_function("uniform_2rows_ladder8_churn_timed", |b| {
+        b.iter(|| run_frontier(&grid()));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_refine_vs_uniform);
+criterion_main!(benches);

@@ -1,0 +1,105 @@
+//! The perf-trajectory probe: run the E11 and E12 sweep kernels in
+//! quick mode and write `BENCH_e11.json` / `BENCH_e12.json` (one
+//! [`BenchRecord`] each) into the current directory — the repo root
+//! when invoked from CI, where the tier-1 workflow uploads them as
+//! artifacts.
+//!
+//! This deliberately times the same kernels the criterion targets
+//! (`benches/e11_frontier.rs`, `benches/e12_refine.rs`) exercise, but
+//! through one timed release run instead of a criterion session: the
+//! vendored criterion has no machine-readable output, and the
+//! trajectory wants comparable absolute numbers (wall-time per
+//! cell-run, cells swept, epochs simulated) rather than statistical
+//! micro-benchmark precision.
+//!
+//! Usage: `cargo run --release -p tg-bench --bin bench_trajectory
+//! [out_dir]`.
+
+use std::time::{Instant, SystemTime, UNIX_EPOCH};
+use tg_bench::BenchRecord;
+use tg_experiments::frontier::{run_frontier, Defense, FrontierConfig};
+use tg_experiments::refine::{run_refine, RefineConfig};
+use tg_overlay::GraphKind;
+use tg_pow::MintScheme;
+
+/// The shared quick-mode grid: two strategies (the strongest placement
+/// attacker and the timing attacker) against the undefended layer and
+/// the paper's `f∘g`, on an 8-rung ladder — small enough for a CI step,
+/// large enough that per-cell-run time is averaged over dozens of
+/// cells.
+fn quick_grid() -> FrontierConfig {
+    FrontierConfig {
+        n_good: 300,
+        betas: vec![0.02, 0.04, 0.06, 0.09, 0.13, 0.19, 0.28, 0.42],
+        d2s: vec![4.0],
+        churns: vec![0.2],
+        kinds: vec![GraphKind::Chord],
+        strategies: vec!["gap-filling", "churn-timed"],
+        defenses: vec![
+            Defense::NoPow,
+            Defense::Pow { scheme: MintScheme::TwoHash, fresh_strings: true },
+        ],
+        epochs: 2,
+        trials: 1,
+        searches: 60,
+        seed: 42,
+    }
+}
+
+fn now_unix() -> u64 {
+    SystemTime::now().duration_since(UNIX_EPOCH).map(|d| d.as_secs()).unwrap_or(0)
+}
+
+fn write(out_dir: &str, name: &str, record: &BenchRecord) {
+    let path = std::path::Path::new(out_dir).join(name);
+    std::fs::write(&path, record.to_json()).unwrap_or_else(|e| {
+        eprintln!("error: could not write {}: {e}", path.display());
+        std::process::exit(1);
+    });
+    println!(
+        "{}: {} cells, {} trials, {} epochs, {:.1} ms ({:.2} ms/cell-run)",
+        path.display(),
+        record.cells_swept,
+        record.trial_runs,
+        record.epochs_total,
+        record.wall_ms,
+        record.wall_ms_per_cell_run()
+    );
+}
+
+fn main() {
+    let out_dir = std::env::args().nth(1).unwrap_or_else(|| ".".to_string());
+    let grid = quick_grid();
+
+    // E11: the uniform sweep engine.
+    let t0 = Instant::now();
+    let uniform = run_frontier(&grid);
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let cells = uniform.cells.rows.iter().filter(|r| r[6] == "run").count();
+    let trials = cells * grid.trials;
+    let e11 = BenchRecord {
+        bench: "e11_frontier",
+        mode: "quick",
+        cells_swept: cells,
+        trial_runs: trials,
+        epochs_total: trials * grid.epochs,
+        wall_ms,
+        unix_time: now_unix(),
+    };
+    write(&out_dir, "BENCH_e11.json", &e11);
+
+    // E12: the adaptive refinement engine over the same grid.
+    let t0 = Instant::now();
+    let refined = run_refine(&RefineConfig { grid: grid.clone(), z: 1.645, max_extra_rounds: 1 });
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let e12 = BenchRecord {
+        bench: "e12_refine",
+        mode: "quick",
+        cells_swept: refined.cell_runs,
+        trial_runs: refined.trial_runs,
+        epochs_total: refined.trial_runs * grid.epochs,
+        wall_ms,
+        unix_time: now_unix(),
+    };
+    write(&out_dir, "BENCH_e12.json", &e12);
+}

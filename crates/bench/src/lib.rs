@@ -7,7 +7,12 @@
 //! so regressions in the reproduction pipeline are caught and the cost
 //! claims of Corollary 1 are visible as wall-clock too.
 //!
-//! Run with `cargo bench --workspace`. Shared fixtures live here.
+//! Run with `cargo bench --workspace`. Shared fixtures live here, plus
+//! the machine-readable result record the `bench_trajectory` binary
+//! writes (`BENCH_e11.json` / `BENCH_e12.json`): vendored criterion has
+//! no machine-readable output, so the perf-trajectory CI step times the
+//! same kernels the bench targets exercise and serializes a
+//! [`BenchRecord`] per experiment.
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -34,4 +39,108 @@ pub fn fixture_logn(n: usize, kind: GraphKind, seed: u64) -> (GroupGraph, Params
     let params = Params::paper_defaults().with_classic_groups(1.5);
     let gg = build_initial_graph(pop, kind, OracleFamily::new(seed).h1, &params);
     (gg, params)
+}
+
+/// One machine-readable benchmark measurement: what one quick-mode run
+/// of an experiment's sweep kernel cost, in the units the perf
+/// trajectory tracks (cells swept, seeded trials, epochs simulated,
+/// wall clock).
+#[derive(Clone, Copy, Debug)]
+pub struct BenchRecord {
+    /// Experiment the kernel belongs to (`"e11_frontier"`, …).
+    pub bench: &'static str,
+    /// Configuration tag (`"quick"` for the CI trajectory runs).
+    pub mode: &'static str,
+    /// Cells simulated across the sweep.
+    pub cells_swept: usize,
+    /// Seeded trials simulated (≥ `cells_swept`; multi-seed cells and
+    /// confidence extras land here).
+    pub trial_runs: usize,
+    /// Total epochs simulated across all trials.
+    pub epochs_total: usize,
+    /// Wall-clock of the whole run, milliseconds.
+    pub wall_ms: f64,
+    /// Seconds since the Unix epoch when the run finished.
+    pub unix_time: u64,
+}
+
+impl BenchRecord {
+    /// Mean wall-clock per cell-run, the trajectory's headline number.
+    pub fn wall_ms_per_cell_run(&self) -> f64 {
+        self.wall_ms / self.cells_swept.max(1) as f64
+    }
+
+    /// Serialize as a single JSON object (hand-rolled: every field is a
+    /// number or a bare ASCII tag, and the workspace vendors no JSON
+    /// dependency).
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\n",
+                "  \"bench\": \"{}\",\n",
+                "  \"mode\": \"{}\",\n",
+                "  \"cells_swept\": {},\n",
+                "  \"trial_runs\": {},\n",
+                "  \"epochs_total\": {},\n",
+                "  \"wall_ms\": {:.3},\n",
+                "  \"wall_ms_per_cell_run\": {:.3},\n",
+                "  \"unix_time\": {}\n",
+                "}}\n"
+            ),
+            self.bench,
+            self.mode,
+            self.cells_swept,
+            self.trial_runs,
+            self.epochs_total,
+            self.wall_ms,
+            self.wall_ms_per_cell_run(),
+            self.unix_time,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_record_serializes_all_fields() {
+        let r = BenchRecord {
+            bench: "e11_frontier",
+            mode: "quick",
+            cells_swept: 10,
+            trial_runs: 14,
+            epochs_total: 28,
+            wall_ms: 1234.5678,
+            unix_time: 1_700_000_000,
+        };
+        let json = r.to_json();
+        for key in [
+            "\"bench\": \"e11_frontier\"",
+            "\"mode\": \"quick\"",
+            "\"cells_swept\": 10",
+            "\"trial_runs\": 14",
+            "\"epochs_total\": 28",
+            "\"wall_ms\": 1234.568",
+            "\"wall_ms_per_cell_run\": 123.457",
+            "\"unix_time\": 1700000000",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+        assert!(json.starts_with('{') && json.ends_with("}\n"), "one JSON object");
+    }
+
+    #[test]
+    fn per_cell_run_handles_empty_sweeps() {
+        let r = BenchRecord {
+            bench: "x",
+            mode: "quick",
+            cells_swept: 0,
+            trial_runs: 0,
+            epochs_total: 0,
+            wall_ms: 5.0,
+            unix_time: 0,
+        };
+        assert_eq!(r.wall_ms_per_cell_run(), 5.0);
+    }
 }

@@ -25,8 +25,12 @@
 //! the draw points of a future group are oracle outputs it does not
 //! control. The strategies below span that spectrum: uniform (the
 //! paper's model), share maximization ([`GapFilling`],
-//! [`AdaptiveMajorityFlipper`]), and key-space censorship
-//! ([`IntervalTargeting`]).
+//! [`AdaptiveMajorityFlipper`]), key-space censorship
+//! ([`IntervalTargeting`]), and *timing* — [`ChurnTimed`] holds its
+//! placement power in reserve and spends the full budget only in the
+//! epochs immediately after heavy good-ID departure, when group margins
+//! are thinnest (the adaptive-adversary lens of Dufoulon–Pandurangan:
+//! an adversary that times its moves to the protocol's weakest rounds).
 
 use crate::dynamic::provider::{EpochIds, IdentityProvider};
 use crate::graph::GroupGraph;
@@ -282,24 +286,123 @@ impl AdversaryStrategy for AdaptiveMajorityFlipper {
         if !view.graphs.is_empty() && self.near_tied(view) == 0 {
             return Uniform.place(view, good, budget, rng);
         }
-        let mut sorted = good.to_vec();
-        sorted.sort_unstable();
-        sorted.dedup();
-        if sorted.is_empty() {
-            return Uniform.place(view, good, budget, rng);
+        end_on_strike(view, good, budget, rng)
+    }
+}
+
+/// The full end-on strike: claim the widest gaps of the good census a
+/// few ulps short of each gap's end, so every claimed ID's
+/// responsibility arc is the entire gap (the strongest placement the
+/// successor rule admits per gap — twice a midpoint claim's share);
+/// extra budget stacks further back in the same gaps. Falls back to
+/// uniform placement on an empty census. Shared by the strategies that
+/// concentrate when they decide to strike ([`AdaptiveMajorityFlipper`],
+/// [`ChurnTimed`]).
+fn end_on_strike(
+    view: &AdversaryView<'_>,
+    good: &[Id],
+    budget: usize,
+    rng: &mut StdRng,
+) -> Vec<Id> {
+    let mut sorted = good.to_vec();
+    sorted.sort_unstable();
+    sorted.dedup();
+    if sorted.is_empty() {
+        return Uniform.place(view, good, budget, rng);
+    }
+    let gaps = gaps_widest_first(&sorted);
+    let ids = (0..budget)
+        .map(|j| {
+            let (start, width) = gaps[j % gaps.len()];
+            let depth = 1 + (j / gaps.len()) as u64;
+            start.add(RingDistance(width.0.saturating_sub(depth)))
+        })
+        .collect();
+    dedup_against(ids, good, rng)
+}
+
+/// Time the budget to the protocol's weakest epochs: strike with
+/// end-on gap claims **immediately after heavy good-ID departure**,
+/// camouflage otherwise.
+///
+/// §III's epoch argument survives churn because the invariant margin
+/// (`ε' = 1 − 2(1+δ)β`) absorbs up to `ε'/2` good departures per epoch;
+/// an adaptive adversary that watches the operational graphs knows when
+/// that slack has just been spent. This strategy observes the fraction
+/// of good member-pool IDs that departed during the epoch it just
+/// watched ([`ChurnTimed::observed_departure`]). While departure stays
+/// below [`ChurnTimed::trigger`] it spends only a
+/// [`ChurnTimed::retainer`] fraction of its budget, placed uniformly —
+/// indistinguishable from the background noise the paper already
+/// defends against. The epoch a heavy departure wave lands, it commits
+/// the entire budget end-on into the widest good-ID gaps, maximizing
+/// recruitment share exactly when surviving groups are thinnest.
+///
+/// Under the `f∘g` minting defense the timing still goes through (the
+/// adversary may always choose *when* to present solutions) but the
+/// placement does not — which is precisely the contrast the E12
+/// churn-axis frontier measures.
+#[derive(Clone, Copy, Debug)]
+pub struct ChurnTimed {
+    /// Observed good-departure fraction at or above which the watched
+    /// epoch counts as a heavy-churn epoch and the full budget is spent.
+    pub trigger: f64,
+    /// Fraction of the budget spent (uniformly, as camouflage) in quiet
+    /// epochs. The rest is withheld — timing, not hoarding: withheld
+    /// identities are forfeited, never banked.
+    pub retainer: f64,
+}
+
+impl Default for ChurnTimed {
+    fn default() -> Self {
+        // Strike on departure waves clearly above the mild-churn regime
+        // the sweeps use as background (0.05–0.1), camouflaging with a
+        // fifth of the budget meanwhile.
+        ChurnTimed { trigger: 0.12, retainer: 0.2 }
+    }
+}
+
+impl ChurnTimed {
+    /// The good-ID departure fraction visible in the observed graphs:
+    /// departed good members of the serving pool over all good members
+    /// (side 0 — every side shares the one physical population). `0`
+    /// at genesis, when there is nothing to observe.
+    pub fn observed_departure(view: &AdversaryView<'_>) -> f64 {
+        let Some(g) = view.graphs.first() else {
+            return 0.0;
+        };
+        let (mut good, mut gone) = (0usize, 0usize);
+        for i in 0..g.pool.len() {
+            if g.pool.is_bad(i) {
+                continue;
+            }
+            good += 1;
+            if g.pool.is_departed(i) {
+                gone += 1;
+            }
         }
-        let gaps = gaps_widest_first(&sorted);
-        let ids = (0..budget)
-            .map(|j| {
-                // One ID per widest gap, a few ulps short of the gap's
-                // end so the ID's responsibility arc is the entire gap;
-                // extra budget stacks further back in the same gaps.
-                let (start, width) = gaps[j % gaps.len()];
-                let depth = 1 + (j / gaps.len()) as u64;
-                start.add(RingDistance(width.0.saturating_sub(depth)))
-            })
-            .collect();
-        dedup_against(ids, good, rng)
+        gone as f64 / good.max(1) as f64
+    }
+}
+
+impl AdversaryStrategy for ChurnTimed {
+    fn name(&self) -> &'static str {
+        "churn-timed"
+    }
+
+    fn place(
+        &mut self,
+        view: &AdversaryView<'_>,
+        good: &[Id],
+        budget: usize,
+        rng: &mut StdRng,
+    ) -> Vec<Id> {
+        if Self::observed_departure(view) < self.trigger {
+            // Quiet epoch (or genesis): camouflage with the retainer.
+            let held = ((budget as f64 * self.retainer).round() as usize).min(budget);
+            return Uniform.place(view, good, held, rng);
+        }
+        end_on_strike(view, good, budget, rng)
     }
 }
 
@@ -440,6 +543,69 @@ mod tests {
         let share = share_of(&good, &bad);
         let beta = 20.0 / 420.0;
         assert!(share < 2.0 * beta, "uniform fallback share {share:.4}");
+    }
+
+    /// A view over graphs whose pools just lost `frac` of their good
+    /// members — the post-churn observation `ChurnTimed` keys on.
+    fn churned_system(frac: f64, seed: u64) -> DynamicSystem {
+        let mut provider = StrategicProvider::new(400, 20, Uniform);
+        let mut sys = DynamicSystem::new(
+            crate::params::Params::paper_defaults(),
+            GraphKind::Chord,
+            BuildMode::DualGraph,
+            &mut provider,
+            seed,
+        );
+        for g in sys.graphs.iter_mut() {
+            let good = g.pool.good_indices();
+            let departing = (good.len() as f64 * frac).round() as usize;
+            // Deterministic pick is fine here: which IDs leave does not
+            // matter to the observation, only how many.
+            for &i in good.iter().take(departing) {
+                g.pool.mark_departed(i);
+            }
+            g.recolor();
+        }
+        sys
+    }
+
+    #[test]
+    fn churn_timed_observes_departure_fraction() {
+        let sys = churned_system(0.3, 21);
+        let view = AdversaryView { epoch: 2, graphs: &sys.graphs, epoch_string: None };
+        let seen = ChurnTimed::observed_departure(&view);
+        assert!((0.28..0.32).contains(&seen), "observed departure {seen:.3}");
+        assert_eq!(ChurnTimed::observed_departure(&AdversaryView::genesis(0)), 0.0);
+    }
+
+    #[test]
+    fn churn_timed_holds_back_in_quiet_epochs() {
+        let quiet = churned_system(0.05, 23);
+        let view = AdversaryView { epoch: 2, graphs: &quiet.graphs, epoch_string: None };
+        let (good, mut rng) = census(400, 25);
+        let mut s = ChurnTimed::default();
+        let bad = s.place(&view, &good, 40, &mut rng);
+        assert_eq!(bad.len(), 8, "retainer = 20% of the budget");
+        let share = share_of(&good, &bad);
+        assert!(share < 2.0 * 8.0 / 440.0, "camouflage share {share:.4} must look uniform");
+    }
+
+    #[test]
+    fn churn_timed_strikes_with_full_budget_after_heavy_departure() {
+        let heavy = churned_system(0.3, 27);
+        let view = AdversaryView { epoch: 2, graphs: &heavy.graphs, epoch_string: None };
+        let (good, mut rng) = census(2000, 29);
+        let budget = 100;
+        let mut s = ChurnTimed::default();
+        let bad = s.place(&view, &good, budget, &mut rng);
+        assert_eq!(bad.len(), budget, "strike epochs spend the whole budget");
+        let strike = share_of(&good, &bad);
+        let mut rng_u = StdRng::seed_from_u64(31);
+        let uniform = share_of(&good, &Uniform.place(&view, &good, budget, &mut rng_u));
+        assert!(
+            strike > 2.0 * uniform,
+            "end-on strike share {strike:.4} must beat uniform {uniform:.4}"
+        );
     }
 
     #[test]

@@ -25,8 +25,8 @@ pub mod provider;
 pub mod system;
 
 pub use adversary::{
-    AdaptiveMajorityFlipper, AdversaryStrategy, AdversaryView, GapFilling, IntervalTargeting,
-    StrategicProvider, Uniform,
+    AdaptiveMajorityFlipper, AdversaryStrategy, AdversaryView, ChurnTimed, GapFilling,
+    IntervalTargeting, StrategicProvider, Uniform,
 };
 pub use build::{BuildMode, BuildStats};
 pub use provider::{EpochIds, IdentityProvider, UniformProvider};

@@ -2,7 +2,10 @@
 //!
 //! Supported flags (all optional):
 //! `--seed <u64>` (default 42), `--full` (paper-scale parameters),
-//! `--out <dir>` (default `results/`), `--quiet` (suppress the table).
+//! `--out <dir>` (default `results/`), `--quiet` (suppress the table),
+//! `--only e10,e11,e12` (run a subset — consumed by `run_all`; the
+//! single-experiment binaries accept and ignore it so one flag set can
+//! be passed around scripts unchanged).
 
 /// Parsed command-line options.
 #[derive(Clone, Debug)]
@@ -15,11 +18,14 @@ pub struct Options {
     pub out_dir: String,
     /// Suppress stdout tables.
     pub quiet: bool,
+    /// Restrict `run_all` to the named experiments (`e1`…`e12`,
+    /// `figure1`). `None` runs everything.
+    pub only: Option<Vec<String>>,
 }
 
 impl Default for Options {
     fn default() -> Self {
-        Options { seed: 42, full: false, out_dir: "results".to_string(), quiet: false }
+        Options { seed: 42, full: false, out_dir: "results".to_string(), quiet: false, only: None }
     }
 }
 
@@ -43,6 +49,18 @@ impl Options {
                 "--out" => {
                     opts.out_dir = it.next().unwrap_or_else(|| usage("--out needs a value"));
                 }
+                "--only" => {
+                    let v = it.next().unwrap_or_else(|| usage("--only needs a value"));
+                    let names: Vec<String> = v
+                        .split(',')
+                        .map(|s| s.trim().to_string())
+                        .filter(|s| !s.is_empty())
+                        .collect();
+                    if names.is_empty() {
+                        usage("--only needs a comma-separated experiment list");
+                    }
+                    opts.only = Some(names);
+                }
                 "--help" | "-h" => usage(""),
                 other => usage(&format!("unknown flag {other}")),
             }
@@ -54,13 +72,20 @@ impl Options {
     pub fn from_env() -> Options {
         Options::parse(std::env::args().skip(1))
     }
+
+    /// Whether `run_all` should run the experiment with this stem name
+    /// (`"e10"`, `"figure1"`, …). Everything is selected when no
+    /// `--only` filter was given.
+    pub fn selected(&self, name: &str) -> bool {
+        self.only.as_ref().is_none_or(|names| names.iter().any(|n| n == name))
+    }
 }
 
 fn usage(msg: &str) -> ! {
     if !msg.is_empty() {
         eprintln!("error: {msg}");
     }
-    eprintln!("usage: <experiment> [--seed N] [--full] [--out DIR] [--quiet]");
+    eprintln!("usage: <experiment> [--seed N] [--full] [--out DIR] [--quiet] [--only e10,e11,e12]");
     std::process::exit(if msg.is_empty() { 0 } else { 2 });
 }
 
@@ -78,6 +103,7 @@ mod tests {
         assert_eq!(o.seed, 42);
         assert!(!o.full);
         assert_eq!(o.out_dir, "results");
+        assert!(o.only.is_none());
     }
 
     #[test]
@@ -87,5 +113,16 @@ mod tests {
         assert!(o.full);
         assert_eq!(o.out_dir, "/tmp/x");
         assert!(o.quiet);
+    }
+
+    #[test]
+    fn only_filters_experiments() {
+        let o = parse(&["--only", "e10, e12"]);
+        assert!(o.selected("e10"));
+        assert!(o.selected("e12"));
+        assert!(!o.selected("e11"));
+        assert!(!o.selected("figure1"));
+        // No filter selects everything.
+        assert!(parse(&[]).selected("e11"));
     }
 }

@@ -1,40 +1,64 @@
 //! Run every experiment with the given options — regenerates all the
-//! tables and figures recorded in EXPERIMENTS.md.
+//! tables and figures recorded in EXPERIMENTS.md. `--only e10,e11,e12`
+//! restricts the run to a subset (CI smoke and local iteration).
 use tg_experiments::exp::*;
 use tg_experiments::Options;
 
+/// Every experiment stem `--only` may name, in run order.
+const KNOWN: [&str; 13] =
+    ["e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "figure1"];
+
 fn main() {
     let opts = Options::from_env();
+    if let Some(only) = &opts.only {
+        let unknown: Vec<&str> =
+            only.iter().map(String::as_str).filter(|n| !KNOWN.contains(n)).collect();
+        if !unknown.is_empty() {
+            eprintln!("[run_all] unknown experiment(s) {unknown:?}; known: {KNOWN:?}");
+            std::process::exit(2);
+        }
+    }
     let t0 = std::time::Instant::now();
-    eprintln!("[run_all] E1 robustness…");
-    e1_robustness::run(&opts).emit(&opts);
-    eprintln!("[run_all] E2 group-size threshold…");
-    e2_groupsize::run(&opts).emit(&opts);
-    eprintln!("[run_all] E3 cost comparison…");
-    e3_costs::run(&opts).emit(&opts);
-    eprintln!("[run_all] E4 dynamic epochs + ablations…");
-    e4_epochs::run(&opts).emit(&opts);
-    eprintln!("[run_all] E5 state attack…");
-    e5_state::run(&opts).emit(&opts);
-    eprintln!("[run_all] E6 proof-of-work minting…");
-    for t in e6_pow::run(&opts) {
-        t.emit(&opts);
+    let mut ran = 0usize;
+    let mut step = |name: &str, banner: &str, f: &mut dyn FnMut(&Options)| {
+        if opts.selected(name) {
+            eprintln!("[run_all] {banner}…");
+            f(&opts);
+            ran += 1;
+        }
+    };
+    step("e1", "E1 robustness", &mut |o| e1_robustness::run(o).emit(o));
+    step("e2", "E2 group-size threshold", &mut |o| e2_groupsize::run(o).emit(o));
+    step("e3", "E3 cost comparison", &mut |o| e3_costs::run(o).emit(o));
+    step("e4", "E4 dynamic epochs + ablations", &mut |o| e4_epochs::run(o).emit(o));
+    step("e5", "E5 state attack", &mut |o| e5_state::run(o).emit(o));
+    step("e6", "E6 proof-of-work minting", &mut |o| {
+        for t in e6_pow::run(o) {
+            t.emit(o);
+        }
+    });
+    step("e7", "E7 string propagation", &mut |o| e7_strings::run(o).emit(o));
+    step("e8", "E8 cuckoo baseline", &mut |o| e8_cuckoo::run(o).emit(o));
+    step("e9", "E9 pre-computation attack", &mut |o| e9_precompute::run(o).emit(o));
+    step("e10", "E10 adversary strategies", &mut |o| {
+        for t in e10_adversaries::run(o) {
+            t.emit(o);
+        }
+    });
+    step("e11", "E11 adversary-vs-defense frontier", &mut |o| {
+        for t in e11_frontier::run(o).tables() {
+            t.emit(o);
+        }
+    });
+    step("e12", "E12 adaptive frontier refinement", &mut |o| {
+        for t in e12_refine::run(o).tables() {
+            t.emit(o);
+        }
+    });
+    step("figure1", "Figure 1", &mut |o| figure1::run(o).emit(o));
+    if ran == 0 {
+        eprintln!("[run_all] nothing selected — check the --only list");
+        std::process::exit(2);
     }
-    eprintln!("[run_all] E7 string propagation…");
-    e7_strings::run(&opts).emit(&opts);
-    eprintln!("[run_all] E8 cuckoo baseline…");
-    e8_cuckoo::run(&opts).emit(&opts);
-    eprintln!("[run_all] E9 pre-computation attack…");
-    e9_precompute::run(&opts).emit(&opts);
-    eprintln!("[run_all] E10 adversary strategies…");
-    for t in e10_adversaries::run(&opts) {
-        t.emit(&opts);
-    }
-    eprintln!("[run_all] E11 adversary-vs-defense frontier…");
-    for t in e11_frontier::run(&opts).tables() {
-        t.emit(&opts);
-    }
-    eprintln!("[run_all] Figure 1…");
-    figure1::run(&opts).emit(&opts);
-    eprintln!("[run_all] done in {:.1?}", t0.elapsed());
+    eprintln!("[run_all] {ran} experiment(s) done in {:.1?}", t0.elapsed());
 }

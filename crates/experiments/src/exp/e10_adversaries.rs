@@ -303,7 +303,7 @@ mod tests {
     use super::*;
 
     fn opts() -> Options {
-        Options { seed: 42, full: false, out_dir: "/tmp".into(), quiet: true }
+        Options { seed: 42, full: false, out_dir: "/tmp".into(), quiet: true, only: None }
     }
 
     /// One shared sweep for all assertions in this module (the

@@ -20,7 +20,8 @@
 //! freezing the string only re-opens the pre-computation axis).
 
 use crate::args::Options;
-use crate::frontier::{run_frontier, Defense, FrontierConfig, FrontierOutcome};
+use crate::frontier::{run_frontier, Defense, FrontierConfig, FrontierOutcome, LEGACY_CHURN};
+use tg_overlay::GraphKind;
 use tg_pow::MintScheme;
 
 /// The strategy axis of the small (per-PR) grid.
@@ -57,6 +58,8 @@ pub fn config(opts: &Options) -> FrontierConfig {
             n_good: 2000,
             betas: vec![0.03, 0.06, 0.10, 0.15, 0.21, 0.28, 0.36, 0.45],
             d2s: vec![2.0, 3.0, 4.0, 6.0, 8.0],
+            churns: vec![LEGACY_CHURN],
+            kinds: vec![GraphKind::Chord],
             strategies: STRATEGIES_FULL.to_vec(),
             defenses: DEFENSES.to_vec(),
             epochs: 5,
@@ -69,6 +72,8 @@ pub fn config(opts: &Options) -> FrontierConfig {
             n_good: 380,
             betas: vec![0.06, 0.12, 0.25],
             d2s: vec![3.0, 4.0, 6.0],
+            churns: vec![LEGACY_CHURN],
+            kinds: vec![GraphKind::Chord],
             strategies: STRATEGIES.to_vec(),
             defenses: DEFENSES.to_vec(),
             epochs: 2,
@@ -91,7 +96,7 @@ mod tests {
     use crate::frontier::CAPTURE_EPS;
 
     fn opts() -> Options {
-        Options { seed: 42, full: false, out_dir: "/tmp".into(), quiet: true }
+        Options { seed: 42, full: false, out_dir: "/tmp".into(), quiet: true, only: None }
     }
 
     /// One shared sweep for all assertions in this module (the
@@ -176,9 +181,9 @@ mod tests {
         for rows in out.cells.rows.chunks(cfg.betas.len()) {
             let mut seen_capture = false;
             for row in rows {
-                if row[4] == "skipped-overrun" {
+                if row[6] == "skipped-overrun" {
                     assert!(seen_capture, "skip before any capture in row {row:?}");
-                } else if let Ok(v) = row[9].parse::<f64>() {
+                } else if let Ok(v) = row[11].parse::<f64>() {
                     seen_capture |= v > CAPTURE_EPS;
                 }
             }
@@ -200,6 +205,8 @@ mod tests {
             n_good: 260,
             betas: vec![0.06, 0.25],
             d2s: vec![3.0],
+            churns: vec![LEGACY_CHURN],
+            kinds: vec![GraphKind::Chord],
             strategies: vec!["gap-filling"],
             defenses: DEFENSES.to_vec(),
             epochs: 2,

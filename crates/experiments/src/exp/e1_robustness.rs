@@ -101,7 +101,8 @@ mod tests {
 
     #[test]
     fn e1_smoke() {
-        let opts = Options { seed: 1, full: false, out_dir: "/tmp".into(), quiet: true };
+        let opts =
+            Options { seed: 1, full: false, out_dir: "/tmp".into(), quiet: true, only: None };
         // Shrink by running the real function — the quick grid is small
         // enough for CI, but for the unit test we only check shape via a
         // single handmade cell rather than the full sweep.

@@ -77,7 +77,8 @@ mod tests {
     /// dual search failure.
     #[test]
     fn attack_barely_moves_state() {
-        let opts = Options { seed: 7, full: false, out_dir: "/tmp".into(), quiet: true };
+        let opts =
+            Options { seed: 7, full: false, out_dir: "/tmp".into(), quiet: true, only: None };
         let t = run(&opts);
         // Partition rows by attack level; compare mean memberships.
         let mean_for = |attack: &str| -> f64 {

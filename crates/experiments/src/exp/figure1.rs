@@ -54,6 +54,7 @@ mod tests {
             full: false,
             out_dir: dir.to_str().unwrap().to_string(),
             quiet: true,
+            only: None,
         };
         let t = run(&opts);
         assert_eq!(t.rows.len(), 2);

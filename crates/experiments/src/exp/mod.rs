@@ -2,6 +2,7 @@
 
 pub mod e10_adversaries;
 pub mod e11_frontier;
+pub mod e12_refine;
 pub mod e1_robustness;
 pub mod e2_groupsize;
 pub mod e3_costs;

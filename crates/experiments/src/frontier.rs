@@ -1,5 +1,5 @@
-//! The adversary-vs-defense **frontier engine**: β × d₂ capture
-//! heatmaps over the real protocols.
+//! The adversary-vs-defense **frontier engine**: capture heatmaps over
+//! the real protocols, on an N-D parameter grid.
 //!
 //! Every result before this module was a point sample — one β, one
 //! group-size factor. The paper's core claim is a *boundary*: tiny
@@ -9,12 +9,17 @@
 //! cells
 //!
 //! ```text
-//! (β, d₂, strategy, defense, fresh-vs-frozen strings)
+//! (β, d₂, churn, topology, strategy, defense, fresh-vs-frozen strings)
 //! ```
 //!
 //! each runs a multi-seed epoch simulation and reports how much of the
-//! group population lost its good majority (*capture*). The defense
-//! axis decides which system is simulated:
+//! group population lost its good majority (*capture*). The β and d₂
+//! axes are the classic pair; `churn_rate` and [`GraphKind`] joined as
+//! first-class axes for the churn-timed adversary and the
+//! topology-sensitivity question (capture thresholds shift with the
+//! input-graph family, the tree-networks observation of Kailkhura et
+//! al. transplanted to overlay families). The defense axis decides
+//! which system is simulated:
 //!
 //! * [`Defense::NoPow`] — the adversary's chosen ID values go straight
 //!   into the §III dynamic layer ([`DynamicSystem`] +
@@ -26,28 +31,35 @@
 //!   desired placement survives only as far as the minting scheme
 //!   allows (realized under `single-hash`, discarded under `f∘g`).
 //!
-//! The **frontier** of a (strategy, defense, d₂) row is the smallest β
-//! whose cell captures more than [`CAPTURE_EPS`] of the groups — the β
-//! at which that strategy first breaks through that defense at that
-//! group size. Expected shape, and what E11's acceptance test pins: the
-//! `f∘g` frontier sits at strictly higher β than the no-PoW frontier
-//! for every adaptive placement strategy, and both frontiers rise with
-//! d₂ (bigger groups buy β headroom).
+//! The **frontier** of a row — one [`RowKey`], i.e. one (strategy,
+//! defense, d₂, churn, topology) combination — is the smallest β whose
+//! cell captures more than [`CAPTURE_EPS`] of the groups: the β at
+//! which that strategy first breaks through that defense at that
+//! operating point. Expected shape, and what E11's acceptance test
+//! pins: the `f∘g` frontier sits at strictly higher β than the no-PoW
+//! frontier for every adaptive placement strategy, and both frontiers
+//! rise with d₂ (bigger groups buy β headroom).
 //!
 //! The sweep is embarrassingly parallel and fully deterministic: rows
 //! fan out through [`tg_sim::parallel_map`], and every trial draws from
 //! a [`tg_sim::derive_seed_grid`] stream keyed by the cell's coordinate
-//! — results are byte-identical regardless of thread count. Within a
-//! row, β is swept ascending with an early exit: once a cell captures
-//! at least [`OVERRUN`] of the groups, higher-β cells are emitted as
-//! `skipped-overrun` instead of simulated (capture is monotone in β, so
-//! the simulation would only spend time confirming a lost system).
+//! — results are byte-identical regardless of thread count. The cell
+//! key is the row's [`RowKey::label`] (the categorical part) plus a
+//! (β index, trial) grid coordinate; the label format for rows on the
+//! legacy axes (churn [`LEGACY_CHURN`], Chord) is frozen so the
+//! committed golden corpus — and any cell the adaptive refinement
+//! engine ([`crate::refine`]) re-addresses — replays bit-for-bit.
+//! Within a row, β is swept ascending with an early exit: once a cell
+//! captures at least [`OVERRUN`] of the groups, higher-β cells are
+//! emitted as `skipped-overrun` instead of simulated (capture is
+//! monotone in β, so the simulation would only spend time confirming a
+//! lost system).
 
 use crate::table::{f, Table};
 use rand::rngs::StdRng;
 use tg_core::dynamic::adversary::{
-    AdaptiveMajorityFlipper, AdversaryStrategy, GapFilling, IntervalTargeting, StrategicProvider,
-    Uniform,
+    AdaptiveMajorityFlipper, AdversaryStrategy, ChurnTimed, GapFilling, IntervalTargeting,
+    StrategicProvider, Uniform,
 };
 use tg_core::dynamic::{AdversaryView, BuildMode, DynamicSystem, EpochIds, IdentityProvider};
 use tg_core::Params;
@@ -68,6 +80,10 @@ pub const CAPTURE_EPS: f64 = 0.01;
 /// Early-exit threshold: once a cell's captured fraction reaches this,
 /// the system is overrun and higher β in the same row are skipped.
 pub const OVERRUN: f64 = 0.5;
+
+/// The churn rate of the original 2-D (β × d₂) sweeps, frozen into the
+/// legacy cell-label format (see [`RowKey::label`]).
+pub const LEGACY_CHURN: f64 = 0.1;
 
 /// The victim key for the `interval-targeting` strategy.
 const VICTIM: f64 = 0.40;
@@ -104,6 +120,44 @@ impl Defense {
     }
 }
 
+/// The categorical coordinate of one frontier row: everything about a
+/// cell except its β rung and trial index.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RowKey {
+    /// Strategy name (see [`make_strategy`]).
+    pub strategy: &'static str,
+    /// Defense column.
+    pub defense: Defense,
+    /// Group-size factor (`draws = d₂·ln ln n`; `d₁ = d₂/2`).
+    pub d2: f64,
+    /// Per-epoch good-departure fraction.
+    pub churn: f64,
+    /// Input-graph topology family.
+    pub kind: GraphKind,
+}
+
+impl RowKey {
+    /// Whether this row sits on the frozen legacy axes of the original
+    /// 2-D sweep (churn [`LEGACY_CHURN`], Chord topology).
+    pub fn is_legacy_axes(&self) -> bool {
+        self.churn == LEGACY_CHURN && self.kind == GraphKind::Chord
+    }
+
+    /// The seed-stream label of this row's cells. **This string is a
+    /// persistence format**: both sweep engines (uniform grid and
+    /// adaptive refinement) and the golden corpus address cells through
+    /// it, so rows on the legacy axes keep the exact pre-N-D spelling
+    /// and the extended axes append rather than reorder.
+    pub fn label(&self) -> String {
+        let (strategy, defense, d2) = (self.strategy, self.defense.label(), self.d2);
+        if self.is_legacy_axes() {
+            format!("e11/{strategy}/{defense}/{d2}")
+        } else {
+            format!("e11/{strategy}/{defense}/{d2}/c{}/{}", self.churn, self.kind.name())
+        }
+    }
+}
+
 /// The grid one frontier sweep covers.
 #[derive(Clone, Debug)]
 pub struct FrontierConfig {
@@ -111,8 +165,12 @@ pub struct FrontierConfig {
     pub n_good: usize,
     /// Adversary budget fractions, **ascending** (early exit walks up).
     pub betas: Vec<f64>,
-    /// Group-size factors swept (`draws = d₂·ln ln n`; `d₁ = d₂/2`).
+    /// Group-size factors swept.
     pub d2s: Vec<f64>,
+    /// Per-epoch good-departure fractions swept.
+    pub churns: Vec<f64>,
+    /// Input-graph topology families swept.
+    pub kinds: Vec<GraphKind>,
     /// Strategy names (see [`make_strategy`]).
     pub strategies: Vec<&'static str>,
     /// Defense columns.
@@ -127,6 +185,27 @@ pub struct FrontierConfig {
     pub seed: u64,
 }
 
+impl FrontierConfig {
+    /// Every row of the grid, in sweep order (strategy-major, then
+    /// defense, d₂, churn, topology). Shared with the refinement engine
+    /// so both sweeps enumerate identical rows.
+    pub fn rows(&self) -> Vec<RowKey> {
+        let mut specs = Vec::new();
+        for &strategy in &self.strategies {
+            for &defense in &self.defenses {
+                for &d2 in &self.d2s {
+                    for &churn in &self.churns {
+                        for &kind in &self.kinds {
+                            specs.push(RowKey { strategy, defense, d2, churn, kind });
+                        }
+                    }
+                }
+            }
+        }
+        specs
+    }
+}
+
 /// A fresh strategy instance by name. The hoarder grinds real puzzles
 /// against the epoch string its view carries, so it gets an oracle
 /// family derived from the trial seed and an easy calibration sized to
@@ -139,6 +218,7 @@ pub fn make_strategy(name: &str, trial_seed: u64, budget: usize) -> Box<dyn Adve
             Box::new(IntervalTargeting { victim: Id::from_f64(VICTIM), width: 0.01 })
         }
         "adaptive-majority-flipper" => Box::new(AdaptiveMajorityFlipper::default()),
+        "churn-timed" => Box::new(ChurnTimed::default()),
         "precompute-hoarder" => {
             let puzzle = PuzzleParams { tau: Id::from_f64(0.02), attempts_per_step: 1, t_epoch: 2 };
             let fam = OracleFamily::new(trial_seed ^ 0xE11);
@@ -150,14 +230,14 @@ pub fn make_strategy(name: &str, trial_seed: u64, budget: usize) -> Box<dyn Adve
 }
 
 /// Construction parameters of one cell: the paper's defaults with the
-/// swept (β, d₂) installed and the E10 sweep conventions (mild churn,
-/// no join-request attack — capture is the measured variable).
-fn cell_params(beta: f64, d2: f64) -> Params {
+/// swept (β, d₂, churn) installed and the E10 sweep conventions (no
+/// join-request attack — capture is the measured variable).
+fn cell_params(beta: f64, d2: f64, churn: f64) -> Params {
     let mut params = Params::paper_defaults();
     params.beta = beta;
     params.d2 = d2;
     params.d1 = d2 / 2.0;
-    params.churn_rate = 0.1;
+    params.churn_rate = churn;
     params.attack_requests_per_id = 0;
     params
 }
@@ -195,26 +275,25 @@ impl IdentityProvider for Recording {
 }
 
 /// Mean per-epoch measurements of one trial.
-struct TrialStats {
-    captured_frac: f64,
-    bad_ids: f64,
-    bad_share: f64,
-    frac_red: f64,
-    success_dual: f64,
+#[derive(Clone, Copy, Debug)]
+pub struct TrialStats {
+    /// Mean fraction of groups without a good majority.
+    pub captured_frac: f64,
+    /// Mean adversarial IDs entering the dynamic layer per epoch.
+    pub bad_ids: f64,
+    /// Mean key-space share those IDs own.
+    pub bad_share: f64,
+    /// Mean side-0 red fraction.
+    pub frac_red: f64,
+    /// Mean dual-search success.
+    pub success_dual: f64,
 }
 
 /// One seeded simulation of one cell.
-fn run_trial(
-    cfg: &FrontierConfig,
-    strategy: &'static str,
-    defense: Defense,
-    d2: f64,
-    beta: f64,
-    trial_seed: u64,
-) -> TrialStats {
-    let params = cell_params(beta, d2);
+fn run_trial(cfg: &FrontierConfig, key: &RowKey, beta: f64, trial_seed: u64) -> TrialStats {
+    let params = cell_params(beta, key.d2, key.churn);
     let budget = (beta / (1.0 - beta) * cfg.n_good as f64).round() as usize;
-    let strategy = make_strategy(strategy, trial_seed, budget);
+    let strategy = make_strategy(key.strategy, trial_seed, budget);
     let epochs = cfg.epochs.max(1);
     let mut acc = TrialStats {
         captured_frac: 0.0,
@@ -223,13 +302,13 @@ fn run_trial(
         frac_red: 0.0,
         success_dual: 0.0,
     };
-    match defense {
+    match key.defense {
         Defense::NoPow => {
             let inner = Box::new(StrategicProvider::boxed(cfg.n_good, budget, strategy));
             let mut provider = Recording { inner, last_bad: 0, last_share: 0.0 };
             let mut sys = DynamicSystem::new(
                 params,
-                GraphKind::Chord,
+                key.kind,
                 BuildMode::DualGraph,
                 &mut provider,
                 trial_seed,
@@ -248,7 +327,7 @@ fn run_trial(
             let provider = StrategicPowProvider::boxed(cfg.n_good, budget as f64, scheme, strategy);
             let mut sys = FullSystem::new(
                 params,
-                GraphKind::Chord,
+                key.kind,
                 PuzzleParams::calibrated(16, 2048),
                 StringParams::default(),
                 cfg.n_good,
@@ -281,25 +360,75 @@ fn run_trial(
     }
 }
 
+/// Evaluate one cell — `trials` seeded simulations of row `key` at β
+/// rung `bi`, starting at trial index `t0`.
+///
+/// This is the one place cell randomness is derived: both the uniform
+/// grid and the adaptive refinement engine evaluate cells through here,
+/// so a cell addressed by the same `(row, rung, trial)` coordinate is
+/// byte-identical across engines — the structural fact behind E12's
+/// "same frontier, fewer cell-runs" acceptance claim. `t0 > 0` lets the
+/// refinement engine pour *extra* seeds into a cell by extending the
+/// same trial stream rather than re-drawing it.
+pub fn eval_cell(
+    cfg: &FrontierConfig,
+    key: &RowKey,
+    bi: usize,
+    beta: f64,
+    t0: usize,
+    trials: usize,
+) -> Vec<TrialStats> {
+    let label = key.label();
+    (t0..t0 + trials)
+        .map(|t| {
+            let trial_seed = derive_seed_grid(cfg.seed, &label, bi as u64, t as u64);
+            run_trial(cfg, key, beta, trial_seed)
+        })
+        .collect()
+}
+
 /// One cell of the grid, aggregated over trials (`None` when skipped by
 /// the early exit).
 #[derive(Clone, Debug)]
 struct Cell {
-    strategy: &'static str,
-    defense: Defense,
-    d2: f64,
+    key: RowKey,
     beta: f64,
     stats: Option<CellStats>,
 }
 
+/// Trial-aggregated cell measurements.
 #[derive(Clone, Copy, Debug)]
-struct CellStats {
-    captured_frac: f64,
-    capture_rate: f64,
-    bad_ids: f64,
-    bad_share: f64,
-    frac_red: f64,
-    success_dual: f64,
+pub struct CellStats {
+    /// Mean captured-group fraction over the trials.
+    pub captured_frac: f64,
+    /// Fraction of trials whose captured fraction exceeded
+    /// [`CAPTURE_EPS`] — the Bernoulli rate confidence bands are built
+    /// on.
+    pub capture_rate: f64,
+    /// Mean adversarial IDs per epoch.
+    pub bad_ids: f64,
+    /// Mean adversarial key-space share.
+    pub bad_share: f64,
+    /// Mean side-0 red fraction.
+    pub frac_red: f64,
+    /// Mean dual-search success.
+    pub success_dual: f64,
+}
+
+impl CellStats {
+    /// Aggregate per-trial measurements.
+    pub fn of(trials: &[TrialStats]) -> CellStats {
+        let n = trials.len().max(1) as f64;
+        CellStats {
+            captured_frac: trials.iter().map(|t| t.captured_frac).sum::<f64>() / n,
+            capture_rate: trials.iter().filter(|t| t.captured_frac > CAPTURE_EPS).count() as f64
+                / n,
+            bad_ids: trials.iter().map(|t| t.bad_ids).sum::<f64>() / n,
+            bad_share: trials.iter().map(|t| t.bad_share).sum::<f64>() / n,
+            frac_red: trials.iter().map(|t| t.frac_red).sum::<f64>() / n,
+            success_dual: trials.iter().map(|t| t.success_dual).sum::<f64>() / n,
+        }
+    }
 }
 
 /// Everything one frontier sweep emits.
@@ -307,10 +436,10 @@ struct CellStats {
 pub struct FrontierOutcome {
     /// The per-cell heatmap table (`e11_frontier.csv`).
     pub cells: Table,
-    /// The capture frontier per (strategy, defense, d₂)
-    /// (`e11_frontier_map.csv`).
+    /// The capture frontier per row (`e11_frontier_map.csv`).
     pub frontier: Table,
-    /// Text-rendered β × d₂ heatmap panes, one per (strategy, defense).
+    /// Text-rendered β × d₂ heatmap panes, one per (strategy, defense,
+    /// churn, topology).
     pub heatmaps: String,
 }
 
@@ -321,59 +450,36 @@ impl FrontierOutcome {
     }
 
     /// The frontier β for a (strategy, defense, d₂) row, or `None` when
-    /// the strategy never captured within the swept range.
+    /// the strategy never captured within the swept range. With multiple
+    /// churn/topology axis values this returns the first matching row in
+    /// sweep order; disambiguate through the table directly when those
+    /// axes are swept.
     pub fn frontier_beta(&self, strategy: &str, defense: &str, d2: &str) -> Option<f64> {
         self.frontier
             .rows
             .iter()
             .find(|r| r[0] == strategy && r[1] == defense && r[2] == d2)
-            .and_then(|r| r[3].parse().ok())
+            .and_then(|r| r[5].parse().ok())
     }
 }
 
-/// Run the full grid. Rows — one per (strategy, defense, d₂) — fan out
-/// in parallel; each row walks β ascending with the overrun early exit.
+/// Run the full grid. Rows — one per [`RowKey`] — fan out in parallel;
+/// each row walks β ascending with the overrun early exit.
 pub fn run_frontier(cfg: &FrontierConfig) -> FrontierOutcome {
-    let mut specs: Vec<(&'static str, Defense, f64)> = Vec::new();
-    for &strategy in &cfg.strategies {
-        for &defense in &cfg.defenses {
-            for &d2 in &cfg.d2s {
-                specs.push((strategy, defense, d2));
-            }
-        }
-    }
-
-    let rows: Vec<Vec<Cell>> = parallel_map(specs, |(strategy, defense, d2)| {
+    let rows: Vec<Vec<Cell>> = parallel_map(cfg.rows(), |key| {
         // The grid stream for this row: coordinates are (β index, trial),
         // the label carries the row identity — early exits never shift
         // another cell's randomness.
-        let label = format!("e11/{strategy}/{}/{d2}", defense.label());
         let mut out = Vec::with_capacity(cfg.betas.len());
         let mut overrun = false;
         for (bi, &beta) in cfg.betas.iter().enumerate() {
             if overrun {
-                out.push(Cell { strategy, defense, d2, beta, stats: None });
+                out.push(Cell { key, beta, stats: None });
                 continue;
             }
-            let trials: Vec<TrialStats> = (0..cfg.trials)
-                .map(|t| {
-                    let trial_seed = derive_seed_grid(cfg.seed, &label, bi as u64, t as u64);
-                    run_trial(cfg, strategy, defense, d2, beta, trial_seed)
-                })
-                .collect();
-            let n = trials.len().max(1) as f64;
-            let stats = CellStats {
-                captured_frac: trials.iter().map(|t| t.captured_frac).sum::<f64>() / n,
-                capture_rate: trials.iter().filter(|t| t.captured_frac > CAPTURE_EPS).count()
-                    as f64
-                    / n,
-                bad_ids: trials.iter().map(|t| t.bad_ids).sum::<f64>() / n,
-                bad_share: trials.iter().map(|t| t.bad_share).sum::<f64>() / n,
-                frac_red: trials.iter().map(|t| t.frac_red).sum::<f64>() / n,
-                success_dual: trials.iter().map(|t| t.success_dual).sum::<f64>() / n,
-            };
+            let stats = CellStats::of(&eval_cell(cfg, &key, bi, beta, 0, cfg.trials));
             overrun = stats.captured_frac >= OVERRUN;
-            out.push(Cell { strategy, defense, d2, beta, stats: Some(stats) });
+            out.push(Cell { key, beta, stats: Some(stats) });
         }
         out
     });
@@ -385,6 +491,19 @@ pub fn run_frontier(cfg: &FrontierConfig) -> FrontierOutcome {
     }
 }
 
+/// The axis columns every sweep table leads with. Shared with the
+/// refinement engine so the two engines' maps stay byte-comparable
+/// column for column.
+pub(crate) fn key_cells(key: &RowKey) -> Vec<String> {
+    vec![
+        key.strategy.to_string(),
+        key.defense.label().to_string(),
+        f(key.d2),
+        f(key.churn),
+        key.kind.name().to_string(),
+    ]
+}
+
 fn cells_table(cfg: &FrontierConfig, rows: &[Vec<Cell>]) -> Table {
     let mut t = Table::new(
         "e11_frontier",
@@ -392,6 +511,8 @@ fn cells_table(cfg: &FrontierConfig, rows: &[Vec<Cell>]) -> Table {
             "strategy",
             "defense",
             "d2",
+            "churn",
+            "kind",
             "beta",
             "status",
             "trials",
@@ -405,12 +526,8 @@ fn cells_table(cfg: &FrontierConfig, rows: &[Vec<Cell>]) -> Table {
         ],
     );
     for cell in rows.iter().flatten() {
-        let mut row = vec![
-            cell.strategy.to_string(),
-            cell.defense.label().to_string(),
-            f(cell.d2),
-            f(cell.beta),
-        ];
+        let mut row = key_cells(&cell.key);
+        row.push(f(cell.beta));
         match cell.stats {
             Some(s) => row.extend([
                 "run".to_string(),
@@ -443,7 +560,7 @@ fn cells_table(cfg: &FrontierConfig, rows: &[Vec<Cell>]) -> Table {
 fn frontier_table(rows: &[Vec<Cell>]) -> Table {
     let mut t = Table::new(
         "e11_frontier_map",
-        &["strategy", "defense", "d2", "frontier_beta", "captured_at_frontier"],
+        &["strategy", "defense", "d2", "churn", "kind", "frontier_beta", "captured_at_frontier"],
     );
     for row in rows {
         if row.is_empty() {
@@ -455,14 +572,9 @@ fn frontier_table(rows: &[Vec<Cell>]) -> Table {
             Some(c) => (f(c.beta), f(c.stats.expect("found by stats").captured_frac)),
             None => ("-".to_string(), "-".to_string()),
         };
-        let head = &row[0];
-        t.push(vec![
-            head.strategy.to_string(),
-            head.defense.label().to_string(),
-            f(head.d2),
-            beta,
-            at,
-        ]);
+        let mut cells = key_cells(&row[0].key);
+        cells.extend([beta, at]);
+        t.push(cells);
     }
     t
 }
@@ -479,33 +591,57 @@ fn glyph(cell: &Cell) -> char {
 }
 
 /// Render the β × d₂ panes, d₂ descending (large groups on top — the
-/// frontier reads as a coastline rising to the right).
+/// frontier reads as a coastline rising to the right). With swept churn
+/// or topology axes, each (churn, topology) combination gets its own
+/// pane; on a single legacy-axes sweep the pane headers keep the
+/// original two-part form.
 fn heatmaps(cfg: &FrontierConfig, rows: &[Vec<Cell>]) -> String {
     use std::fmt::Write as _;
     let mut out = String::new();
     for &strategy in &cfg.strategies {
         for &defense in &cfg.defenses {
-            let _ = writeln!(out, "[{strategy} vs {}]", defense.label());
-            let header: Vec<String> = cfg.betas.iter().map(|&b| f(b)).collect();
-            let _ = writeln!(out, "  {:>7}  β= {}", "", header.join("  "));
-            let mut d2s = cfg.d2s.clone();
-            d2s.sort_by(|a, b| b.partial_cmp(a).expect("finite d2"));
-            for d2 in d2s {
-                let row = rows
-                    .iter()
-                    .flatten()
-                    .filter(|c| c.strategy == strategy && c.defense == defense && c.d2 == d2);
-                let glyphs: Vec<String> = cfg
-                    .betas
-                    .iter()
-                    .map(|&beta| {
-                        let cell = row.clone().find(|c| c.beta == beta).expect("full grid");
-                        format!("{:^width$}", glyph(cell), width = f(beta).len())
-                    })
-                    .collect();
-                let _ = writeln!(out, "  d2={:<4}     {}", f(d2), glyphs.join("  "));
+            for &churn in &cfg.churns {
+                for &kind in &cfg.kinds {
+                    let legacy_pane = cfg.churns.len() == 1
+                        && cfg.kinds.len() == 1
+                        && churn == LEGACY_CHURN
+                        && kind == GraphKind::Chord;
+                    if legacy_pane {
+                        let _ = writeln!(out, "[{strategy} vs {}]", defense.label());
+                    } else {
+                        let _ = writeln!(
+                            out,
+                            "[{strategy} vs {} | churn={} {}]",
+                            defense.label(),
+                            f(churn),
+                            kind.name()
+                        );
+                    }
+                    let header: Vec<String> = cfg.betas.iter().map(|&b| f(b)).collect();
+                    let _ = writeln!(out, "  {:>7}  β= {}", "", header.join("  "));
+                    let mut d2s = cfg.d2s.clone();
+                    d2s.sort_by(|a, b| b.partial_cmp(a).expect("finite d2"));
+                    for d2 in d2s {
+                        let row = rows.iter().flatten().filter(|c| {
+                            c.key.strategy == strategy
+                                && c.key.defense == defense
+                                && c.key.d2 == d2
+                                && c.key.churn == churn
+                                && c.key.kind == kind
+                        });
+                        let glyphs: Vec<String> = cfg
+                            .betas
+                            .iter()
+                            .map(|&beta| {
+                                let cell = row.clone().find(|c| c.beta == beta).expect("full grid");
+                                format!("{:^width$}", glyph(cell), width = f(beta).len())
+                            })
+                            .collect();
+                        let _ = writeln!(out, "  d2={:<4}     {}", f(d2), glyphs.join("  "));
+                    }
+                    let _ = writeln!(out);
+                }
             }
-            let _ = writeln!(out);
         }
     }
     out.push_str("·  quiet (< 1% groups captured)   +  captured   #  overrun (≥ 50%)   »  skipped after overrun\n");

@@ -20,14 +20,17 @@
 //! | `e9_precompute` | §IV-B: pre-computation attack neutralized |
 //! | `e10_adversaries` | The adversary-strategy matrix: placement strategies × identity pipelines |
 //! | `e11_frontier` | The adversary-vs-defense frontier: β × d₂ capture heatmaps over the real `FullSystem` protocol |
+//! | `e12_refine` | Adaptive frontier refinement: bisected thresholds with confidence bands over the churn × topology axes |
 //! | `figure1` | Figure 1: the input graph and group graph panels |
-//! | `run_all` | Everything above with default settings |
+//! | `run_all` | Everything above with default settings (`--only` runs a subset) |
 
 pub mod args;
 pub mod exp;
 pub mod frontier;
+pub mod refine;
 pub mod table;
 
 pub use args::Options;
-pub use frontier::{Defense, FrontierConfig, FrontierOutcome};
+pub use frontier::{Defense, FrontierConfig, FrontierOutcome, RowKey};
+pub use refine::{RefineConfig, RefineOutcome};
 pub use table::Table;

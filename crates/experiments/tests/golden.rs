@@ -19,7 +19,7 @@
 
 use tg_core::dynamic::{BuildMode, DynamicSystem, UniformProvider};
 use tg_core::Params;
-use tg_experiments::exp::{e11_frontier, e1_robustness, e4_epochs};
+use tg_experiments::exp::{e11_frontier, e12_refine, e1_robustness, e4_epochs};
 use tg_experiments::Options;
 use tg_overlay::GraphKind;
 
@@ -46,7 +46,7 @@ fn check_golden(name: &str, actual: &str) {
 }
 
 fn opts() -> Options {
-    Options { seed: 42, full: false, out_dir: "/tmp".into(), quiet: true }
+    Options { seed: 42, full: false, out_dir: "/tmp".into(), quiet: true, only: None }
 }
 
 /// E1 (static robustness sweep): every `RobustnessReport`-derived cell,
@@ -74,6 +74,21 @@ fn e11_frontier_matches_golden() {
     check_golden("e11_frontier.csv", &out.cells.to_csv());
     check_golden("e11_frontier_map.csv", &out.frontier.to_csv());
     check_golden("e11_frontier_heatmap.txt", &out.heatmaps);
+}
+
+/// E12 (adaptive frontier refinement): the seed-42 refinement over the
+/// churn × topology axes — every evaluated cell with its phase and
+/// confidence band, the refined frontier map, and the cost ledger,
+/// pinned. Beyond the numerical-drift net this also freezes the
+/// refinement *trajectory*: a change to the bisection order, the
+/// bracket bookkeeping, or the extra-seed policy shows up as a byte
+/// diff even when the located frontier is unchanged.
+#[test]
+fn e12_refine_matches_golden() {
+    let out = e12_refine::run(&opts());
+    check_golden("e12_refine_cells.csv", &out.cells.to_csv());
+    check_golden("e12_refine_map.csv", &out.frontier.to_csv());
+    check_golden("e12_refine_cost.csv", &out.cost.to_csv());
 }
 
 /// The raw `EpochReport` structure of a small dynamic run — all fields,

@@ -15,6 +15,7 @@ fn smoke_opts(name: &str) -> Options {
         full: false,
         out_dir: out.to_str().expect("utf-8 temp path").to_string(),
         quiet: true,
+        only: None,
     }
 }
 
@@ -136,6 +137,45 @@ fn e11_frontier_smoke() {
     }
 }
 
+/// E12 acceptance shape: the adaptive refinement sweeps the full
+/// strategy × defense × d₂ × churn × topology product (one map row per
+/// combination, every evaluated cell in the cells table), locates a
+/// frontier by bisection, and the cost ledger shows strictly fewer
+/// cell-runs than the uniform grid it replaces. The engine-equivalence
+/// and ≥2× saving claims are pinned by the unit tests in
+/// `exp::e12_refine` and the golden snapshot.
+#[test]
+fn e12_refine_smoke() {
+    let opts = smoke_opts("e12");
+    let out = e12_refine::run(&opts);
+    let cfg = e12_refine::config(&opts);
+    assert!(cfg.grid.betas.len() >= 8, "a ladder worth bisecting");
+    assert!(cfg.grid.churns.len() >= 2 && cfg.grid.kinds.len() >= 2, "the new axes are swept");
+    for strategy in e12_refine::STRATEGIES {
+        for defense in ["none", "f∘g"] {
+            for churn in e12_refine::CHURNS {
+                for kind in e12_refine::KINDS {
+                    assert!(
+                        out.frontier.rows.iter().any(|r| r[0] == strategy
+                            && r[1] == defense
+                            && r[3] == tg_experiments::table::f(churn)
+                            && r[4] == kind.name()),
+                        "missing row {strategy} × {defense} × {churn} × {}",
+                        kind.name()
+                    );
+                }
+            }
+        }
+    }
+    assert!(
+        out.cell_runs < cfg.grid.rows().len() * cfg.grid.betas.len(),
+        "refinement must beat the full grid"
+    );
+    for table in out.tables() {
+        check(table, &opts);
+    }
+}
+
 #[test]
 fn figure1_smoke() {
     let opts = smoke_opts("fig1");
@@ -171,6 +211,18 @@ fn e11_frontier_full_scale() {
     let mut opts = smoke_opts("e11-full");
     opts.full = true;
     for table in e11_frontier::run(&opts).tables() {
+        check(table, &opts);
+    }
+}
+
+/// The full refinement sweep — 16-rung ladder over four strategies ×
+/// three d₂ × three churn rates × three topologies (nightly CI).
+#[test]
+#[ignore = "paper-scale run; minutes of wall clock"]
+fn e12_refine_full_scale() {
+    let mut opts = smoke_opts("e12-full");
+    opts.full = true;
+    for table in e12_refine::run(&opts).tables() {
         check(table, &opts);
     }
 }

@@ -447,6 +447,53 @@ mod tests {
         );
     }
 
+    /// The churn-timed adversary composed through the full §IV protocol
+    /// (string agreement + strategic minting): under light churn it
+    /// camouflages — a retainer-sized minting count and a near-uniform
+    /// key-space share — and the epoch a heavy departure wave lands it
+    /// spends the whole budget end-on (realized here by the single-hash
+    /// ablation; `f∘g` would discard the placement but not the timing).
+    #[test]
+    fn churn_timed_strikes_only_after_heavy_departure_over_full_protocol() {
+        let run = |churn: f64| -> (usize, f64) {
+            let mut params = Params::paper_defaults();
+            params.churn_rate = churn;
+            params.attack_requests_per_id = 0;
+            let mut sys = FullSystem::new(
+                params,
+                GraphKind::Chord,
+                PuzzleParams::calibrated(16, 2048),
+                StringParams::default(),
+                700,
+                35.0, // β ≈ 5%
+                true,
+                83,
+            )
+            .with_adversary(StrategicPowProvider::boxed(
+                700,
+                35.0,
+                MintScheme::SingleHash,
+                Box::new(tg_core::dynamic::ChurnTimed::default()),
+            ));
+            sys.dynamics.searches_per_epoch = 100;
+            (0..2).map(|_| sys.run_epoch()).map(|r| (r.minted_bad, r.bad_share)).last().unwrap()
+        };
+        let (quiet_bad, quiet_share) = run(0.05);
+        let (heavy_bad, heavy_share) = run(0.25);
+        // Quiet: ≈ 20% of the ≈35-solution window; heavy: all of it.
+        assert!(quiet_bad < 18, "quiet epochs must hold back: minted {quiet_bad}");
+        assert!(heavy_bad > 22, "strike epochs must spend the budget: minted {heavy_bad}");
+        let beta = 35.0 / 735.0;
+        assert!(
+            heavy_share > 2.0 * beta,
+            "single-hash strike share {heavy_share:.4} must be amplified over β {beta:.4}"
+        );
+        assert!(
+            quiet_share < heavy_share / 2.0,
+            "camouflage share {quiet_share:.4} vs strike {heavy_share:.4}"
+        );
+    }
+
     #[test]
     fn strategic_pipeline_is_deterministic() {
         let run = || {

@@ -30,5 +30,5 @@ pub mod stats;
 pub use clock::EpochClock;
 pub use metrics::{CostReport, Metrics};
 pub use parallel::parallel_map;
-pub use rng::{derive_seed, derive_seed_grid, stream_rng, stream_rng_grid};
-pub use stats::Summary;
+pub use rng::{derive_seed, derive_seed_grid, derive_seed_nd, stream_rng, stream_rng_grid};
+pub use stats::{binomial_wilson, Summary};

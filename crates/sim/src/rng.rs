@@ -47,19 +47,36 @@ pub fn stream_rng(master: u64, label: &str, index: u64) -> StdRng {
     StdRng::seed_from_u64(derive_seed(master, label, index))
 }
 
-/// Derive a child seed from a **2-D grid coordinate** `(row, col)`.
+/// Derive a child seed from an **N-D grid coordinate**.
 ///
-/// Parameter-frontier sweeps index their cells by two coordinates (e.g.
-/// a β index and a trial index within one strategy × defense × d₂ row).
-/// Folding both coordinates through separate splitmix rounds — rather
-/// than hand-packing them into one index — keeps the column mapping a
-/// bijection within each row and makes cross-row streams independent in
-/// the same computational sense as [`derive_seed`]'s labels (64-bit
-/// hashes, so collisions are possible in principle but never from a
-/// packing artifact like `r + c` aliasing).
+/// Parameter sweeps index their cells by several coordinates (a β-rung
+/// index, a trial index, extra axis indices …). Each coordinate is
+/// folded through its own splitmix round — rather than hand-packed into
+/// one index — so the mapping stays a bijection along every axis and
+/// cross-coordinate streams are independent in the same computational
+/// sense as [`derive_seed`]'s labels (64-bit hashes, so collisions are
+/// possible in principle but never from a packing artifact like `r + c`
+/// aliasing). The fold is sequential: the 1-D prefix of a coordinate is
+/// `derive_seed` itself, and the 2-D prefix is [`derive_seed_grid`], so
+/// extending a sweep with new trailing axes never disturbs the streams
+/// of existing lower-dimensional cells.
+///
+/// # Panics
+/// Panics on an empty coordinate — a cell must have at least one axis.
+pub fn derive_seed_nd(master: u64, label: &str, coords: &[u64]) -> u64 {
+    let (&first, rest) = coords.split_first().expect("at least one grid coordinate");
+    let mut s = derive_seed(master, label, first);
+    for &c in rest {
+        s = splitmix64(s ^ c.wrapping_mul(0xd1b54a32d192ed03));
+    }
+    s
+}
+
+/// Derive a child seed from a **2-D grid coordinate** `(row, col)` —
+/// the [`derive_seed_nd`] special case frontier sweeps use for their
+/// (β index, trial) cell streams.
 pub fn derive_seed_grid(master: u64, label: &str, row: u64, col: u64) -> u64 {
-    let s = derive_seed(master, label, row);
-    splitmix64(s ^ col.wrapping_mul(0xd1b54a32d192ed03))
+    derive_seed_nd(master, label, &[row, col])
 }
 
 /// A `StdRng` for the labelled grid stream `(master, label, row, col)`.
@@ -120,6 +137,44 @@ mod tests {
         let a: u64 = stream_rng_grid(4, "cell", 5, 6).gen();
         let b: u64 = stream_rng_grid(4, "cell", 5, 6).gen();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn nd_extends_grid_compatibly() {
+        // The 1-D and 2-D prefixes of the N-D fold are exactly the
+        // existing helpers: extending a sweep to more axes must not move
+        // any seed an existing experiment already drew.
+        for r in 0..8u64 {
+            assert_eq!(derive_seed_nd(3, "cell", &[r]), derive_seed(3, "cell", r));
+            for c in 0..8u64 {
+                assert_eq!(derive_seed_nd(3, "cell", &[r, c]), derive_seed_grid(3, "cell", r, c));
+            }
+        }
+    }
+
+    #[test]
+    fn nd_coordinates_are_independent_streams() {
+        // No collisions across a 3-D box, and trailing zeros do not
+        // collapse a higher-dimensional cell onto its prefix stream.
+        let mut seen = std::collections::HashSet::new();
+        for a in 0..12u64 {
+            for b in 0..12u64 {
+                for c in 0..12u64 {
+                    assert!(
+                        seen.insert(derive_seed_nd(5, "nd", &[a, b, c])),
+                        "collision at ({a},{b},{c})"
+                    );
+                }
+            }
+        }
+        assert_ne!(derive_seed_nd(5, "nd", &[1, 2, 0]), derive_seed_nd(5, "nd", &[1, 2]));
+        assert_ne!(derive_seed_nd(5, "nd", &[1, 2, 3]), derive_seed_nd(5, "nd", &[3, 2, 1]));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one grid coordinate")]
+    fn nd_rejects_empty_coordinates() {
+        derive_seed_nd(1, "empty", &[]);
     }
 
     #[test]

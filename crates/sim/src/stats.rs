@@ -88,6 +88,38 @@ pub fn chi_square_accepts_uniform(stat: f64, dof: usize) -> bool {
     stat <= dof + 3.0 * (2.0 * dof).sqrt()
 }
 
+/// The Wilson score interval for a binomial proportion: the `z`-score
+/// confidence band on the success rate after `successes` out of `n`
+/// Bernoulli trials.
+///
+/// Unlike the naive normal interval (`p̂ ± z·√(p̂(1−p̂)/n)`), Wilson stays
+/// inside `[0, 1]` and gives sensible non-degenerate bands at the
+/// extremes (`0/n`, `n/n`) and at the tiny `n` a frontier-refinement
+/// sweep starts from — exactly where adaptive seed allocation has to
+/// decide whether two sides of a capture threshold are separated yet.
+/// Returns `(0, 1)` — total ignorance — for `n = 0`.
+///
+/// # Panics
+/// Panics when `successes > n` or `z` is not positive and finite.
+pub fn binomial_wilson(successes: usize, n: usize, z: f64) -> (f64, f64) {
+    assert!(successes <= n, "more successes ({successes}) than trials ({n})");
+    assert!(z.is_finite() && z > 0.0, "z-score must be positive and finite");
+    if n == 0 {
+        return (0.0, 1.0);
+    }
+    let (nf, p) = (n as f64, successes as f64 / n as f64);
+    let z2 = z * z;
+    let denom = 1.0 + z2 / nf;
+    let center = p + z2 / (2.0 * nf);
+    let half = z * (p * (1.0 - p) / nf + z2 / (4.0 * nf * nf)).sqrt();
+    // The interval can only clip at an edge the observations sit on;
+    // pin those exactly so `0/n` and `n/n` round-trip through the
+    // arithmetic without an ulp of drift.
+    let lo = if successes == 0 { 0.0 } else { ((center - half) / denom).max(0.0) };
+    let hi = if successes == n { 1.0 } else { ((center + half) / denom).min(1.0) };
+    (lo, hi)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -121,6 +153,42 @@ mod tests {
         assert_eq!(Summary::quantile(&v, 0.5), 50.0);
         assert_eq!(Summary::quantile(&v, 1.0), 100.0);
         assert_eq!(Summary::quantile(&v, 0.9), 90.0);
+    }
+
+    #[test]
+    fn wilson_contains_point_estimate_and_stays_in_unit_interval() {
+        for n in 1..40usize {
+            for s in 0..=n {
+                let (lo, hi) = binomial_wilson(s, n, 1.96);
+                let p = s as f64 / n as f64;
+                assert!((0.0..=1.0).contains(&lo) && (0.0..=1.0).contains(&hi));
+                assert!(lo <= p + 1e-12 && p <= hi + 1e-12, "({s}/{n}): [{lo},{hi}] vs {p}");
+                assert!(lo < hi, "({s}/{n}): degenerate interval");
+            }
+        }
+    }
+
+    #[test]
+    fn wilson_narrows_with_more_trials_and_widens_with_z() {
+        let (lo4, hi4) = binomial_wilson(2, 4, 1.96);
+        let (lo64, hi64) = binomial_wilson(32, 64, 1.96);
+        assert!(hi64 - lo64 < hi4 - lo4, "more trials must narrow the band");
+        let (lo_z1, hi_z1) = binomial_wilson(2, 4, 1.0);
+        assert!(hi4 - lo4 > hi_z1 - lo_z1, "bigger z must widen the band");
+    }
+
+    #[test]
+    fn wilson_edges_are_informative() {
+        // 0/n must pin the lower edge to 0 but keep a real upper bound;
+        // n/n mirrors it. This is the separation test the refinement
+        // engine runs at bracket cells.
+        let (lo, hi) = binomial_wilson(0, 6, 1.645);
+        assert_eq!(lo, 0.0);
+        assert!(hi > 0.0 && hi < 0.5, "0/6 upper bound {hi}");
+        let (lo1, hi1) = binomial_wilson(6, 6, 1.645);
+        assert_eq!(hi1, 1.0);
+        assert!(lo1 > 0.5, "6/6 lower bound {lo1}");
+        assert_eq!(binomial_wilson(0, 0, 1.0), (0.0, 1.0), "no data, no information");
     }
 
     #[test]

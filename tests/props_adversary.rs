@@ -13,16 +13,25 @@
 //!   less of the key space than uniform placement buys (if observation
 //!   plus choice were ever *worse* than blind noise, the "adaptive rows
 //!   are the hardest rows" framing would be vacuous).
+//!
+//! The timing strategy [`ChurnTimed`] signs a deliberately looser
+//! budget contract — **at most** `⌊βn⌋` per epoch (quiet epochs spend
+//! only its camouflage retainer) and exactly `⌊βn⌋` in a strike epoch —
+//! which its own properties below pin in both regimes, against a real
+//! post-churn observation for the strike side.
 
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::sync::OnceLock;
 use tiny_groups::core::dynamic::adversary::{
-    AdaptiveMajorityFlipper, AdversaryStrategy, AdversaryView, GapFilling, IntervalTargeting,
-    Uniform,
+    AdaptiveMajorityFlipper, AdversaryStrategy, AdversaryView, ChurnTimed, GapFilling,
+    IntervalTargeting, Uniform,
 };
-use tiny_groups::core::dynamic::EpochIds;
+use tiny_groups::core::dynamic::{BuildMode, DynamicSystem, EpochIds, StrategicProvider};
+use tiny_groups::core::Params;
 use tiny_groups::idspace::Id;
+use tiny_groups::overlay::GraphKind;
 
 /// A u.a.r. good census of `n` IDs.
 fn census(n: usize, seed: u64) -> Vec<Id> {
@@ -31,6 +40,8 @@ fn census(n: usize, seed: u64) -> Vec<Id> {
 }
 
 /// Every placement strategy of the engine, freshly instantiated.
+/// `ChurnTimed` is covered by its own properties below: its budget
+/// contract (≤, not ==) differs from the four exact-budget strategies.
 fn all_strategies(victim: u64, width: f64) -> Vec<Box<dyn AdversaryStrategy>> {
     vec![
         Box::new(Uniform),
@@ -38,6 +49,32 @@ fn all_strategies(victim: u64, width: f64) -> Vec<Box<dyn AdversaryStrategy>> {
         Box::new(IntervalTargeting { victim: Id(victim), width }),
         Box::new(AdaptiveMajorityFlipper::default()),
     ]
+}
+
+/// A shared small system whose pools just lost ≈30% of their good
+/// members — the heavy-departure observation that arms the churn-timed
+/// strike. Built once; the proptests only *read* its graphs.
+fn heavy_churn_system() -> &'static DynamicSystem {
+    static SYS: OnceLock<DynamicSystem> = OnceLock::new();
+    SYS.get_or_init(|| {
+        let mut provider = StrategicProvider::new(300, 15, Uniform);
+        let mut sys = DynamicSystem::new(
+            Params::paper_defaults(),
+            GraphKind::Chord,
+            BuildMode::DualGraph,
+            &mut provider,
+            911,
+        );
+        for g in sys.graphs.iter_mut() {
+            let good = g.pool.good_indices();
+            let departing = (good.len() as f64 * 0.3).round() as usize;
+            for &i in good.iter().take(departing) {
+                g.pool.mark_departed(i);
+            }
+            g.recolor();
+        }
+        sys
+    })
 }
 
 /// Key-space share owned by `bad` against the `good` census.
@@ -91,6 +128,63 @@ proptest! {
         let a: Vec<Vec<Id>> = all_strategies(victim, width).into_iter().map(run).collect();
         let b: Vec<Vec<Id>> = all_strategies(victim, width).into_iter().map(run).collect();
         prop_assert_eq!(a, b);
+    }
+
+    /// Churn-timed budget + ID space, both regimes: a quiet (genesis)
+    /// epoch spends at most the budget — the retainer, strictly less
+    /// for any budget ≥ 3 — and a strike epoch (observed heavy
+    /// departure) spends exactly the budget. No placement collides with
+    /// the census or itself in either regime.
+    #[test]
+    fn churn_timed_respects_budget_and_id_space(
+        seed in any::<u64>(),
+        n_sel in 60usize..300,
+        budget in 3usize..40,
+    ) {
+        let good = census(n_sel, seed);
+        let heavy = heavy_churn_system();
+        let strike_view =
+            AdversaryView { epoch: 2, graphs: &heavy.graphs, epoch_string: None };
+        for (view, label) in [(AdversaryView::genesis(0), "quiet"), (strike_view, "strike")] {
+            let mut s = ChurnTimed::default();
+            let mut rng = StdRng::seed_from_u64(seed ^ 0xC4);
+            let bad = s.place(&view, &good, budget, &mut rng);
+            prop_assert!(bad.len() <= budget, "{label}: budget exceeded");
+            if label == "quiet" {
+                prop_assert!(bad.len() < budget, "{label}: retainer must hold back");
+            } else {
+                prop_assert_eq!(bad.len(), budget, "{label}: strike must spend it all");
+            }
+            let mut all: Vec<Id> = good.iter().chain(bad.iter()).copied().collect();
+            all.sort_unstable();
+            prop_assert!(
+                all.windows(2).all(|w| w[0] != w[1]),
+                "{label}: placement collides inside the ID space"
+            );
+        }
+    }
+
+    /// Churn-timed determinism: fixed seed and view ⇒ bit-identical
+    /// placement, in both regimes.
+    #[test]
+    fn churn_timed_is_deterministic(
+        seed in any::<u64>(),
+        n_sel in 60usize..300,
+        budget in 1usize..40,
+    ) {
+        let good = census(n_sel, seed);
+        let heavy = heavy_churn_system();
+        for view in [
+            AdversaryView::genesis(0),
+            AdversaryView { epoch: 2, graphs: &heavy.graphs, epoch_string: None },
+        ] {
+            let run = || {
+                let mut s = ChurnTimed::default();
+                let mut rng = StdRng::seed_from_u64(seed.wrapping_add(9));
+                s.place(&view, &good, budget, &mut rng)
+            };
+            prop_assert_eq!(run(), run());
+        }
     }
 
     /// The adaptive flipper's key-space share never falls below what the
