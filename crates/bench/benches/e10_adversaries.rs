@@ -5,10 +5,9 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use tg_core::dynamic::adversary::{
     AdaptiveMajorityFlipper, AdversaryStrategy, AdversaryView, GapFilling, IntervalTargeting,
-    StrategicProvider, Uniform,
+    Uniform,
 };
-use tg_core::dynamic::{BuildMode, DynamicSystem};
-use tg_core::Params;
+use tg_core::scenario::{ScenarioSpec, StrategySpec};
 use tg_idspace::Id;
 use tg_overlay::GraphKind;
 
@@ -36,16 +35,17 @@ fn bench_placement(c: &mut Criterion) {
 fn bench_epoch(c: &mut Criterion) {
     let mut g = c.benchmark_group("e10_epochs");
     g.sample_size(10);
+    let spec = ScenarioSpec::new(380, 5)
+        .budget(20)
+        .churn(0.1)
+        .attack_requests(0)
+        .topology(GraphKind::D2B)
+        .strategy(StrategySpec::GapFilling)
+        .searches(100);
     g.bench_function("advance_epoch_n400_gap_filling", |b| {
         b.iter(|| {
-            let mut params = Params::paper_defaults();
-            params.churn_rate = 0.1;
-            params.attack_requests_per_id = 0;
-            let mut provider = StrategicProvider::new(380, 20, GapFilling);
-            let mut sys =
-                DynamicSystem::new(params, GraphKind::D2B, BuildMode::DualGraph, &mut provider, 5);
-            sys.searches_per_epoch = 100;
-            sys.advance_epoch(&mut provider)
+            let mut sys = spec.build().expect("strategic no-PoW scenario");
+            sys.step();
         });
     });
     g.finish();

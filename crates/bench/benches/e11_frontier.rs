@@ -2,38 +2,25 @@
 //! (string agreement + strategic minting + dynamic advance), and a
 //! miniature frontier grid through the sweep engine itself.
 use criterion::{criterion_group, criterion_main, Criterion};
-use tg_core::dynamic::GapFilling;
-use tg_core::Params;
+use tg_core::scenario::{ScenarioSpec, StrategySpec};
 use tg_experiments::frontier::{run_frontier, Defense, FrontierConfig};
 use tg_overlay::GraphKind;
-use tg_pow::{FullSystem, MintScheme, PuzzleParams, StrategicPowProvider, StringParams};
+use tg_pow::MintScheme;
 
 fn bench_strategic_epoch(c: &mut Criterion) {
     let mut g = c.benchmark_group("e11_full_system");
     g.sample_size(10);
+    let spec = ScenarioSpec::new(400, 5)
+        .budget(20)
+        .churn(0.1)
+        .attack_requests(0)
+        .strategy(StrategySpec::GapFilling)
+        .defense(Defense::Pow { scheme: MintScheme::SingleHash, fresh_strings: true })
+        .searches(100);
     g.bench_function("strategic_epoch_n400_gap_filling_single_hash", |b| {
         b.iter(|| {
-            let mut params = Params::paper_defaults();
-            params.churn_rate = 0.1;
-            params.attack_requests_per_id = 0;
-            let mut sys = FullSystem::new(
-                params,
-                GraphKind::Chord,
-                PuzzleParams::calibrated(16, 2048),
-                StringParams::default(),
-                400,
-                20.0,
-                true,
-                5,
-            )
-            .with_adversary(StrategicPowProvider::boxed(
-                400,
-                20.0,
-                MintScheme::SingleHash,
-                Box::new(GapFilling),
-            ));
-            sys.dynamics.searches_per_epoch = 100;
-            sys.run_epoch()
+            let mut sys = tg_pow::scenario::build(&spec).expect("strategic PoW scenario");
+            sys.step();
         });
     });
     g.finish();

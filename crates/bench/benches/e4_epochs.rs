@@ -1,23 +1,26 @@
 //! E4 kernel: one full epoch of the dynamic construction (churn + dual
-//! construction + measurement).
+//! construction + measurement), built through the scenario API like the
+//! experiment itself.
 use criterion::{criterion_group, criterion_main, Criterion};
-use tg_core::dynamic::{BuildMode, DynamicSystem, UniformProvider};
-use tg_core::Params;
+use tg_core::dynamic::BuildMode;
+use tg_core::scenario::ScenarioSpec;
 use tg_overlay::GraphKind;
 
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("e4_epochs");
     g.sample_size(10);
     for (label, mode) in [("dual", BuildMode::DualGraph), ("single", BuildMode::SingleGraph)] {
+        let spec = ScenarioSpec::new(380, 5)
+            .budget(20)
+            .churn(0.2)
+            .attack_requests(0)
+            .topology(GraphKind::D2B)
+            .build_mode(mode)
+            .searches(100);
         g.bench_function(format!("advance_epoch_n400_{label}"), |b| {
             b.iter(|| {
-                let mut params = Params::paper_defaults();
-                params.churn_rate = 0.2;
-                params.attack_requests_per_id = 0;
-                let mut provider = UniformProvider { n_good: 380, n_bad: 20 };
-                let mut sys = DynamicSystem::new(params, GraphKind::D2B, mode, &mut provider, 5);
-                sys.searches_per_epoch = 100;
-                sys.advance_epoch(&mut provider)
+                let mut sys = spec.build().expect("honest no-PoW scenario");
+                sys.step();
             });
         });
     }

@@ -12,11 +12,54 @@
 //! cell-run, cells swept, epochs simulated) rather than statistical
 //! micro-benchmark precision.
 //!
-//! Usage: `cargo run --release -p tg-bench --bin bench_trajectory
-//! [out_dir]`.
+//! Usage:
+//!
+//! * `cargo run --release -p tg-bench --bin bench_trajectory [out_dir]`
+//!   — run the probes and write the JSONs,
+//! * `… --bin bench_trajectory -- --compare <baseline_dir> [new_dir]`
+//!   — diff `new_dir`'s (default `.`) records against the previous main
+//!   artifact in `baseline_dir` and emit a GitHub `::warning::` per
+//!   record whose wall-ms-per-cell-run regressed by more than
+//!   [`tg_bench::REGRESSION_THRESHOLD`]. Always exits 0: the trajectory
+//!   alerts, it does not gate (quick-mode CI runners are noisy; a
+//!   persistent warning across commits is the signal).
 
 use std::time::{Instant, SystemTime, UNIX_EPOCH};
-use tg_bench::BenchRecord;
+use tg_bench::{regression_warning, BenchRecord, REGRESSION_THRESHOLD};
+
+/// The record files the trajectory tracks.
+const RECORDS: [&str; 2] = ["BENCH_e11.json", "BENCH_e12.json"];
+
+/// Compare mode: read each record from both directories and warn on
+/// regressions. Missing baseline files are reported and skipped (the
+/// first run on a branch has nothing to compare against).
+fn compare(baseline_dir: &str, new_dir: &str) {
+    for name in RECORDS {
+        let read = |dir: &str| std::fs::read_to_string(std::path::Path::new(dir).join(name));
+        let (baseline, current) = match (read(baseline_dir), read(new_dir)) {
+            (Ok(b), Ok(c)) => (b, c),
+            (Err(e), _) => {
+                println!("{name}: no baseline in {baseline_dir} ({e}); skipping");
+                continue;
+            }
+            (_, Err(e)) => {
+                println!("{name}: no fresh record in {new_dir} ({e}); skipping");
+                continue;
+            }
+        };
+        match regression_warning(name, &baseline, &current, REGRESSION_THRESHOLD) {
+            Some(msg) => println!("::warning title=bench-trajectory regression::{msg}"),
+            None => {
+                let per = |j: &str| tg_bench::json_number(j, "wall_ms_per_cell_run");
+                println!(
+                    "{name}: ok ({:?} -> {:?} ms per cell-run)",
+                    per(&baseline),
+                    per(&current)
+                );
+            }
+        }
+    }
+}
 use tg_experiments::frontier::{run_frontier, Defense, FrontierConfig};
 use tg_experiments::refine::{run_refine, RefineConfig};
 use tg_overlay::GraphKind;
@@ -68,7 +111,17 @@ fn write(out_dir: &str, name: &str, record: &BenchRecord) {
 }
 
 fn main() {
-    let out_dir = std::env::args().nth(1).unwrap_or_else(|| ".".to_string());
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("--compare") {
+        let Some(baseline_dir) = args.get(1) else {
+            eprintln!("usage: bench_trajectory --compare <baseline_dir> [new_dir]");
+            std::process::exit(2);
+        };
+        let new_dir = args.get(2).map(String::as_str).unwrap_or(".");
+        compare(baseline_dir, new_dir);
+        return;
+    }
+    let out_dir = args.first().cloned().unwrap_or_else(|| ".".to_string());
     let grid = quick_grid();
 
     // E11: the uniform sweep engine.

@@ -99,9 +99,90 @@ impl BenchRecord {
     }
 }
 
+/// Extract a numeric field from a flat JSON object of the
+/// [`BenchRecord::to_json`] shape (no nesting, no escapes — the same
+/// hand-rolled subset the workspace serializes).
+pub fn json_number(json: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let rest = json[json.find(&needle)? + needle.len()..].trim_start();
+    let end =
+        rest.find(|c: char| !(c.is_ascii_digit() || "+-.eE".contains(c))).unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// The fractional wall-ms-per-cell-run increase above which the CI
+/// trajectory step warns (the ROADMAP "alert instead of only archiving"
+/// threshold).
+pub const REGRESSION_THRESHOLD: f64 = 0.25;
+
+/// Compare a fresh trajectory record against the previous main
+/// artifact's JSON. `Some(message)` when per-cell-run wall time
+/// regressed by more than `threshold` (fractional); `None` when within
+/// budget or when either JSON is unreadable (a missing baseline is not
+/// a regression).
+pub fn regression_warning(
+    name: &str,
+    baseline_json: &str,
+    current_json: &str,
+    threshold: f64,
+) -> Option<String> {
+    let old = json_number(baseline_json, "wall_ms_per_cell_run")?;
+    let new = json_number(current_json, "wall_ms_per_cell_run")?;
+    if old <= 0.0 || new <= old * (1.0 + threshold) {
+        return None;
+    }
+    Some(format!(
+        "{name}: wall-ms per cell-run regressed {:.1}% ({old:.3} -> {new:.3} ms; threshold {}%)",
+        100.0 * (new / old - 1.0),
+        100.0 * threshold,
+    ))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn json_number_reads_the_serialized_fields() {
+        let r = BenchRecord {
+            bench: "e11_frontier",
+            mode: "quick",
+            cells_swept: 10,
+            trial_runs: 14,
+            epochs_total: 28,
+            wall_ms: 1234.5678,
+            unix_time: 1_700_000_000,
+        };
+        let json = r.to_json();
+        assert_eq!(json_number(&json, "cells_swept"), Some(10.0));
+        assert_eq!(json_number(&json, "wall_ms"), Some(1234.568));
+        assert_eq!(json_number(&json, "wall_ms_per_cell_run"), Some(123.457));
+        assert_eq!(json_number(&json, "nonexistent"), None);
+        assert_eq!(json_number(&json, "bench"), None, "strings are not numbers");
+    }
+
+    #[test]
+    fn regression_warning_fires_only_above_threshold() {
+        let record = |ms: f64| {
+            BenchRecord {
+                bench: "e11_frontier",
+                mode: "quick",
+                cells_swept: 1,
+                trial_runs: 1,
+                epochs_total: 1,
+                wall_ms: ms,
+                unix_time: 0,
+            }
+            .to_json()
+        };
+        let base = record(100.0);
+        assert!(regression_warning("e11", &base, &record(124.0), 0.25).is_none());
+        let msg = regression_warning("e11", &base, &record(130.0), 0.25);
+        assert!(msg.as_deref().is_some_and(|m| m.contains("30.0%")), "{msg:?}");
+        // Speedups and flat runs never warn; junk baselines are skipped.
+        assert!(regression_warning("e11", &base, &record(80.0), 0.25).is_none());
+        assert!(regression_warning("e11", "not json", &record(130.0), 0.25).is_none());
+    }
 
     #[test]
     fn bench_record_serializes_all_fields() {

@@ -18,6 +18,12 @@
 //! The [`adversary`] module supplies the other side of the game: a
 //! pluggable [`AdversaryStrategy`] that observes each epoch's graphs
 //! and chooses the bad-ID placement for the next (swept by E10).
+//!
+//! Consumers should rarely construct [`DynamicSystem`] directly: the
+//! unified scenario API ([`crate::scenario`]) describes a run
+//! declaratively and builds the right system behind an
+//! [`crate::scenario::EpochDriver`] — direct construction is for tests
+//! of this layer itself and for compositions the spec does not model.
 
 pub mod adversary;
 pub mod build;
@@ -29,5 +35,5 @@ pub use adversary::{
     IntervalTargeting, StrategicProvider, Uniform,
 };
 pub use build::{BuildMode, BuildStats};
-pub use provider::{EpochIds, IdentityProvider, UniformProvider};
+pub use provider::{EpochIds, IdentityProvider, UniformProvider, WithEpochString};
 pub use system::{DynamicSystem, EpochReport};

@@ -54,6 +54,55 @@ pub trait IdentityProvider {
         -> EpochIds;
 }
 
+/// A provider behind a mutable reference forwards as itself (lets
+/// wrappers like [`WithEpochString`] borrow a provider they do not
+/// own).
+impl<P: IdentityProvider + ?Sized> IdentityProvider for &mut P {
+    fn ids_for_epoch(
+        &mut self,
+        epoch: u64,
+        view: &AdversaryView<'_>,
+        rng: &mut StdRng,
+    ) -> EpochIds {
+        (**self).ids_for_epoch(epoch, view, rng)
+    }
+}
+
+/// Injects a PoW epoch string into the [`AdversaryView`] the inner
+/// provider observes.
+///
+/// The dynamic layer itself never carries an epoch string — it hands
+/// its providers a view with `epoch_string: None` (strings belong to
+/// §IV's minting pipeline). A composed system that agrees on a string
+/// *before* minting — `tg-pow`'s `FullSystem`, whose per-epoch
+/// counting wrapper composes this type — sets
+/// [`WithEpochString::epoch_string`] each epoch and the inner provider
+/// (and any strategy inside it) sees the string in force.
+#[derive(Debug)]
+pub struct WithEpochString<P> {
+    /// The wrapped provider.
+    pub inner: P,
+    /// The string minting is currently bound to (`None` before the
+    /// first agreement).
+    pub epoch_string: Option<u64>,
+}
+
+impl<P: IdentityProvider> IdentityProvider for WithEpochString<P> {
+    fn ids_for_epoch(
+        &mut self,
+        epoch: u64,
+        view: &AdversaryView<'_>,
+        rng: &mut StdRng,
+    ) -> EpochIds {
+        let view = AdversaryView {
+            epoch: view.epoch,
+            graphs: view.graphs,
+            epoch_string: self.epoch_string.or(view.epoch_string),
+        };
+        self.inner.ids_for_epoch(epoch, &view, rng)
+    }
+}
+
 /// The §II–III standing assumption: `n_good` good and `n_bad` bad IDs,
 /// all u.a.r. in `[0,1)`.
 #[derive(Clone, Debug)]

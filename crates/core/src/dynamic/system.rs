@@ -100,25 +100,18 @@ impl DynamicSystem {
 
     /// Run one epoch: intra-epoch churn on the serving pool, construction
     /// of the next pair through the current one, measurement, swap.
-    pub fn advance_epoch(&mut self, provider: &mut dyn IdentityProvider) -> EpochReport {
-        self.advance_epoch_with_string(provider, None)
-    }
-
-    /// [`DynamicSystem::advance_epoch`], with the PoW epoch string in
-    /// force exposed to the identity provider's [`AdversaryView`].
     ///
     /// The dynamic layer itself has no notion of epoch strings — they
-    /// belong to §IV's minting pipeline — but a composed system (e.g.
-    /// `tg-pow::FullSystem`) that agrees on a string *before* minting
-    /// must let a strategic provider observe it: hoarding strategies
-    /// grind against the string in force, and the fresh-vs-frozen
-    /// contrast of §IV-B only exists when the provider sees the real
-    /// protocol string rather than a synthesized stand-in.
-    pub fn advance_epoch_with_string(
-        &mut self,
-        provider: &mut dyn IdentityProvider,
-        epoch_string: Option<u64>,
-    ) -> EpochReport {
+    /// belong to §IV's minting pipeline, so the [`AdversaryView`] handed
+    /// to the provider carries `epoch_string: None`. A composed system
+    /// (e.g. `tg-pow::FullSystem`) that agrees on a string *before*
+    /// minting injects it at the provider layer instead: wrap the
+    /// strategic provider in [`crate::dynamic::WithEpochString`] and the
+    /// view its inner provider observes carries the string in force —
+    /// hoarding strategies grind against it, and the fresh-vs-frozen
+    /// contrast of §IV-B plays out over the real protocol string rather
+    /// than a synthesized stand-in.
+    pub fn advance_epoch(&mut self, provider: &mut dyn IdentityProvider) -> EpochReport {
         let mut rng = stream_rng(self.master_seed, "epoch", self.epoch);
         let mut metrics = Metrics::new();
 
@@ -153,7 +146,8 @@ impl DynamicSystem {
         // 2. Mint the next epoch's IDs and build the new graphs through
         //    the (churned) current ones. A strategic adversary inside the
         //    provider observes the graphs that just served this epoch.
-        let view = AdversaryView { epoch: self.epoch + 1, graphs: &self.graphs, epoch_string };
+        let view =
+            AdversaryView { epoch: self.epoch + 1, graphs: &self.graphs, epoch_string: None };
         let ids = provider.ids_for_epoch(self.epoch + 1, &view, &mut rng);
         let new_pop = Population::new(ids.good, ids.bad);
         let (news, build) = build_new_graphs(
@@ -308,7 +302,9 @@ mod tests {
     }
 
     #[test]
-    fn advance_epoch_threads_epoch_string_into_view() {
+    fn epoch_string_reaches_the_view_through_the_provider_wrapper() {
+        use crate::dynamic::provider::WithEpochString;
+
         struct StringSpy {
             inner: UniformProvider,
             seen: Vec<Option<u64>>,
@@ -327,13 +323,14 @@ mod tests {
         let mut params = Params::paper_defaults();
         params.churn_rate = 0.1;
         params.attack_requests_per_id = 0;
-        let mut spy =
-            StringSpy { inner: UniformProvider { n_good: 380, n_bad: 20 }, seen: Vec::new() };
+        let spy = StringSpy { inner: UniformProvider { n_good: 380, n_bad: 20 }, seen: Vec::new() };
+        let mut wrapped = WithEpochString { inner: spy, epoch_string: None };
         let mut sys =
-            DynamicSystem::new(params, GraphKind::D2B, BuildMode::DualGraph, &mut spy, 11);
-        sys.advance_epoch(&mut spy);
-        sys.advance_epoch_with_string(&mut spy, Some(0xABCD));
-        assert_eq!(spy.seen, vec![None, None, Some(0xABCD)]);
+            DynamicSystem::new(params, GraphKind::D2B, BuildMode::DualGraph, &mut wrapped, 11);
+        sys.advance_epoch(&mut wrapped);
+        wrapped.epoch_string = Some(0xABCD);
+        sys.advance_epoch(&mut wrapped);
+        assert_eq!(wrapped.inner.seen, vec![None, None, Some(0xABCD)]);
     }
 
     #[test]

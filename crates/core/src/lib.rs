@@ -30,6 +30,11 @@
 //!   placement policies (uniform, gap-filling, interval-targeting,
 //!   adaptive majority flipping) that observe each epoch's graphs and
 //!   choose the next epoch's bad-ID values (swept by E10),
+//! * [`scenario`] — the unified scenario API: a declarative
+//!   [`ScenarioSpec`] (defense ∈ {none, single-hash, f∘g, frozen
+//!   variants}, strategy, topology, churn, seed — round-tripping through
+//!   a stable label/JSON codec) built into a [`scenario::EpochDriver`],
+//!   the one trait every experiment, frontier cell, and bench drives,
 //! * [`bootstrap`] — pooled bootstrap groups for joiners (Appendix IX),
 //! * [`dht`] — the replicated key→value store over groups (the §I-A
 //!   motivating application),
@@ -47,6 +52,7 @@ pub mod population;
 pub mod render;
 pub mod robustness;
 pub mod routing;
+pub mod scenario;
 
 pub use bootstrap::{assemble_bootstrap, recommended_contacts, BootstrapGroup};
 pub use build::build_initial_graph;
@@ -57,3 +63,7 @@ pub use params::{GroupSizeRule, Params};
 pub use population::Population;
 pub use robustness::{measure_robustness, RobustnessReport};
 pub use routing::{search_path, SearchOutcome};
+pub use scenario::{
+    Defense, EpochDriver, EpochObservation, MintScheme, ScenarioError, ScenarioSpec, StrategySpec,
+    StringMode,
+};

@@ -1,0 +1,126 @@
+//! Property-based tests for the scenario codec: every expressible
+//! [`ScenarioSpec`] survives the round trip through both serialized
+//! forms — canonical label and flat JSON — field-for-field identical.
+//! Float axes use the full `f64` range of each parameter (Rust's
+//! shortest-roundtrip Display is part of the codec's contract).
+
+use proptest::prelude::*;
+use tg_core::dynamic::BuildMode;
+use tg_core::params::GroupSizeRule;
+use tg_core::scenario::{Defense, MintScheme, ScenarioSpec, StrategySpec, StringMode};
+use tg_overlay::GraphKind;
+
+/// Decode an index pair into one of the strategy variants, with
+/// parameters driven by the raw inputs.
+fn strategy(tag: u8, a: f64, b: f64, n: u64) -> StrategySpec {
+    match tag % 7 {
+        0 => StrategySpec::Honest,
+        1 => StrategySpec::Uniform,
+        2 => StrategySpec::GapFilling,
+        3 => StrategySpec::IntervalTargeting { victim: a, width: b },
+        4 => StrategySpec::AdaptiveMajorityFlipper { margin: (n % 9) as usize },
+        5 => StrategySpec::ChurnTimed { trigger: a, retainer: b },
+        _ => StrategySpec::PrecomputeHoarder { fam_seed: n, attempts: n.rotate_left(17) },
+    }
+}
+
+fn defense(tag: u8) -> Defense {
+    match tag % 5 {
+        0 => Defense::NoPow,
+        1 => Defense::Pow { scheme: MintScheme::TwoHash, fresh_strings: true },
+        2 => Defense::Pow { scheme: MintScheme::TwoHash, fresh_strings: false },
+        3 => Defense::Pow { scheme: MintScheme::SingleHash, fresh_strings: true },
+        _ => Defense::Pow { scheme: MintScheme::SingleHash, fresh_strings: false },
+    }
+}
+
+fn rule(tag: u8, c: f64, k: u64) -> GroupSizeRule {
+    match tag % 3 {
+        0 => GroupSizeRule::TinyLogLog,
+        1 => GroupSizeRule::ClassicLog { c },
+        _ => GroupSizeRule::Fixed(k as usize),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// spec → label → parse ⇒ the identical spec, and the same through
+    /// the JSON form (satellite contract of the scenario API).
+    #[test]
+    fn spec_round_trips_through_label_and_json(
+        n_good in 1usize..100_000,
+        n_bad in 0usize..50_000,
+        seed in any::<u64>(),
+        searches in 0usize..10_000,
+        beta in 0.0f64..0.5,
+        delta in 0.0f64..1.0,
+        d2 in 0.5f64..16.0,
+        churn in 0.0f64..0.45,
+        attack in 0usize..32,
+        retries in 0usize..8,
+        kind_tag in 0u8..4,
+        mode_tag in 0u8..2,
+        defense_tag in any::<u8>(),
+        strings_tag in 0u8..2,
+        strategy_tag in any::<u8>(),
+        sa in 0.0f64..1.0,
+        sb in 0.0f64..1.0,
+        sn in any::<u64>(),
+        rule_tag in any::<u8>(),
+        rule_c in 0.1f64..8.0,
+        rule_k in 1u64..64,
+        idealized in any::<bool>(),
+    ) {
+        let mut spec = ScenarioSpec::new(n_good, seed)
+            .beta(beta)
+            .budget(n_bad)
+            .group_factor(d2)
+            .churn(churn)
+            .attack_requests(attack)
+            .link_retries(retries)
+            .topology(GraphKind::ALL[(kind_tag % 4) as usize])
+            .build_mode(if mode_tag == 0 { BuildMode::DualGraph } else { BuildMode::SingleGraph })
+            .defense(defense(defense_tag))
+            .strings(if strings_tag == 0 { StringMode::Protocol } else { StringMode::Synthesized })
+            .strategy(strategy(strategy_tag, sa, sb, sn))
+            .searches(searches)
+            .idealized(idealized);
+        spec.params.delta = delta;
+        spec.params.size_rule = rule(rule_tag, rule_c, rule_k);
+
+        let label = spec.label();
+        let reparsed = ScenarioSpec::parse(&label);
+        prop_assert_eq!(reparsed.as_ref(), Ok(&spec), "label: {}", label);
+
+        let json = spec.to_json();
+        let reparsed = ScenarioSpec::from_json(&json);
+        prop_assert_eq!(reparsed.as_ref(), Ok(&spec), "json: {}", json);
+
+        // The label is canonical: re-serializing the parsed spec yields
+        // the same bytes (fit for cache keys / seed-stream labels).
+        prop_assert_eq!(ScenarioSpec::parse(&label).unwrap().label(), label);
+    }
+
+    /// Corrupting any single field value of a label either fails to
+    /// parse or parses to a *different* spec — no two distinct field
+    /// values alias one spec (the cell-key property).
+    #[test]
+    fn distinct_seeds_and_axes_never_alias(
+        n_good in 1usize..10_000,
+        seed in any::<u64>(),
+        other_seed in any::<u64>(),
+        churn in 0.0f64..0.45,
+        other_churn in 0.0f64..0.45,
+    ) {
+        let base = ScenarioSpec::new(n_good, seed).churn(churn);
+        let seed_changed = ScenarioSpec::new(n_good, other_seed).churn(churn);
+        let churn_changed = ScenarioSpec::new(n_good, seed).churn(other_churn);
+        if seed != other_seed {
+            prop_assert_ne!(base.label(), seed_changed.label());
+        }
+        if churn != other_churn {
+            prop_assert_ne!(base.label(), churn_changed.label());
+        }
+    }
+}

@@ -3,9 +3,10 @@
 //! Supported flags (all optional):
 //! `--seed <u64>` (default 42), `--full` (paper-scale parameters),
 //! `--out <dir>` (default `results/`), `--quiet` (suppress the table),
-//! `--only e10,e11,e12` (run a subset — consumed by `run_all`; the
-//! single-experiment binaries accept and ignore it so one flag set can
-//! be passed around scripts unchanged).
+//! `--only e10,e11,e12` (run a subset) and `--list` (print the
+//! experiment registry and exit — both consumed by `run_all`; the
+//! single-experiment binaries accept and ignore them so one flag set
+//! can be passed around scripts unchanged).
 
 /// Parsed command-line options.
 #[derive(Clone, Debug)]
@@ -21,11 +22,21 @@ pub struct Options {
     /// Restrict `run_all` to the named experiments (`e1`…`e12`,
     /// `figure1`). `None` runs everything.
     pub only: Option<Vec<String>>,
+    /// Print the experiment registry (name + one-line description) and
+    /// exit 0 instead of running anything (`run_all --list`).
+    pub list: bool,
 }
 
 impl Default for Options {
     fn default() -> Self {
-        Options { seed: 42, full: false, out_dir: "results".to_string(), quiet: false, only: None }
+        Options {
+            seed: 42,
+            full: false,
+            out_dir: "results".to_string(),
+            quiet: false,
+            only: None,
+            list: false,
+        }
     }
 }
 
@@ -46,6 +57,7 @@ impl Options {
                 }
                 "--full" => opts.full = true,
                 "--quiet" => opts.quiet = true,
+                "--list" => opts.list = true,
                 "--out" => {
                     opts.out_dir = it.next().unwrap_or_else(|| usage("--out needs a value"));
                 }
@@ -85,7 +97,10 @@ fn usage(msg: &str) -> ! {
     if !msg.is_empty() {
         eprintln!("error: {msg}");
     }
-    eprintln!("usage: <experiment> [--seed N] [--full] [--out DIR] [--quiet] [--only e10,e11,e12]");
+    eprintln!(
+        "usage: <experiment> [--seed N] [--full] [--out DIR] [--quiet] [--only e10,e11,e12] \
+         [--list]"
+    );
     std::process::exit(if msg.is_empty() { 0 } else { 2 });
 }
 
@@ -113,6 +128,12 @@ mod tests {
         assert!(o.full);
         assert_eq!(o.out_dir, "/tmp/x");
         assert!(o.quiet);
+    }
+
+    #[test]
+    fn list_flag_parses() {
+        assert!(parse(&["--list"]).list);
+        assert!(!parse(&[]).list);
     }
 
     #[test]

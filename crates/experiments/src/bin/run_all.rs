@@ -1,61 +1,46 @@
 //! Run every experiment with the given options — regenerates all the
-//! tables and figures recorded in EXPERIMENTS.md. `--only e10,e11,e12`
-//! restricts the run to a subset (CI smoke and local iteration).
-use tg_experiments::exp::*;
-use tg_experiments::Options;
+//! tables and figures recorded in EXPERIMENTS.md. The execution order,
+//! the `--list` output, and the `--only` validation all come from one
+//! place: [`tg_experiments::exp::REGISTRY`].
+//!
+//! * `--list` — print the registry (name + one-line description) and
+//!   exit 0,
+//! * `--only e10,e11,e12` — restrict the run to a subset (CI smoke and
+//!   local iteration); unknown names exit 2 with the known list.
 
-/// Every experiment stem `--only` may name, in run order.
-const KNOWN: [&str; 13] =
-    ["e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "figure1"];
+use tg_experiments::exp::REGISTRY;
+use tg_experiments::Options;
 
 fn main() {
     let opts = Options::from_env();
+    if opts.list {
+        let width = REGISTRY.iter().map(|e| e.name.len()).max().unwrap_or(0);
+        for e in REGISTRY {
+            println!("{:width$}  {}", e.name, e.description);
+        }
+        return;
+    }
     if let Some(only) = &opts.only {
-        let unknown: Vec<&str> =
-            only.iter().map(String::as_str).filter(|n| !KNOWN.contains(n)).collect();
+        let unknown: Vec<&str> = only
+            .iter()
+            .map(String::as_str)
+            .filter(|n| !REGISTRY.iter().any(|e| e.name == *n))
+            .collect();
         if !unknown.is_empty() {
-            eprintln!("[run_all] unknown experiment(s) {unknown:?}; known: {KNOWN:?}");
+            let known: Vec<&str> = REGISTRY.iter().map(|e| e.name).collect();
+            eprintln!("[run_all] unknown experiment(s) {unknown:?}; known: {known:?}");
             std::process::exit(2);
         }
     }
     let t0 = std::time::Instant::now();
     let mut ran = 0usize;
-    let mut step = |name: &str, banner: &str, f: &mut dyn FnMut(&Options)| {
-        if opts.selected(name) {
-            eprintln!("[run_all] {banner}…");
-            f(&opts);
+    for e in REGISTRY {
+        if opts.selected(e.name) {
+            eprintln!("[run_all] {}: {}…", e.name, e.description);
+            (e.run)(&opts);
             ran += 1;
         }
-    };
-    step("e1", "E1 robustness", &mut |o| e1_robustness::run(o).emit(o));
-    step("e2", "E2 group-size threshold", &mut |o| e2_groupsize::run(o).emit(o));
-    step("e3", "E3 cost comparison", &mut |o| e3_costs::run(o).emit(o));
-    step("e4", "E4 dynamic epochs + ablations", &mut |o| e4_epochs::run(o).emit(o));
-    step("e5", "E5 state attack", &mut |o| e5_state::run(o).emit(o));
-    step("e6", "E6 proof-of-work minting", &mut |o| {
-        for t in e6_pow::run(o) {
-            t.emit(o);
-        }
-    });
-    step("e7", "E7 string propagation", &mut |o| e7_strings::run(o).emit(o));
-    step("e8", "E8 cuckoo baseline", &mut |o| e8_cuckoo::run(o).emit(o));
-    step("e9", "E9 pre-computation attack", &mut |o| e9_precompute::run(o).emit(o));
-    step("e10", "E10 adversary strategies", &mut |o| {
-        for t in e10_adversaries::run(o) {
-            t.emit(o);
-        }
-    });
-    step("e11", "E11 adversary-vs-defense frontier", &mut |o| {
-        for t in e11_frontier::run(o).tables() {
-            t.emit(o);
-        }
-    });
-    step("e12", "E12 adaptive frontier refinement", &mut |o| {
-        for t in e12_refine::run(o).tables() {
-            t.emit(o);
-        }
-    });
-    step("figure1", "Figure 1", &mut |o| figure1::run(o).emit(o));
+    }
     if ran == 0 {
         eprintln!("[run_all] nothing selected — check the --only list");
         std::process::exit(2);

@@ -28,17 +28,11 @@ use crate::args::Options;
 use crate::table::{f, Table};
 use rand::rngs::StdRng;
 use rand::Rng;
-use tg_core::dynamic::adversary::{
-    AdaptiveMajorityFlipper, AdversaryStrategy, AdversaryView, GapFilling, IntervalTargeting,
-    StrategicProvider, Uniform,
-};
-use tg_core::dynamic::{BuildMode, DynamicSystem, EpochIds, IdentityProvider};
 use tg_core::routing::dual_search;
-use tg_core::Params;
-use tg_crypto::OracleFamily;
+use tg_core::scenario::{Defense, ScenarioSpec, StrategySpec, StringMode};
+use tg_core::{GroupGraph, Params};
 use tg_idspace::{Id, RingDistance};
-use tg_overlay::GraphKind;
-use tg_pow::{MintScheme, PrecomputeHoarder, PuzzleParams, StrategicPowProvider};
+use tg_pow::MintScheme;
 use tg_sim::{stream_rng, Metrics};
 
 /// The victim key the interval-targeting strategy concentrates on (all
@@ -59,109 +53,55 @@ pub const STRATEGIES: [&str; 5] = [
 /// The identity-pipeline axis of the sweep.
 pub const PIPELINES: [&str; 3] = ["none", "single-hash", "f∘g"];
 
-/// A fresh strategy instance by name. The hoarder grinds real puzzles,
-/// so it needs the oracle family and an easy calibration (exact hashing
-/// at ≈ `budget/τ` attempts per epoch stays cheap).
-fn make_strategy(name: &str, fam: OracleFamily, n_bad: usize) -> Box<dyn AdversaryStrategy> {
+/// The declarative strategy of one sweep cell. The hoarder grinds real
+/// puzzles, so its spec carries the cell's oracle-family seed and an
+/// attempt budget (≈ `n_bad/τ` exact hashes per epoch stays cheap).
+fn cell_strategy(name: &str, fam_seed: u64, n_bad: usize) -> StrategySpec {
     match name {
-        "uniform" => Box::new(Uniform),
-        "gap-filling" => Box::new(GapFilling),
+        "uniform" => StrategySpec::Uniform,
+        "gap-filling" => StrategySpec::GapFilling,
         "interval-targeting" => {
-            Box::new(IntervalTargeting { victim: Id::from_f64(VICTIM), width: VICTIM_WIDTH })
+            StrategySpec::IntervalTargeting { victim: VICTIM, width: VICTIM_WIDTH }
         }
-        "adaptive-majority-flipper" => Box::new(AdaptiveMajorityFlipper::default()),
+        "adaptive-majority-flipper" => StrategySpec::AdaptiveMajorityFlipper { margin: 2 },
         "precompute-hoarder" => {
-            let puzzle = PuzzleParams { tau: Id::from_f64(0.02), attempts_per_step: 1, t_epoch: 2 };
-            Box::new(PrecomputeHoarder::new(fam, puzzle, (n_bad as f64 / 0.02) as u64))
+            StrategySpec::PrecomputeHoarder { fam_seed, attempts: (n_bad as f64 / 0.02) as u64 }
         }
         other => panic!("unknown strategy {other}"),
     }
 }
 
-/// A provider composing `strategy` with the named identity pipeline.
-fn make_provider(
-    strategy: &str,
-    pipeline: &str,
-    n_good: usize,
-    n_bad: usize,
-    fam: OracleFamily,
-) -> Box<dyn IdentityProvider> {
-    let s = make_strategy(strategy, fam, n_bad);
+/// The identity-pipeline axis as a scenario defense. The PoW pipelines
+/// run at provider level with synthesized strings (the E10 convention:
+/// the real string-agreement protocol is E11's subject).
+fn cell_defense(pipeline: &str) -> Defense {
     match pipeline {
-        "none" => Box::new(StrategicProvider::boxed(n_good, n_bad, s)),
-        "single-hash" | "f∘g" => {
-            let scheme =
-                if pipeline == "f∘g" { MintScheme::TwoHash } else { MintScheme::SingleHash };
-            Box::new(StrategicPowProvider::boxed(n_good, n_bad as f64, scheme, s))
-        }
+        "none" => Defense::NoPow,
+        "single-hash" => Defense::Pow { scheme: MintScheme::SingleHash, fresh_strings: true },
+        "f∘g" => Defense::Pow { scheme: MintScheme::TwoHash, fresh_strings: true },
         other => panic!("unknown pipeline {other}"),
     }
 }
 
-/// Wraps a provider to record each epoch's adversary census (the
-/// dynamic system consumes the IDs, so measure them on the way in).
-struct Recording {
-    inner: Box<dyn IdentityProvider>,
-    /// Whether to compute the (O(n log n)) key-space share per epoch.
-    track_share: bool,
-    last_bad: usize,
-    last_share: f64,
-}
-
-impl IdentityProvider for Recording {
-    fn ids_for_epoch(
-        &mut self,
-        epoch: u64,
-        view: &AdversaryView<'_>,
-        rng: &mut StdRng,
-    ) -> EpochIds {
-        let ids = self.inner.ids_for_epoch(epoch, view, rng);
-        self.last_bad = ids.bad.len();
-        if self.track_share {
-            self.last_share = ids.bad_ring_share();
-        }
-        ids
-    }
-}
-
-/// The shared per-cell scaffolding: a recording provider around `inner`
-/// and a dual-graph Chord system seeded for the cell.
-fn cell_system(
-    inner: Box<dyn IdentityProvider>,
-    cell_seed: u64,
-    searches: usize,
-    track_share: bool,
-) -> (Recording, DynamicSystem) {
-    let mut provider = Recording { inner, track_share, last_bad: 0, last_share: 0.0 };
-    let mut sys = DynamicSystem::new(
-        sweep_params(),
-        GraphKind::Chord,
-        BuildMode::DualGraph,
-        &mut provider,
-        cell_seed,
-    );
-    sys.searches_per_epoch = searches;
-    (provider, sys)
-}
-
-/// Groups without a good majority, summed over both sides — the
-/// captured-group count the acceptance contrast is stated over.
-fn captured_groups(sys: &DynamicSystem) -> usize {
-    sys.graphs
-        .iter()
-        .map(|g| g.groups.iter().filter(|gr| !gr.has_good_majority(&g.pool)).count())
-        .sum()
+/// The shared per-cell scenario: paper parameters with the sweep's
+/// churn/attack conventions over a dual-graph Chord system.
+fn cell_spec(n_good: usize, n_bad: usize, searches: usize, cell_seed: u64) -> ScenarioSpec {
+    ScenarioSpec::new(n_good, cell_seed)
+        .params(sweep_params())
+        .budget(n_bad)
+        .strings(StringMode::Synthesized)
+        .searches(searches)
 }
 
 /// Dual-search success for keys u.a.r. in the victim arc.
-fn victim_success(sys: &DynamicSystem, probes: usize, rng: &mut StdRng) -> f64 {
+fn victim_success(graphs: &[GroupGraph], probes: usize, rng: &mut StdRng) -> f64 {
     let mut metrics = Metrics::new();
     let start = Id::from_f64(VICTIM).sub(RingDistance::from_f64(VICTIM_WIDTH));
     let mut ok = 0usize;
     for _ in 0..probes {
-        let from = rng.gen_range(0..sys.graphs[0].len());
+        let from = rng.gen_range(0..graphs[0].len());
         let key = start.add(RingDistance::from_f64(rng.gen::<f64>() * VICTIM_WIDTH));
-        if dual_search([&sys.graphs[0], &sys.graphs[1]], from, key, &mut metrics) {
+        if dual_search([&graphs[0], &graphs[1]], from, key, &mut metrics) {
             ok += 1;
         }
     }
@@ -189,24 +129,26 @@ fn run_cell(
 ) -> Vec<Vec<String>> {
     let pipeline_idx = PIPELINES.iter().position(|&p| p == pipeline).unwrap() as u64;
     let cell_seed = tg_sim::derive_seed(seed, strategy, pipeline_idx);
-    let fam = OracleFamily::new(cell_seed ^ 0xE10);
-    let inner = make_provider(strategy, pipeline, n_good, n_bad, fam);
-    let (mut provider, mut sys) = cell_system(inner, cell_seed, searches, true);
+    let spec = cell_spec(n_good, n_bad, searches, cell_seed)
+        .strategy(cell_strategy(strategy, cell_seed ^ 0xE10, n_bad))
+        .defense(cell_defense(pipeline));
+    let mut sys = tg_pow::scenario::build(&spec).expect("E10 scenarios are buildable");
     (0..epochs)
         .map(|e| {
-            let r = sys.advance_epoch(&mut provider);
+            let r = sys.step();
             let mut vrng = stream_rng(cell_seed, "e10-victim", e as u64);
-            vec![
+            let mut row = vec![
                 strategy.to_string(),
                 pipeline.to_string(),
                 r.epoch.to_string(),
-                provider.last_bad.to_string(),
-                f(provider.last_share),
-                captured_groups(&sys).to_string(),
+                r.bad_ids.to_string(),
+                f(r.bad_share),
+                r.captured_groups.to_string(),
                 f(r.frac_red[0]),
                 f(r.search_success_dual),
-                f(victim_success(&sys, searches / 2, &mut vrng)),
-            ]
+            ];
+            row.push(f(victim_success(sys.graphs(), searches / 2, &mut vrng)));
+            row
         })
         .collect()
 }
@@ -264,25 +206,20 @@ pub fn run(opts: &Options) -> Vec<Table> {
     );
     let hoard_rows = tg_sim::parallel_map(vec![true, false], move |fresh| {
         let cell_seed = tg_sim::derive_seed(seed, "e10-hoard", fresh as u64);
-        let fam = OracleFamily::new(cell_seed ^ 0xB0A);
-        let mut p = StrategicPowProvider::boxed(
-            n_good,
-            n_bad as f64,
-            MintScheme::TwoHash,
-            make_strategy("precompute-hoarder", fam, n_bad),
-        );
-        p.fresh_strings = fresh;
-        let (mut provider, mut sys) = cell_system(Box::new(p), cell_seed, searches, false);
+        let spec = cell_spec(n_good, n_bad, searches, cell_seed)
+            .strategy(cell_strategy("precompute-hoarder", cell_seed ^ 0xB0A, n_bad))
+            .defense(Defense::Pow { scheme: MintScheme::TwoHash, fresh_strings: fresh });
+        let mut sys = tg_pow::scenario::build(&spec).expect("E10 scenarios are buildable");
         (0..epochs)
             .map(|_| {
-                let r = sys.advance_epoch(&mut provider);
-                let beta_eff = provider.last_bad as f64 / (n_good + provider.last_bad) as f64;
+                let r = sys.step();
+                let beta_eff = r.bad_ids as f64 / (n_good + r.bad_ids) as f64;
                 vec![
                     fresh.to_string(),
                     r.epoch.to_string(),
-                    provider.last_bad.to_string(),
+                    r.bad_ids.to_string(),
                     f(beta_eff),
-                    captured_groups(&sys).to_string(),
+                    r.captured_groups.to_string(),
                     f(r.frac_red[0]),
                     f(r.search_success_dual),
                 ]
@@ -303,7 +240,14 @@ mod tests {
     use super::*;
 
     fn opts() -> Options {
-        Options { seed: 42, full: false, out_dir: "/tmp".into(), quiet: true, only: None }
+        Options {
+            seed: 42,
+            full: false,
+            out_dir: "/tmp".into(),
+            quiet: true,
+            only: None,
+            list: false,
+        }
     }
 
     /// One shared sweep for all assertions in this module (the

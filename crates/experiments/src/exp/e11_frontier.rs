@@ -96,7 +96,14 @@ mod tests {
     use crate::frontier::CAPTURE_EPS;
 
     fn opts() -> Options {
-        Options { seed: 42, full: false, out_dir: "/tmp".into(), quiet: true, only: None }
+        Options {
+            seed: 42,
+            full: false,
+            out_dir: "/tmp".into(),
+            quiet: true,
+            only: None,
+            list: false,
+        }
     }
 
     /// One shared sweep for all assertions in this module (the

@@ -111,7 +111,14 @@ mod tests {
     use crate::table::f;
 
     fn opts() -> Options {
-        Options { seed: 42, full: false, out_dir: "/tmp".into(), quiet: true, only: None }
+        Options {
+            seed: 42,
+            full: false,
+            out_dir: "/tmp".into(),
+            quiet: true,
+            only: None,
+            list: false,
+        }
     }
 
     /// One shared sweep for the assertions in this module.

@@ -101,8 +101,14 @@ mod tests {
 
     #[test]
     fn e1_smoke() {
-        let opts =
-            Options { seed: 1, full: false, out_dir: "/tmp".into(), quiet: true, only: None };
+        let opts = Options {
+            seed: 1,
+            full: false,
+            out_dir: "/tmp".into(),
+            quiet: true,
+            only: None,
+            list: false,
+        };
         // Shrink by running the real function — the quick grid is small
         // enough for CI, but for the unit test we only check shape via a
         // single handmade cell rather than the full sweep.

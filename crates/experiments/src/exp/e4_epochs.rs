@@ -17,9 +17,8 @@
 
 use crate::args::Options;
 use crate::table::{f, Table};
-use tg_core::dynamic::{BuildMode, DynamicSystem, UniformProvider};
-use tg_core::Params;
-use tg_overlay::GraphKind;
+use tg_core::dynamic::BuildMode;
+use tg_core::scenario::ScenarioSpec;
 
 /// One configuration's label and system settings.
 fn configs(opts: &Options) -> Vec<(&'static str, BuildMode, usize)> {
@@ -59,15 +58,16 @@ pub fn run(opts: &Options) -> Table {
     );
 
     for (label, mode, retries) in configs(opts) {
-        let mut params = Params::paper_defaults();
-        params.churn_rate = 0.15;
-        params.attack_requests_per_id = 0;
-        params.link_retries = retries;
-        let mut provider = UniformProvider { n_good, n_bad };
-        let mut sys = DynamicSystem::new(params, GraphKind::Chord, mode, &mut provider, opts.seed);
-        sys.searches_per_epoch = if opts.full { 800 } else { 400 };
+        let spec = ScenarioSpec::new(n_good, opts.seed)
+            .budget(n_bad)
+            .churn(0.15)
+            .attack_requests(0)
+            .link_retries(retries)
+            .build_mode(mode)
+            .searches(if opts.full { 800 } else { 400 });
+        let mut sys = tg_pow::scenario::build(&spec).expect("honest no-PoW scenario");
         for _ in 0..epochs {
-            let r = sys.advance_epoch(&mut provider);
+            let r = sys.step();
             table.push(vec![
                 label.to_string(),
                 r.epoch.to_string(),
@@ -92,19 +92,17 @@ mod tests {
     #[test]
     fn dual_beats_single_over_epochs() {
         let run_final = |mode: BuildMode, retries: usize| -> (f64, f64) {
-            let mut params = Params::paper_defaults();
-            params.churn_rate = 0.2;
-            params.attack_requests_per_id = 0;
-            params.link_retries = retries;
-            let mut provider = UniformProvider { n_good: 400, n_bad: 21 };
-            let mut sys = DynamicSystem::new(params, GraphKind::D2B, mode, &mut provider, 11);
-            sys.searches_per_epoch = 200;
-            let mut last = (0.0, 0.0);
-            for _ in 0..6 {
-                let r = sys.advance_epoch(&mut provider);
-                last = (r.frac_red[0], r.search_success_dual);
-            }
-            last
+            let spec = ScenarioSpec::new(400, 11)
+                .budget(21)
+                .churn(0.2)
+                .attack_requests(0)
+                .link_retries(retries)
+                .topology(tg_overlay::GraphKind::D2B)
+                .build_mode(mode)
+                .searches(200);
+            let mut sys = spec.build().expect("honest no-PoW scenario");
+            let r = sys.run(6);
+            (r.frac_red[0], r.search_success_dual)
         };
         let (red_dual, success_dual) = run_final(BuildMode::DualGraph, 2);
         let (red_single, success_single) = run_final(BuildMode::SingleGraph, 2);

@@ -9,8 +9,7 @@
 
 use crate::args::Options;
 use crate::table::{f, Table};
-use tg_core::dynamic::{BuildMode, DynamicSystem, UniformProvider};
-use tg_core::Params;
+use tg_core::scenario::ScenarioSpec;
 use tg_overlay::GraphKind;
 
 /// Run E5 and return the result table.
@@ -35,20 +34,15 @@ pub fn run(opts: &Options) -> Table {
     );
 
     for &attack in &attack_levels {
-        let mut params = Params::paper_defaults();
-        params.churn_rate = 0.2;
-        params.attack_requests_per_id = attack;
-        let mut provider = UniformProvider { n_good, n_bad };
-        let mut sys = DynamicSystem::new(
-            params,
-            GraphKind::D2B,
-            BuildMode::DualGraph,
-            &mut provider,
-            opts.seed,
-        );
-        sys.searches_per_epoch = 200;
+        let spec = ScenarioSpec::new(n_good, opts.seed)
+            .budget(n_bad)
+            .churn(0.2)
+            .attack_requests(attack)
+            .topology(GraphKind::D2B)
+            .searches(200);
+        let mut sys = tg_pow::scenario::build(&spec).expect("honest no-PoW scenario");
         for _ in 0..epochs {
-            let r = sys.advance_epoch(&mut provider);
+            let r = sys.step();
             let accept_rate = if r.build.spurious_issued > 0 {
                 r.build.spurious_accepted as f64 / r.build.spurious_issued as f64
             } else {
@@ -77,8 +71,14 @@ mod tests {
     /// dual search failure.
     #[test]
     fn attack_barely_moves_state() {
-        let opts =
-            Options { seed: 7, full: false, out_dir: "/tmp".into(), quiet: true, only: None };
+        let opts = Options {
+            seed: 7,
+            full: false,
+            out_dir: "/tmp".into(),
+            quiet: true,
+            only: None,
+            list: false,
+        };
         let t = run(&opts);
         // Partition rows by attack level; compare mean memberships.
         let mean_for = |attack: &str| -> f64 {

@@ -112,8 +112,14 @@ mod tests {
 
     #[test]
     fn minting_rows_have_ratio_near_one_and_attack_contrast() {
-        let opts =
-            Options { seed: 42, full: false, out_dir: "/tmp".into(), quiet: true, only: None };
+        let opts = Options {
+            seed: 42,
+            full: false,
+            out_dir: "/tmp".into(),
+            quiet: true,
+            only: None,
+            list: false,
+        };
         let tables = run(&opts);
         let minting = &tables[0];
         // The experiment is a pure function of the seed (labelled RNG

@@ -85,8 +85,14 @@ mod tests {
 
     #[test]
     fn all_scenarios_agree_and_sets_stay_logarithmic() {
-        let opts =
-            Options { seed: 13, full: false, out_dir: "/tmp".into(), quiet: true, only: None };
+        let opts = Options {
+            seed: 13,
+            full: false,
+            out_dir: "/tmp".into(),
+            quiet: true,
+            only: None,
+            list: false,
+        };
         let t = run(&opts);
         assert_eq!(t.rows.len(), 6);
         let n = 1024f64;

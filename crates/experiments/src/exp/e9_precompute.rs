@@ -51,8 +51,14 @@ mod tests {
 
     #[test]
     fn amplification_tracks_hoard_length() {
-        let opts =
-            Options { seed: 17, full: false, out_dir: "/tmp".into(), quiet: true, only: None };
+        let opts = Options {
+            seed: 17,
+            full: false,
+            out_dir: "/tmp".into(),
+            quiet: true,
+            only: None,
+            list: false,
+        };
         let t = run(&opts);
         for row in &t.rows {
             let h: f64 = row[0].parse().unwrap();

@@ -55,6 +55,7 @@ mod tests {
             out_dir: dir.to_str().unwrap().to_string(),
             quiet: true,
             only: None,
+            list: false,
         };
         let t = run(&opts);
         assert_eq!(t.rows.len(), 2);

@@ -18,18 +18,22 @@
 //! first-class axes for the churn-timed adversary and the
 //! topology-sensitivity question (capture thresholds shift with the
 //! input-graph family, the tree-networks observation of Kailkhura et
-//! al. transplanted to overlay families). The defense axis decides
-//! which system is simulated:
+//! al. transplanted to overlay families). Every cell is simulated
+//! through the unified scenario API — [`RowKey::scenario`] turns the
+//! cell coordinate into a [`ScenarioSpec`], and
+//! `tg_pow::scenario::build` erases which system runs behind the
+//! [`tg_core::scenario::EpochDriver`]:
 //!
 //! * [`Defense::NoPow`] — the adversary's chosen ID values go straight
-//!   into the §III dynamic layer ([`DynamicSystem`] +
+//!   into the §III dynamic layer (`tg_core::dynamic::DynamicSystem` +
 //!   `StrategicProvider`): the world §IV exists to prevent,
-//! * [`Defense::Pow`] — the **full §IV protocol** ([`FullSystem`] with
-//!   a `StrategicPowProvider`): the epoch-string agreement runs for
-//!   real, minting binds to the agreed string (or to a frozen genesis
-//!   string when the §IV-B defense is switched off), and the strategy's
-//!   desired placement survives only as far as the minting scheme
-//!   allows (realized under `single-hash`, discarded under `f∘g`).
+//! * [`Defense::Pow`] — the **full §IV protocol**
+//!   (`tg_pow::FullSystem` with a `StrategicPowProvider`): the
+//!   epoch-string agreement runs for real, minting binds to the agreed
+//!   string (or to a frozen genesis string when the §IV-B defense is
+//!   switched off), and the strategy's desired placement survives only
+//!   as far as the minting scheme allows (realized under `single-hash`,
+//!   discarded under `f∘g`).
 //!
 //! The **frontier** of a row — one [`RowKey`], i.e. one (strategy,
 //! defense, d₂, churn, topology) combination — is the smallest β whose
@@ -56,20 +60,11 @@
 //! lost system).
 
 use crate::table::{f, Table};
-use rand::rngs::StdRng;
-use tg_core::dynamic::adversary::{
-    AdaptiveMajorityFlipper, AdversaryStrategy, ChurnTimed, GapFilling, IntervalTargeting,
-    StrategicProvider, Uniform,
-};
-use tg_core::dynamic::{AdversaryView, BuildMode, DynamicSystem, EpochIds, IdentityProvider};
-use tg_core::Params;
-use tg_crypto::OracleFamily;
-use tg_idspace::Id;
+use tg_core::scenario::{budget_for, ScenarioSpec, StrategySpec};
 use tg_overlay::GraphKind;
-use tg_pow::{
-    FullSystem, MintScheme, PrecomputeHoarder, PuzzleParams, StrategicPowProvider, StringParams,
-};
 use tg_sim::{derive_seed_grid, parallel_map};
+
+pub use tg_core::scenario::Defense;
 
 /// A cell counts as **captured** when the mean fraction of groups
 /// without a good majority exceeds this (an absolute noise floor — at
@@ -88,43 +83,11 @@ pub const LEGACY_CHURN: f64 = 0.1;
 /// The victim key for the `interval-targeting` strategy.
 const VICTIM: f64 = 0.40;
 
-/// The identity-pipeline defense of one frontier column.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum Defense {
-    /// No PoW: chosen ID values go straight into the dynamic layer.
-    NoPow,
-    /// The full §IV protocol ([`FullSystem`]): puzzle minting under the
-    /// given scheme, epoch strings agreed by the Appendix VIII protocol
-    /// (`fresh_strings: false` freezes minting to the genesis string —
-    /// the §IV-B defense disabled).
-    Pow {
-        /// Minting scheme (placement realized vs discarded).
-        scheme: MintScheme,
-        /// Whether minting binds to the freshly agreed string.
-        fresh_strings: bool,
-    },
-}
-
-impl Defense {
-    /// Stable column label for tables and CSVs.
-    pub fn label(&self) -> &'static str {
-        match self {
-            Defense::NoPow => "none",
-            Defense::Pow { scheme: MintScheme::SingleHash, fresh_strings: true } => "single-hash",
-            Defense::Pow { scheme: MintScheme::SingleHash, fresh_strings: false } => {
-                "single-hash-frozen"
-            }
-            Defense::Pow { scheme: MintScheme::TwoHash, fresh_strings: true } => "f∘g",
-            Defense::Pow { scheme: MintScheme::TwoHash, fresh_strings: false } => "f∘g-frozen",
-        }
-    }
-}
-
 /// The categorical coordinate of one frontier row: everything about a
 /// cell except its β rung and trial index.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct RowKey {
-    /// Strategy name (see [`make_strategy`]).
+    /// Strategy name (see [`strategy_spec`]).
     pub strategy: &'static str,
     /// Defense column.
     pub defense: Defense,
@@ -156,6 +119,26 @@ impl RowKey {
             format!("e11/{strategy}/{defense}/{d2}/c{}/{}", self.churn, self.kind.name())
         }
     }
+
+    /// The complete [`ScenarioSpec`] of one trial of one cell on this
+    /// row: the paper's defaults with the swept (β, d₂, churn, topology,
+    /// defense, strategy) installed and the sweep conventions (no
+    /// join-request attack — capture is the measured variable; the
+    /// adversary budget re-derived from β). This is the one place a
+    /// frontier coordinate becomes a buildable scenario; both sweep
+    /// engines construct their systems exclusively through it.
+    pub fn scenario(&self, cfg: &FrontierConfig, beta: f64, trial_seed: u64) -> ScenarioSpec {
+        let budget = budget_for(beta, cfg.n_good);
+        ScenarioSpec::new(cfg.n_good, trial_seed)
+            .beta(beta)
+            .group_factor(self.d2)
+            .churn(self.churn)
+            .attack_requests(0)
+            .topology(self.kind)
+            .defense(self.defense)
+            .strategy(strategy_spec(self.strategy, trial_seed, budget))
+            .searches(cfg.searches)
+    }
 }
 
 /// The grid one frontier sweep covers.
@@ -171,7 +154,7 @@ pub struct FrontierConfig {
     pub churns: Vec<f64>,
     /// Input-graph topology families swept.
     pub kinds: Vec<GraphKind>,
-    /// Strategy names (see [`make_strategy`]).
+    /// Strategy names (see [`strategy_spec`]).
     pub strategies: Vec<&'static str>,
     /// Defense columns.
     pub defenses: Vec<Defense>,
@@ -206,71 +189,23 @@ impl FrontierConfig {
     }
 }
 
-/// A fresh strategy instance by name. The hoarder grinds real puzzles
-/// against the epoch string its view carries, so it gets an oracle
-/// family derived from the trial seed and an easy calibration sized to
-/// yield ≈ `budget` solutions per epoch.
-pub fn make_strategy(name: &str, trial_seed: u64, budget: usize) -> Box<dyn AdversaryStrategy> {
+/// The declarative strategy of a sweep column, by name. The hoarder
+/// grinds real puzzles against the epoch string its view carries, so
+/// its spec carries an oracle-family seed derived from the trial seed
+/// and an attempt budget sized to yield ≈ `budget` solutions per epoch.
+pub fn strategy_spec(name: &str, trial_seed: u64, budget: usize) -> StrategySpec {
     match name {
-        "uniform" => Box::new(Uniform),
-        "gap-filling" => Box::new(GapFilling),
-        "interval-targeting" => {
-            Box::new(IntervalTargeting { victim: Id::from_f64(VICTIM), width: 0.01 })
-        }
-        "adaptive-majority-flipper" => Box::new(AdaptiveMajorityFlipper::default()),
-        "churn-timed" => Box::new(ChurnTimed::default()),
+        "uniform" => StrategySpec::Uniform,
+        "gap-filling" => StrategySpec::GapFilling,
+        "interval-targeting" => StrategySpec::IntervalTargeting { victim: VICTIM, width: 0.01 },
+        "adaptive-majority-flipper" => StrategySpec::AdaptiveMajorityFlipper { margin: 2 },
+        "churn-timed" => StrategySpec::ChurnTimed { trigger: 0.12, retainer: 0.2 },
         "precompute-hoarder" => {
-            let puzzle = PuzzleParams { tau: Id::from_f64(0.02), attempts_per_step: 1, t_epoch: 2 };
-            let fam = OracleFamily::new(trial_seed ^ 0xE11);
-            let attempts = (budget.max(1) as f64 / puzzle.success_prob()).round() as u64;
-            Box::new(PrecomputeHoarder::new(fam, puzzle, attempts))
+            let success = tg_pow::scenario::hoarder_puzzle().success_prob();
+            let attempts = (budget.max(1) as f64 / success).round() as u64;
+            StrategySpec::PrecomputeHoarder { fam_seed: trial_seed ^ 0xE11, attempts }
         }
         other => panic!("unknown strategy {other}"),
-    }
-}
-
-/// Construction parameters of one cell: the paper's defaults with the
-/// swept (β, d₂, churn) installed and the E10 sweep conventions (no
-/// join-request attack — capture is the measured variable).
-fn cell_params(beta: f64, d2: f64, churn: f64) -> Params {
-    let mut params = Params::paper_defaults();
-    params.beta = beta;
-    params.d2 = d2;
-    params.d1 = d2 / 2.0;
-    params.churn_rate = churn;
-    params.attack_requests_per_id = 0;
-    params
-}
-
-/// Groups without a good majority across all sides, as a fraction.
-fn captured_frac(sys: &DynamicSystem) -> f64 {
-    let (mut captured, mut total) = (0usize, 0usize);
-    for g in &sys.graphs {
-        total += g.groups.len();
-        captured += g.groups.iter().filter(|gr| !gr.has_good_majority(&g.pool)).count();
-    }
-    captured as f64 / total.max(1) as f64
-}
-
-/// Wraps a provider to record each epoch's adversary census on the way
-/// into the dynamic layer.
-struct Recording {
-    inner: Box<dyn IdentityProvider>,
-    last_bad: usize,
-    last_share: f64,
-}
-
-impl IdentityProvider for Recording {
-    fn ids_for_epoch(
-        &mut self,
-        epoch: u64,
-        view: &AdversaryView<'_>,
-        rng: &mut StdRng,
-    ) -> EpochIds {
-        let ids = self.inner.ids_for_epoch(epoch, view, rng);
-        self.last_bad = ids.bad.len();
-        self.last_share = ids.bad_ring_share();
-        ids
     }
 }
 
@@ -289,11 +224,14 @@ pub struct TrialStats {
     pub success_dual: f64,
 }
 
-/// One seeded simulation of one cell.
+/// One seeded simulation of one cell: build the cell's scenario, drive
+/// it through the unified [`tg_core::scenario::EpochDriver`], and
+/// average the per-epoch observations. Which system runs (the bare
+/// dynamic layer or the full epoch-string protocol) is the spec's
+/// business, not this loop's.
 fn run_trial(cfg: &FrontierConfig, key: &RowKey, beta: f64, trial_seed: u64) -> TrialStats {
-    let params = cell_params(beta, key.d2, key.churn);
-    let budget = (beta / (1.0 - beta) * cfg.n_good as f64).round() as usize;
-    let strategy = make_strategy(key.strategy, trial_seed, budget);
+    let spec = key.scenario(cfg, beta, trial_seed);
+    let mut driver = tg_pow::scenario::build(&spec).expect("frontier scenarios are buildable");
     let epochs = cfg.epochs.max(1);
     let mut acc = TrialStats {
         captured_frac: 0.0,
@@ -302,53 +240,13 @@ fn run_trial(cfg: &FrontierConfig, key: &RowKey, beta: f64, trial_seed: u64) -> 
         frac_red: 0.0,
         success_dual: 0.0,
     };
-    match key.defense {
-        Defense::NoPow => {
-            let inner = Box::new(StrategicProvider::boxed(cfg.n_good, budget, strategy));
-            let mut provider = Recording { inner, last_bad: 0, last_share: 0.0 };
-            let mut sys = DynamicSystem::new(
-                params,
-                key.kind,
-                BuildMode::DualGraph,
-                &mut provider,
-                trial_seed,
-            );
-            sys.searches_per_epoch = cfg.searches;
-            for _ in 0..epochs {
-                let r = sys.advance_epoch(&mut provider);
-                acc.captured_frac += captured_frac(&sys);
-                acc.bad_ids += provider.last_bad as f64;
-                acc.bad_share += provider.last_share;
-                acc.frac_red += r.frac_red[0];
-                acc.success_dual += r.search_success_dual;
-            }
-        }
-        Defense::Pow { scheme, fresh_strings } => {
-            let provider = StrategicPowProvider::boxed(cfg.n_good, budget as f64, scheme, strategy);
-            let mut sys = FullSystem::new(
-                params,
-                key.kind,
-                PuzzleParams::calibrated(16, 2048),
-                StringParams::default(),
-                cfg.n_good,
-                budget as f64,
-                true,
-                trial_seed,
-            )
-            .with_adversary(provider);
-            if !fresh_strings {
-                sys = sys.with_frozen_strings();
-            }
-            sys.dynamics.searches_per_epoch = cfg.searches;
-            for _ in 0..epochs {
-                let r = sys.run_epoch();
-                acc.captured_frac += captured_frac(&sys.dynamics);
-                acc.bad_ids += r.minted_bad as f64;
-                acc.bad_share += r.bad_share;
-                acc.frac_red += r.dynamics.frac_red[0];
-                acc.success_dual += r.dynamics.search_success_dual;
-            }
-        }
+    for _ in 0..epochs {
+        let o = driver.step();
+        acc.captured_frac += o.captured_frac();
+        acc.bad_ids += o.bad_ids as f64;
+        acc.bad_share += o.bad_share;
+        acc.frac_red += o.frac_red[0];
+        acc.success_dual += o.search_success_dual;
     }
     let e = epochs as f64;
     TrialStats {

@@ -22,7 +22,12 @@
 //! | `e11_frontier` | The adversary-vs-defense frontier: β × d₂ capture heatmaps over the real `FullSystem` protocol |
 //! | `e12_refine` | Adaptive frontier refinement: bisected thresholds with confidence bands over the churn × topology axes |
 //! | `figure1` | Figure 1: the input graph and group graph panels |
-//! | `run_all` | Everything above with default settings (`--only` runs a subset) |
+//! | `run_all` | Everything above via [`exp::REGISTRY`] (`--only` runs a subset, `--list` prints the registry) |
+//!
+//! Every experiment that simulates a system constructs it through the
+//! unified scenario API (`tg_core::scenario::ScenarioSpec` built by
+//! `tg_pow::scenario::build` into an `EpochDriver`) — no direct
+//! `DynamicSystem`/`FullSystem` constructor calls in this crate.
 
 pub mod args;
 pub mod exp;

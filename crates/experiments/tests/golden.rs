@@ -17,11 +17,8 @@
 //! and commit the diff under `tests/golden/` alongside the change that
 //! explains it.
 
-use tg_core::dynamic::{BuildMode, DynamicSystem, UniformProvider};
-use tg_core::Params;
 use tg_experiments::exp::{e11_frontier, e12_refine, e1_robustness, e4_epochs};
 use tg_experiments::Options;
-use tg_overlay::GraphKind;
 
 fn golden_dir() -> std::path::PathBuf {
     std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden")
@@ -46,7 +43,7 @@ fn check_golden(name: &str, actual: &str) {
 }
 
 fn opts() -> Options {
-    Options { seed: 42, full: false, out_dir: "/tmp".into(), quiet: true, only: None }
+    Options { seed: 42, full: false, out_dir: "/tmp".into(), quiet: true, only: None, list: false }
 }
 
 /// E1 (static robustness sweep): every `RobustnessReport`-derived cell,
@@ -61,6 +58,19 @@ fn e1_robustness_matches_golden() {
 #[test]
 fn e4_epochs_matches_golden() {
     check_golden("e4_epochs.csv", &e4_epochs::run(&opts()).to_csv());
+}
+
+/// E10 (adversary-strategy sweep): every (strategy × pipeline) cell of
+/// the seed-42 sweep plus the §IV-B hoard table, pinned. Together with
+/// the E11/E12 snapshots this is the conformance corpus for the
+/// `ScenarioSpec`/`EpochDriver` construction path: the bytes were
+/// produced by the pre-redesign direct constructors and must keep
+/// reproducing through the spec-built drivers.
+#[test]
+fn e10_adversaries_matches_golden() {
+    let tables = tg_experiments::exp::e10_adversaries::run(&opts());
+    check_golden("e10_adversaries.csv", &tables[0].to_csv());
+    check_golden("e10_hoard.csv", &tables[1].to_csv());
 }
 
 /// E11 (adversary-vs-defense frontier): the full seed-42 3×3 (β × d₂)
@@ -91,22 +101,7 @@ fn e12_refine_matches_golden() {
     check_golden("e12_refine_cost.csv", &out.cost.to_csv());
 }
 
-/// The raw `EpochReport` structure of a small dynamic run — all fields,
-/// full float precision (Debug prints shortest-roundtrip), including
-/// the construction counters and message metrics the CSVs round away.
-#[test]
-fn epoch_report_matches_golden() {
-    let mut params = Params::paper_defaults();
-    params.churn_rate = 0.1;
-    params.attack_requests_per_id = 1;
-    let mut provider = UniformProvider { n_good: 380, n_bad: 20 };
-    let mut sys =
-        DynamicSystem::new(params, GraphKind::D2B, BuildMode::DualGraph, &mut provider, 42);
-    sys.searches_per_epoch = 200;
-    let mut snapshot = String::new();
-    for _ in 0..2 {
-        let r = sys.advance_epoch(&mut provider);
-        snapshot.push_str(&format!("{r:#?}\n"));
-    }
-    check_golden("epoch_report_seed42.txt", &snapshot);
-}
+// The raw `EpochReport` golden (`epoch_report_seed42.txt`) moved to
+// `crates/core/tests/golden_epoch_report.rs`: it pins the dynamic-layer
+// implementation itself, so it lives with the impl — the experiments
+// layer constructs systems only through `ScenarioSpec`/`EpochDriver`.

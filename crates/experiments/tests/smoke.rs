@@ -16,6 +16,7 @@ fn smoke_opts(name: &str) -> Options {
         out_dir: out.to_str().expect("utf-8 temp path").to_string(),
         quiet: true,
         only: None,
+        list: false,
     }
 }
 

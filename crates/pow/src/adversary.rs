@@ -28,26 +28,11 @@ use tg_core::dynamic::{EpochIds, IdentityProvider};
 use tg_crypto::OracleFamily;
 use tg_idspace::Id;
 
-/// Which minting scheme the identity pipeline runs (§IV-A).
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum MintScheme {
-    /// The paper's two-hash composition: minted IDs are u.a.r.
-    /// regardless of the solver's σ choice (Lemma 11).
-    TwoHash,
-    /// The single-hash variant (`ID = σ` when `g(σ) ≤ τ`): the solver
-    /// chooses the ID's location, so placement strategies go through.
-    SingleHash,
-}
-
-impl MintScheme {
-    /// Stable label for tables.
-    pub fn name(&self) -> &'static str {
-        match self {
-            MintScheme::TwoHash => "f∘g",
-            MintScheme::SingleHash => "single-hash",
-        }
-    }
-}
+/// Which minting scheme the identity pipeline runs (§IV-A). Defined in
+/// `tg_core::scenario` (it is the scheme half of the declarative
+/// [`Defense`](tg_core::scenario::Defense) axis) and re-exported here,
+/// where the pipeline that interprets it lives.
+pub use tg_core::scenario::MintScheme;
 
 /// Genesis epoch string (shared with [`crate::system::FullSystem`]: a
 /// standalone strategic run and a composed full-protocol run must agree
@@ -139,9 +124,10 @@ impl IdentityProvider for StrategicPowProvider {
         rng: &mut StdRng,
     ) -> EpochIds {
         // A composed system that runs a real string protocol (e.g.
-        // `FullSystem` via `advance_epoch_with_string`) supplies the
-        // agreed string through the view; standalone dynamic runs get a
-        // synthesized per-epoch string under the same fresh/frozen policy.
+        // `FullSystem`, via the `WithEpochString` provider wrapper)
+        // supplies the agreed string through the view; standalone dynamic
+        // runs get a synthesized per-epoch string under the same
+        // fresh/frozen policy.
         let r = view.epoch_string.unwrap_or_else(|| epoch_string(self.fresh_strings, epoch));
         let good: Vec<Id> = (0..self.n_good).map(|_| Id(rng.gen())).collect();
 

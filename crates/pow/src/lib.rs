@@ -31,13 +31,19 @@
 //! * [`system`] — the composed [`FullSystem`] (strings → minting →
 //!   dynamics); `FullSystem::with_adversary` threads any strategy
 //!   through the real epoch-string protocol (the E11 frontier's PoW
-//!   rows), `with_frozen_strings` ablates §IV-B.
+//!   rows), `with_frozen_strings` ablates §IV-B,
+//! * [`scenario`] — the **total** builder for `tg_core::scenario`'s
+//!   declarative [`tg_core::ScenarioSpec`]: every defense (no-PoW,
+//!   single-hash, `f∘g`, frozen-string variants) and string mode (real
+//!   protocol vs synthesized) becomes one `Box<dyn EpochDriver>`, the
+//!   construction path all experiments and sweeps use.
 
 pub mod adversary;
 pub mod attack;
 pub mod miner;
 pub mod provider;
 pub mod puzzle;
+pub mod scenario;
 pub mod strings;
 pub mod system;
 
@@ -45,5 +51,6 @@ pub use adversary::{MintScheme, PrecomputeHoarder, StrategicPowProvider};
 pub use miner::{MintingOutcome, MintingSim};
 pub use provider::PowProvider;
 pub use puzzle::{PuzzleParams, Solution};
+pub use scenario::FullDriver;
 pub use strings::{run_string_protocol, StringAdversary, StringOutcome, StringParams};
 pub use system::{FullEpochReport, FullSystem};

@@ -33,6 +33,7 @@ use crate::strings::{run_string_protocol, StringAdversary, StringOutcome, String
 use rand::rngs::StdRng;
 use tg_core::dynamic::{
     AdversaryView, BuildMode, DynamicSystem, EpochIds, EpochReport, IdentityProvider,
+    WithEpochString,
 };
 use tg_core::Params;
 use tg_overlay::GraphKind;
@@ -56,8 +57,13 @@ impl IdentityProvider for PreMinted {
 
 /// Wraps the strategic provider to record what one epoch minted (the
 /// dynamic layer consumes the IDs, so they are measured on the way in).
+/// The protocol-agreed epoch string reaches the provider's
+/// [`AdversaryView`] through the composed
+/// [`tg_core::dynamic::WithEpochString`] — the dynamic layer itself
+/// hands providers a string-free view, so the composed system injects
+/// the string it agreed on at this layer.
 struct Counting<'a> {
-    inner: &'a mut StrategicPowProvider,
+    inner: WithEpochString<&'a mut StrategicPowProvider>,
     minted: Option<(usize, usize, f64)>,
 }
 
@@ -228,9 +234,11 @@ impl FullSystem {
                 // operational graphs and the string in force — hoarders
                 // grind against the real string, and stale solutions die
                 // (or compound, under frozen strings) at verification.
-                let mut counting = Counting { inner: adv, minted: None };
-                let dynamics =
-                    self.dynamics.advance_epoch_with_string(&mut counting, Some(mint_string));
+                let mut counting = Counting {
+                    inner: WithEpochString { inner: adv, epoch_string: Some(mint_string) },
+                    minted: None,
+                };
+                let dynamics = self.dynamics.advance_epoch(&mut counting);
                 let (good, bad, share) = counting.minted.expect("provider runs once per advance");
                 (good, bad, 0, share, dynamics)
             } else {

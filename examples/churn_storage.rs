@@ -16,10 +16,8 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use tiny_groups::ba::AdversaryMode;
 use tiny_groups::core::dht::GetOutcome;
-use tiny_groups::core::dynamic::{BuildMode, DynamicSystem, UniformProvider};
-use tiny_groups::core::{Params, SecureDht};
+use tiny_groups::core::{ScenarioSpec, SecureDht};
 use tiny_groups::idspace::Id;
-use tiny_groups::overlay::GraphKind;
 use tiny_groups::sim::Metrics;
 
 fn main() {
@@ -27,13 +25,11 @@ fn main() {
     let n_good = 1500;
     let n_bad = 79; // β ≈ 5%
 
-    let mut params = Params::paper_defaults();
-    params.churn_rate = 0.15;
-    params.attack_requests_per_id = 2;
-
-    let mut provider = UniformProvider { n_good, n_bad };
-    let mut sys =
-        DynamicSystem::new(params, GraphKind::Chord, BuildMode::DualGraph, &mut provider, seed);
+    // The whole system as one declarative scenario (honest identities,
+    // no PoW, the paper's defaults otherwise) — `build()` hands back an
+    // epoch driver and the storage service never sees the constructors.
+    let spec = ScenarioSpec::new(n_good, seed).budget(n_bad).churn(0.15).attack_requests(2);
+    let mut sys = spec.build().expect("honest no-PoW scenario");
 
     // The "database": 500 items addressed by u.a.r. keys. Each epoch the
     // group graphs are rebuilt from scratch, so the service re-replicates
@@ -47,8 +43,9 @@ fn main() {
         n_good + n_bad
     );
     for _ in 0..8 {
-        let report = sys.advance_epoch(&mut provider);
-        let gg = &sys.graphs[0];
+        let epoch = sys.step().epoch;
+        let frac_red = sys.observation().frac_red[0];
+        let gg = &sys.graphs()[0];
         let mut dht = SecureDht::new(gg, AdversaryMode::Collude { value: 0xBAD });
         let mut metrics = Metrics::new();
         let mut stored = 0usize;
@@ -70,8 +67,8 @@ fn main() {
         }
         println!(
             "{:>5}  {:>4.2}  {:>5.1}%  {:>12.1}%  {:>12}",
-            report.epoch,
-            100.0 * report.frac_red[0],
+            epoch,
+            100.0 * frac_red,
             100.0 * stored as f64 / items.len() as f64,
             100.0 * correct as f64 / items.len() as f64,
             forged,
