@@ -46,6 +46,7 @@ fn bench_mini_grid(c: &mut Criterion) {
                 trials: 1,
                 searches: 60,
                 seed: 7,
+                kernel: Default::default(),
             })
         });
     });

@@ -25,6 +25,7 @@ fn grid() -> FrontierConfig {
         trials: 1,
         searches: 60,
         seed: 7,
+        kernel: Default::default(),
     }
 }
 

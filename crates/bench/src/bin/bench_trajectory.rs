@@ -28,7 +28,7 @@ use std::time::{Instant, SystemTime, UNIX_EPOCH};
 use tg_bench::{regression_warning, BenchRecord, REGRESSION_THRESHOLD};
 
 /// The record files the trajectory tracks.
-const RECORDS: [&str; 2] = ["BENCH_e11.json", "BENCH_e12.json"];
+const RECORDS: [&str; 3] = ["BENCH_e11.json", "BENCH_e12.json", "BENCH_kernel.json"];
 
 /// Compare mode: read each record from both directories and warn on
 /// regressions. Missing baseline files are reported and skipped (the
@@ -60,6 +60,7 @@ fn compare(baseline_dir: &str, new_dir: &str) {
         }
     }
 }
+use tg_experiments::exp::e13_scale;
 use tg_experiments::frontier::{run_frontier, Defense, FrontierConfig};
 use tg_experiments::refine::{run_refine, RefineConfig};
 use tg_overlay::GraphKind;
@@ -86,6 +87,7 @@ fn quick_grid() -> FrontierConfig {
         trials: 1,
         searches: 60,
         seed: 42,
+        kernel: Default::default(),
     }
 }
 
@@ -155,4 +157,27 @@ fn main() {
         unix_time: now_unix(),
     };
     write(&out_dir, "BENCH_e12.json", &e12);
+
+    // E13: the arena epoch kernel's throughput record, serialized by
+    // the experiment's own writer so this probe and the tier-1
+    // `e13_scale` run emit byte-compatible JSON (the comparator reads
+    // the shared `wall_ms_per_cell_run` key from either).
+    let quick = tg_experiments::Options { quiet: true, ..Default::default() };
+    let results = e13_scale::measure(&e13_scale::rungs(&quick), quick.seed);
+    let best = e13_scale::record_rung(&results).expect("the quick ladder has arena rungs");
+    let json = e13_scale::kernel_record_json("quick", best, now_unix());
+    let path = std::path::Path::new(&out_dir).join("BENCH_kernel.json");
+    std::fs::write(&path, &json).unwrap_or_else(|e| {
+        eprintln!("error: could not write {}: {e}", path.display());
+        std::process::exit(1);
+    });
+    println!(
+        "{}: {} kernel, {} identities x {} epochs, {:.1} ms ({:.0} ids/sec)",
+        path.display(),
+        best.rung.kernel.label(),
+        best.rung.n_total(),
+        best.rung.epochs,
+        best.wall_ms,
+        best.identities_per_sec(),
+    );
 }

@@ -14,7 +14,7 @@
 //! this lifts a joiner's transient state to `O(log n)`; with `O(log n)`-
 //! degree graphs it disappears in the noise.
 
-use crate::graph::GroupGraph;
+use crate::graph::GroupGraphView;
 use rand::rngs::StdRng;
 use rand::Rng;
 
@@ -50,26 +50,27 @@ pub fn recommended_contacts(n: usize) -> usize {
 }
 
 /// Assemble a bootstrap group by pooling `k` groups chosen u.a.r.
-pub fn assemble_bootstrap(gg: &GroupGraph, k: usize, rng: &mut StdRng) -> BootstrapGroup {
+pub fn assemble_bootstrap<G: GroupGraphView>(gg: &G, k: usize, rng: &mut StdRng) -> BootstrapGroup {
     assert!(k >= 1, "must contact at least one group");
     let mut contacted = Vec::with_capacity(k);
     let mut members: Vec<u32> = Vec::new();
     for _ in 0..k {
         let gi = rng.gen_range(0..gg.len());
         contacted.push(gi);
-        members
-            .extend(gg.groups[gi].members.iter().copied().filter(|&m| gg.pool.is_live(m as usize)));
+        members.extend(
+            gg.group_members(gi).iter().copied().filter(|&m| gg.pool().is_live(m as usize)),
+        );
     }
     members.sort_unstable();
     members.dedup();
-    let bad_members = members.iter().filter(|&&m| gg.pool.is_bad(m as usize)).count();
+    let bad_members = members.iter().filter(|&&m| gg.pool().is_bad(m as usize)).count();
     BootstrapGroup { contacted, members, bad_members }
 }
 
 /// Empirical failure probability of the pooling strategy: fraction of
 /// `trials` assembled bootstraps lacking a good majority.
-pub fn measure_bootstrap_failure(
-    gg: &GroupGraph,
+pub fn measure_bootstrap_failure<G: GroupGraphView>(
+    gg: &G,
     k: usize,
     trials: usize,
     rng: &mut StdRng,
@@ -83,6 +84,7 @@ pub fn measure_bootstrap_failure(
 mod tests {
     use super::*;
     use crate::build::build_initial_graph;
+    use crate::graph::GroupGraph;
     use crate::params::Params;
     use crate::population::Population;
     use rand::SeedableRng;

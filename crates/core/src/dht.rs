@@ -11,7 +11,7 @@
 //! `ε`-fraction of keys owned by red groups is what Theorem 3's bound is
 //! about, and [`SecureDht::measure_availability`] measures it directly.
 
-use crate::graph::GroupGraph;
+use crate::graph::GroupGraphView;
 use crate::routing::{search_path, SearchOutcome};
 use rand::rngs::StdRng;
 use rand::Rng;
@@ -20,9 +20,10 @@ use tg_ba::{majority_filter, AdversaryMode};
 use tg_idspace::Id;
 use tg_sim::Metrics;
 
-/// A replicated store over one group graph.
-pub struct SecureDht<'g> {
-    gg: &'g GroupGraph,
+/// A replicated store over one group graph (any layout implementing
+/// [`GroupGraphView`] — legacy per-group storage or an arena side).
+pub struct SecureDht<'g, G: GroupGraphView> {
+    gg: &'g G,
     /// Replicas: `(pool member index, key) → value`. Only good members
     /// store faithfully; Byzantine members answer reads via the
     /// adversary mode instead of this map.
@@ -43,15 +44,15 @@ pub enum GetOutcome {
     NoMajority,
 }
 
-impl<'g> SecureDht<'g> {
+impl<'g, G: GroupGraphView> SecureDht<'g, G> {
     /// A DHT over the given group graph.
-    pub fn new(gg: &'g GroupGraph, adversary: AdversaryMode) -> Self {
+    pub fn new(gg: &'g G, adversary: AdversaryMode) -> Self {
         SecureDht { gg, replicas: HashMap::new(), adversary }
     }
 
     /// The leader-ring index of the group owning `key`.
     pub fn owner_group(&self, key: Id) -> usize {
-        self.gg.leaders.ring().successor_index(key)
+        self.gg.leaders().ring().successor_index(key)
     }
 
     /// Store `value` under `key`, initiating from the group of
@@ -62,8 +63,8 @@ impl<'g> SecureDht<'g> {
             return false;
         }
         let owner = self.owner_group(key);
-        for &m in &self.gg.groups[owner].members {
-            if self.gg.pool.is_live(m as usize) && !self.gg.pool.is_bad(m as usize) {
+        for &m in self.gg.group_members(owner) {
+            if self.gg.pool().is_live(m as usize) && !self.gg.pool().is_bad(m as usize) {
                 self.replicas.insert((m, key.raw()), value);
             }
             // Byzantine members accept the write and store nothing
@@ -81,21 +82,21 @@ impl<'g> SecureDht<'g> {
             SearchOutcome::Fail { .. } => GetOutcome::RouteFailed,
             SearchOutcome::Success { .. } => {
                 let owner = self.owner_group(key);
-                let group = &self.gg.groups[owner];
+                let members = self.gg.group_members(owner);
                 let mut claims: Vec<Option<u64>> = Vec::new();
-                for (i, &m) in group.members.iter().enumerate() {
-                    if !self.gg.pool.is_live(m as usize) {
+                for (i, &m) in members.iter().enumerate() {
+                    if !self.gg.pool().is_live(m as usize) {
                         continue;
                     }
-                    if self.gg.pool.is_bad(m as usize) {
+                    if self.gg.pool().is_bad(m as usize) {
                         claims.push(self.adversary.send(i, from_leader, key.raw(), None));
                     } else {
                         claims.push(self.replicas.get(&(m, key.raw())).copied());
                     }
                 }
-                for j in 0..group.captured_slots {
+                for j in 0..self.gg.captured_slots(owner) {
                     claims.push(self.adversary.send(
-                        group.members.len() + j as usize,
+                        members.len() + j as usize,
                         from_leader,
                         key.raw(),
                         None,
@@ -141,6 +142,7 @@ impl<'g> SecureDht<'g> {
 mod tests {
     use super::*;
     use crate::build::build_initial_graph;
+    use crate::graph::GroupGraph;
     use crate::params::Params;
     use crate::population::Population;
     use rand::SeedableRng;

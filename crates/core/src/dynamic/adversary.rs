@@ -33,7 +33,7 @@
 //! an adversary that times its moves to the protocol's weakest rounds).
 
 use crate::dynamic::provider::{EpochIds, IdentityProvider};
-use crate::graph::GroupGraph;
+use crate::graph::{GraphsView, GroupGraphView};
 use rand::rngs::StdRng;
 use rand::Rng;
 use std::collections::HashSet;
@@ -47,8 +47,10 @@ pub struct AdversaryView<'a> {
     /// The epoch whose IDs are being placed.
     pub epoch: u64,
     /// The previous epoch's operational graphs (what a state-observing
-    /// adversary has watched serve traffic). Empty at initialization.
-    pub graphs: &'a [GroupGraph],
+    /// adversary has watched serve traffic), behind the layout-agnostic
+    /// [`GraphsView`] so strategies observe the legacy and arena kernels
+    /// identically. Empty at initialization.
+    pub graphs: GraphsView<'a>,
     /// The current epoch string when identities are minted through PoW
     /// (`None` on the no-PoW pipeline — there is nothing to grind).
     pub epoch_string: Option<u64>,
@@ -57,7 +59,7 @@ pub struct AdversaryView<'a> {
 impl AdversaryView<'_> {
     /// The view at system initialization: no history to observe.
     pub fn genesis(epoch: u64) -> AdversaryView<'static> {
-        AdversaryView { epoch, graphs: &[], epoch_string: None }
+        AdversaryView { epoch, graphs: GraphsView::empty(), epoch_string: None }
     }
 }
 
@@ -261,7 +263,7 @@ impl AdaptiveMajorityFlipper {
                             return false;
                         }
                         let size = g.group_size(i);
-                        let bad = g.groups[i].bad_count(&g.pool);
+                        let bad = g.group_bad_count(i);
                         size - bad <= bad + 2 * self.margin
                     })
                     .count()
@@ -368,16 +370,18 @@ impl ChurnTimed {
     /// (side 0 — every side shares the one physical population). `0`
     /// at genesis, when there is nothing to observe.
     pub fn observed_departure(view: &AdversaryView<'_>) -> f64 {
-        let Some(g) = view.graphs.first() else {
+        if view.graphs.is_empty() {
             return 0.0;
-        };
+        }
+        let g = view.graphs.side(0);
+        let pool = g.pool();
         let (mut good, mut gone) = (0usize, 0usize);
-        for i in 0..g.pool.len() {
-            if g.pool.is_bad(i) {
+        for i in 0..pool.len() {
+            if pool.is_bad(i) {
                 continue;
             }
             good += 1;
-            if g.pool.is_departed(i) {
+            if pool.is_departed(i) {
                 gone += 1;
             }
         }
@@ -535,7 +539,8 @@ mod tests {
             &mut provider,
             5,
         );
-        let view = AdversaryView { epoch: 1, graphs: &sys.graphs, epoch_string: None };
+        let view =
+            AdversaryView { epoch: 1, graphs: GraphsView::Legacy(&sys.graphs), epoch_string: None };
         let mut s = AdaptiveMajorityFlipper { margin: 0 };
         assert_eq!(s.near_tied(&view), 0, "clean groups are not near-tied at margin 0");
         let (good, mut rng) = census(400, 7);
@@ -572,7 +577,8 @@ mod tests {
     #[test]
     fn churn_timed_observes_departure_fraction() {
         let sys = churned_system(0.3, 21);
-        let view = AdversaryView { epoch: 2, graphs: &sys.graphs, epoch_string: None };
+        let view =
+            AdversaryView { epoch: 2, graphs: GraphsView::Legacy(&sys.graphs), epoch_string: None };
         let seen = ChurnTimed::observed_departure(&view);
         assert!((0.28..0.32).contains(&seen), "observed departure {seen:.3}");
         assert_eq!(ChurnTimed::observed_departure(&AdversaryView::genesis(0)), 0.0);
@@ -581,7 +587,11 @@ mod tests {
     #[test]
     fn churn_timed_holds_back_in_quiet_epochs() {
         let quiet = churned_system(0.05, 23);
-        let view = AdversaryView { epoch: 2, graphs: &quiet.graphs, epoch_string: None };
+        let view = AdversaryView {
+            epoch: 2,
+            graphs: GraphsView::Legacy(&quiet.graphs),
+            epoch_string: None,
+        };
         let (good, mut rng) = census(400, 25);
         let mut s = ChurnTimed::default();
         let bad = s.place(&view, &good, 40, &mut rng);
@@ -593,7 +603,11 @@ mod tests {
     #[test]
     fn churn_timed_strikes_with_full_budget_after_heavy_departure() {
         let heavy = churned_system(0.3, 27);
-        let view = AdversaryView { epoch: 2, graphs: &heavy.graphs, epoch_string: None };
+        let view = AdversaryView {
+            epoch: 2,
+            graphs: GraphsView::Legacy(&heavy.graphs),
+            epoch_string: None,
+        };
         let (good, mut rng) = census(2000, 29);
         let budget = 100;
         let mut s = ChurnTimed::default();

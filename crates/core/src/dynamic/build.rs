@@ -19,7 +19,7 @@
 //! instead of `q_f²` — which is exactly the compounding-error design the
 //! paper warns against; experiment E4 shows it diverge.
 
-use crate::graph::GroupGraph;
+use crate::graph::{GroupGraph, GroupGraphView};
 use crate::group::Group;
 use crate::params::Params;
 use crate::population::Population;
@@ -89,7 +89,11 @@ impl BuildStats {
 /// Pick a bootstrapping group: a u.a.r. *blue* group of the given old
 /// graph (the paper assumes joiners know a good bootstrap group,
 /// Appendix IX). Returns `None` when the graph has no blue group left.
-fn pick_boot(old: &GroupGraph, rng: &mut StdRng) -> Option<usize> {
+///
+/// Generic over the storage layout so the arena kernel draws the exact
+/// same bootstrap sequence as the legacy path (the draw count depends
+/// only on the RNG stream and the old graph's colors).
+pub(crate) fn pick_boot<G: GroupGraphView>(old: &G, rng: &mut StdRng) -> Option<usize> {
     // Rejection sampling: expected O(1) tries while most groups are blue;
     // fall back to a scan when the graph is badly degraded.
     for _ in 0..32 {
@@ -109,8 +113,8 @@ fn pick_boot(old: &GroupGraph, rng: &mut StdRng) -> Option<usize> {
 /// One protocol search for `point` in old graph `old`, initiated from a
 /// bootstrap (or the verifier's own group). Success means the search path
 /// stayed blue.
-fn protocol_search(
-    old: &GroupGraph,
+pub(crate) fn protocol_search<G: GroupGraphView>(
+    old: &G,
     from: Option<usize>,
     point: Id,
     metrics: &mut Metrics,
@@ -122,9 +126,11 @@ fn protocol_search(
 }
 
 /// Dual (or single, per mode) search across the old graphs. `from[s]` is
-/// the initiating group index in old graph `s`.
-fn construction_search(
-    olds: &[GroupGraph],
+/// the initiating group index in old graph `s`. Short-circuits after the
+/// first success (`any`), which both kernels must preserve — the skipped
+/// second search never reaches [`Metrics`].
+pub(crate) fn construction_search<G: GroupGraphView>(
+    olds: &[G],
     from: &[Option<usize>],
     point: Id,
     metrics: &mut Metrics,

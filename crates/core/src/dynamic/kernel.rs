@@ -1,0 +1,205 @@
+//! Kernel selection: one epoch loop, two storage layouts.
+//!
+//! [`EpochKernel`] dispatches the churn → build → measure → swap cycle to
+//! either the legacy per-group kernel ([`DynamicSystem`]) or the arena
+//! SoA kernel ([`ArenaSystem`]). Both consume identical RNG streams and
+//! produce identical [`EpochReport`]s; the choice is purely a storage and
+//! throughput decision, surfaced on [`crate::scenario::ScenarioSpec`] as
+//! the `kernel` knob (`legacy` default, `arena` for million-identity
+//! runs).
+
+use crate::arena::ArenaSystem;
+use crate::dynamic::build::BuildMode;
+use crate::dynamic::provider::IdentityProvider;
+use crate::dynamic::system::{DynamicSystem, EpochReport};
+use crate::graph::GraphsView;
+use crate::params::Params;
+use tg_overlay::GraphKind;
+
+/// Which epoch-kernel implementation backs a run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum KernelChoice {
+    /// Per-group `Vec` storage — the original implementation, kept as
+    /// the conformance oracle.
+    #[default]
+    Legacy,
+    /// Flat arena/SoA storage with deterministic parallel fan-out.
+    Arena,
+}
+
+impl KernelChoice {
+    /// Stable codec token (`legacy` / `arena`).
+    pub fn label(self) -> &'static str {
+        match self {
+            KernelChoice::Legacy => "legacy",
+            KernelChoice::Arena => "arena",
+        }
+    }
+
+    /// Parse a codec token.
+    pub fn parse(s: &str) -> Option<KernelChoice> {
+        match s {
+            "legacy" => Some(KernelChoice::Legacy),
+            "arena" => Some(KernelChoice::Arena),
+            _ => None,
+        }
+    }
+}
+
+/// A dynamic system behind either storage layout. All epoch-loop entry
+/// points the drivers need are forwarded; layout-specific access goes
+/// through [`EpochKernel::graphs`] (a [`GraphsView`]) or the `as_*`
+/// accessors.
+pub enum EpochKernel {
+    /// The legacy kernel.
+    Legacy(DynamicSystem),
+    /// The arena kernel.
+    Arena(ArenaSystem),
+}
+
+impl EpochKernel {
+    /// Initialize the chosen kernel at epoch 1. `capacity` is the arena
+    /// member-column pre-size hint (ignored by the legacy kernel).
+    pub fn new(
+        choice: KernelChoice,
+        params: Params,
+        kind: GraphKind,
+        mode: BuildMode,
+        provider: &mut dyn IdentityProvider,
+        master_seed: u64,
+        capacity: Option<usize>,
+    ) -> Self {
+        match choice {
+            KernelChoice::Legacy => {
+                EpochKernel::Legacy(DynamicSystem::new(params, kind, mode, provider, master_seed))
+            }
+            KernelChoice::Arena => EpochKernel::Arena(ArenaSystem::new(
+                params,
+                kind,
+                mode,
+                provider,
+                master_seed,
+                capacity,
+            )),
+        }
+    }
+
+    /// Which layout this kernel runs on.
+    pub fn choice(&self) -> KernelChoice {
+        match self {
+            EpochKernel::Legacy(_) => KernelChoice::Legacy,
+            EpochKernel::Arena(_) => KernelChoice::Arena,
+        }
+    }
+
+    /// Run one epoch (churn, build, measure, swap).
+    pub fn advance_epoch(&mut self, provider: &mut dyn IdentityProvider) -> EpochReport {
+        match self {
+            EpochKernel::Legacy(s) => s.advance_epoch(provider),
+            EpochKernel::Arena(s) => s.advance_epoch(provider),
+        }
+    }
+
+    /// Run `epochs` epochs, returning all reports.
+    pub fn run(&mut self, provider: &mut dyn IdentityProvider, epochs: usize) -> Vec<EpochReport> {
+        match self {
+            EpochKernel::Legacy(s) => s.run(provider, epochs),
+            EpochKernel::Arena(s) => s.run(provider, epochs),
+        }
+    }
+
+    /// The epoch the operational graphs serve.
+    pub fn epoch(&self) -> u64 {
+        match self {
+            EpochKernel::Legacy(s) => s.epoch,
+            EpochKernel::Arena(s) => s.epoch,
+        }
+    }
+
+    /// The construction constants.
+    pub fn params(&self) -> &Params {
+        match self {
+            EpochKernel::Legacy(s) => &s.params,
+            EpochKernel::Arena(s) => &s.params,
+        }
+    }
+
+    /// Searches sampled per epoch for the robustness report.
+    pub fn searches_per_epoch(&self) -> usize {
+        match self {
+            EpochKernel::Legacy(s) => s.searches_per_epoch,
+            EpochKernel::Arena(s) => s.searches_per_epoch,
+        }
+    }
+
+    /// Override the per-epoch measurement sample size.
+    pub fn set_searches_per_epoch(&mut self, searches: usize) {
+        match self {
+            EpochKernel::Legacy(s) => s.searches_per_epoch = searches,
+            EpochKernel::Arena(s) => s.searches_per_epoch = searches,
+        }
+    }
+
+    /// The operational graphs, layout-agnostic.
+    pub fn graphs(&self) -> GraphsView<'_> {
+        match self {
+            EpochKernel::Legacy(s) => GraphsView::Legacy(&s.graphs),
+            EpochKernel::Arena(s) => GraphsView::Arena(&s.graphs),
+        }
+    }
+
+    /// The legacy system, if that is the active kernel.
+    pub fn as_legacy(&self) -> Option<&DynamicSystem> {
+        match self {
+            EpochKernel::Legacy(s) => Some(s),
+            EpochKernel::Arena(_) => None,
+        }
+    }
+
+    /// Mutable access to the legacy system, if active.
+    pub fn as_legacy_mut(&mut self) -> Option<&mut DynamicSystem> {
+        match self {
+            EpochKernel::Legacy(s) => Some(s),
+            EpochKernel::Arena(_) => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dynamic::provider::UniformProvider;
+
+    #[test]
+    fn choice_tokens_round_trip() {
+        for c in [KernelChoice::Legacy, KernelChoice::Arena] {
+            assert_eq!(KernelChoice::parse(c.label()), Some(c));
+        }
+        assert_eq!(KernelChoice::parse("simd"), None);
+        assert_eq!(KernelChoice::default(), KernelChoice::Legacy);
+    }
+
+    #[test]
+    fn kernels_agree_through_the_dispatcher() {
+        let mut params = Params::paper_defaults();
+        params.churn_rate = 0.1;
+        params.attack_requests_per_id = 1;
+        let mut provider = UniformProvider { n_good: 380, n_bad: 20 };
+        let mut reports = Vec::new();
+        for choice in [KernelChoice::Legacy, KernelChoice::Arena] {
+            let mut k = EpochKernel::new(
+                choice,
+                params,
+                GraphKind::D2B,
+                BuildMode::DualGraph,
+                &mut provider,
+                5,
+                None,
+            );
+            assert_eq!(k.choice(), choice);
+            assert_eq!(k.graphs().sides(), 2);
+            reports.push(format!("{:?}", k.run(&mut provider, 2)));
+        }
+        assert_eq!(reports[0], reports[1]);
+    }
+}

@@ -27,6 +27,7 @@
 
 pub mod adversary;
 pub mod build;
+pub mod kernel;
 pub mod provider;
 pub mod system;
 
@@ -35,5 +36,6 @@ pub use adversary::{
     IntervalTargeting, StrategicProvider, Uniform,
 };
 pub use build::{BuildMode, BuildStats};
+pub use kernel::{EpochKernel, KernelChoice};
 pub use provider::{EpochIds, IdentityProvider, UniformProvider, WithEpochString};
 pub use system::{DynamicSystem, EpochReport};

@@ -3,7 +3,7 @@
 use crate::dynamic::adversary::AdversaryView;
 use crate::dynamic::build::{build_new_graphs, BuildMode, BuildStats};
 use crate::dynamic::provider::IdentityProvider;
-use crate::graph::GroupGraph;
+use crate::graph::{GraphsView, GroupGraph};
 use crate::params::Params;
 use crate::population::Population;
 use crate::robustness::{measure_dual_success, measure_robustness};
@@ -146,8 +146,11 @@ impl DynamicSystem {
         // 2. Mint the next epoch's IDs and build the new graphs through
         //    the (churned) current ones. A strategic adversary inside the
         //    provider observes the graphs that just served this epoch.
-        let view =
-            AdversaryView { epoch: self.epoch + 1, graphs: &self.graphs, epoch_string: None };
+        let view = AdversaryView {
+            epoch: self.epoch + 1,
+            graphs: GraphsView::Legacy(&self.graphs),
+            epoch_string: None,
+        };
         let ids = provider.ids_for_epoch(self.epoch + 1, &view, &mut rng);
         let new_pop = Population::new(ids.good, ids.bad);
         let (news, build) = build_new_graphs(

@@ -142,6 +142,304 @@ impl GroupGraph {
     }
 }
 
+/// Read access to one side's group graph, independent of storage layout.
+///
+/// Two kernels implement the epoch loop: the legacy per-group
+/// [`GroupGraph`] (one `Vec<u32>` member list per group) and the arena
+/// kernel's SoA columns ([`crate::arena::ArenaGraphs`], one contiguous
+/// member column per side with CSR offsets). Everything that *reads* a
+/// group graph — search paths, robustness measurement, construction
+/// bootstraps, string agreement, adversary observation — goes through
+/// this trait, so the two layouts are interchangeable and, because they
+/// share the same reading code, structurally forced to agree.
+///
+/// The provided methods derive every aggregate fraction from the four
+/// per-group primitives, mirroring the corresponding [`GroupGraph`]
+/// inherent methods exactly (the kernel-equivalence suite holds both
+/// layouts to byte-identical observation streams).
+pub trait GroupGraphView {
+    /// Number of groups (= number of leaders).
+    fn len(&self) -> usize;
+    /// Whether group `i` is red (bad majority, dead, or confused).
+    fn is_red(&self, i: usize) -> bool;
+    /// Live size of group `i` (live members plus captured slots).
+    fn group_size(&self, i: usize) -> usize;
+    /// Live bad members of group `i`, including captured slots.
+    fn group_bad_count(&self, i: usize) -> usize;
+    /// Whether group `i`'s neighbor links are incorrect (Lemma 8).
+    fn is_confused(&self, i: usize) -> bool;
+    /// The member column of group `i`: pool ring indices, sorted and
+    /// deduplicated (live and departed members alike — filter through
+    /// [`GroupGraphView::pool`] for liveness).
+    fn group_members(&self, i: usize) -> &[u32];
+    /// Adversary-captured slots of group `i` (slots whose dual searches
+    /// both failed and were claimed by bad pool members).
+    fn captured_slots(&self, i: usize) -> u32;
+    /// The leader generation (vertices of the graph).
+    fn leaders(&self) -> &Population;
+    /// The member pool generation.
+    fn pool(&self) -> &Population;
+    /// The input-graph topology `H` over the leader ring.
+    fn topology(&self) -> &dyn InputGraph;
+
+    /// Whether the graph has no groups.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether group `i` has strictly more live good members than bad.
+    fn has_good_majority(&self, i: usize) -> bool {
+        let size = self.group_size(i);
+        let bad = self.group_bad_count(i);
+        size > 0 && 2 * bad < size
+    }
+
+    /// Fraction of red groups — the quantity `pf` bounds (S2).
+    fn frac_red(&self) -> f64 {
+        let red = (0..self.len()).filter(|&i| self.is_red(i)).count();
+        red as f64 / self.len().max(1) as f64
+    }
+
+    /// Fraction of groups with a good majority.
+    fn frac_good_majority(&self) -> f64 {
+        let good = (0..self.len()).filter(|&i| self.has_good_majority(i)).count();
+        good as f64 / self.len().max(1) as f64
+    }
+
+    /// Fraction of groups meeting the paper's §I-C invariant.
+    fn frac_paper_invariant(&self, params: &Params) -> f64 {
+        let n = self.leaders().len();
+        let ok = (0..self.len())
+            .filter(|&i| {
+                let size = self.group_size(i);
+                if size < params.min_good_size(n) || size > params.draws(n) + 1 {
+                    return false;
+                }
+                (self.group_bad_count(i) as f64) <= params.max_bad_members(size)
+            })
+            .count();
+        ok as f64 / self.len().max(1) as f64
+    }
+
+    /// Fraction of confused groups.
+    fn frac_confused(&self) -> f64 {
+        let c = (0..self.len()).filter(|&i| self.is_confused(i)).count();
+        c as f64 / self.len().max(1) as f64
+    }
+
+    /// Mean live group size.
+    fn mean_group_size(&self) -> f64 {
+        let total: usize = (0..self.len()).map(|i| self.group_size(i)).sum();
+        total as f64 / self.len().max(1) as f64
+    }
+
+    /// Leader-ring indices of all blue groups.
+    fn blue_indices(&self) -> Vec<usize> {
+        (0..self.len()).filter(|&i| !self.is_red(i)).collect()
+    }
+}
+
+impl GroupGraphView for GroupGraph {
+    fn len(&self) -> usize {
+        self.groups.len()
+    }
+
+    fn is_red(&self, i: usize) -> bool {
+        self.colors[i] == Color::Red
+    }
+
+    fn group_size(&self, i: usize) -> usize {
+        self.groups[i].size(&self.pool)
+    }
+
+    fn group_bad_count(&self, i: usize) -> usize {
+        self.groups[i].bad_count(&self.pool)
+    }
+
+    fn is_confused(&self, i: usize) -> bool {
+        self.confused[i]
+    }
+
+    fn group_members(&self, i: usize) -> &[u32] {
+        &self.groups[i].members
+    }
+
+    fn captured_slots(&self, i: usize) -> u32 {
+        self.groups[i].captured_slots
+    }
+
+    fn leaders(&self) -> &Population {
+        &self.leaders
+    }
+
+    fn pool(&self) -> &Population {
+        &self.pool
+    }
+
+    fn topology(&self) -> &dyn InputGraph {
+        self.topology.as_ref()
+    }
+
+    // Delegate the aggregates to the color-cache-backed inherent methods:
+    // identical results, one array lookup instead of a member scan.
+    fn frac_red(&self) -> f64 {
+        GroupGraph::frac_red(self)
+    }
+
+    fn frac_good_majority(&self) -> f64 {
+        GroupGraph::frac_good_majority(self)
+    }
+
+    fn frac_paper_invariant(&self, params: &Params) -> f64 {
+        GroupGraph::frac_paper_invariant(self, params)
+    }
+
+    fn frac_confused(&self) -> f64 {
+        GroupGraph::frac_confused(self)
+    }
+
+    fn mean_group_size(&self) -> f64 {
+        GroupGraph::mean_group_size(self)
+    }
+
+    fn blue_indices(&self) -> Vec<usize> {
+        GroupGraph::blue_indices(self)
+    }
+}
+
+/// A borrowed, layout-agnostic view of one epoch's operational graphs —
+/// what [`crate::dynamic::AdversaryView`] exposes to strategies and what
+/// [`crate::scenario::EpochDriver::graphs`] returns.
+///
+/// `Copy`, so provider wrappers (`WithEpochString`, the PoW pipeline's
+/// re-wrapping) can forward it without lifetime gymnastics.
+#[derive(Clone, Copy)]
+pub enum GraphsView<'a> {
+    /// Per-group `Vec` storage (the legacy kernel).
+    Legacy(&'a [GroupGraph]),
+    /// Flat SoA columns (the arena kernel).
+    Arena(&'a crate::arena::ArenaGraphs),
+}
+
+impl<'a> GraphsView<'a> {
+    /// The view of no graphs at all (genesis: nothing to observe).
+    pub fn empty() -> GraphsView<'static> {
+        GraphsView::Legacy(&[])
+    }
+
+    /// Number of sides (2 dual, 1 single-graph ablation, 0 at genesis).
+    pub fn sides(&self) -> usize {
+        match self {
+            GraphsView::Legacy(gs) => gs.len(),
+            GraphsView::Arena(a) => a.sides(),
+        }
+    }
+
+    /// Whether there are no graphs to observe.
+    pub fn is_empty(&self) -> bool {
+        self.sides() == 0
+    }
+
+    /// The view of side `s`.
+    pub fn side(&self, s: usize) -> SideRef<'a> {
+        match self {
+            GraphsView::Legacy(gs) => SideRef::Legacy(&gs[s]),
+            GraphsView::Arena(a) => SideRef::Arena(a.side(s)),
+        }
+    }
+
+    /// Iterate over the sides.
+    pub fn iter(&self) -> impl Iterator<Item = SideRef<'a>> {
+        let this = *self;
+        (0..this.sides()).map(move |s| this.side(s))
+    }
+}
+
+/// One side of a [`GraphsView`]: a `Copy` handle implementing
+/// [`GroupGraphView`] by delegation to whichever layout backs it.
+#[derive(Clone, Copy)]
+pub enum SideRef<'a> {
+    /// A legacy per-group graph.
+    Legacy(&'a GroupGraph),
+    /// An arena side.
+    Arena(crate::arena::ArenaSideRef<'a>),
+}
+
+macro_rules! side_delegate {
+    ($self:ident, $g:ident => $e:expr) => {
+        match $self {
+            SideRef::Legacy($g) => $e,
+            SideRef::Arena($g) => $e,
+        }
+    };
+}
+
+impl GroupGraphView for SideRef<'_> {
+    fn len(&self) -> usize {
+        side_delegate!(self, g => g.len())
+    }
+
+    fn is_red(&self, i: usize) -> bool {
+        side_delegate!(self, g => g.is_red(i))
+    }
+
+    fn group_size(&self, i: usize) -> usize {
+        side_delegate!(self, g => g.group_size(i))
+    }
+
+    fn group_bad_count(&self, i: usize) -> usize {
+        side_delegate!(self, g => g.group_bad_count(i))
+    }
+
+    fn is_confused(&self, i: usize) -> bool {
+        side_delegate!(self, g => g.is_confused(i))
+    }
+
+    fn group_members(&self, i: usize) -> &[u32] {
+        side_delegate!(self, g => g.group_members(i))
+    }
+
+    fn captured_slots(&self, i: usize) -> u32 {
+        side_delegate!(self, g => g.captured_slots(i))
+    }
+
+    fn leaders(&self) -> &Population {
+        side_delegate!(self, g => g.leaders())
+    }
+
+    fn pool(&self) -> &Population {
+        side_delegate!(self, g => g.pool())
+    }
+
+    fn topology(&self) -> &dyn InputGraph {
+        side_delegate!(self, g => g.topology())
+    }
+
+    fn frac_red(&self) -> f64 {
+        side_delegate!(self, g => g.frac_red())
+    }
+
+    fn frac_good_majority(&self) -> f64 {
+        side_delegate!(self, g => g.frac_good_majority())
+    }
+
+    fn frac_paper_invariant(&self, params: &Params) -> f64 {
+        side_delegate!(self, g => g.frac_paper_invariant(params))
+    }
+
+    fn frac_confused(&self) -> f64 {
+        side_delegate!(self, g => g.frac_confused())
+    }
+
+    fn mean_group_size(&self) -> f64 {
+        side_delegate!(self, g => g.mean_group_size())
+    }
+
+    fn blue_indices(&self) -> Vec<usize> {
+        side_delegate!(self, g => g.blue_indices())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

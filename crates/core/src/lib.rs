@@ -41,6 +41,7 @@
 //! * [`render`] — DOT rendering of `H` and `G` (Figure 1).
 
 pub mod abstract_model;
+pub mod arena;
 pub mod bootstrap;
 pub mod build;
 pub mod dht;
@@ -54,10 +55,11 @@ pub mod robustness;
 pub mod routing;
 pub mod scenario;
 
+pub use arena::{ArenaGraphs, ArenaSideRef, ArenaSystem};
 pub use bootstrap::{assemble_bootstrap, recommended_contacts, BootstrapGroup};
 pub use build::build_initial_graph;
 pub use dht::{GetOutcome, SecureDht};
-pub use graph::{Color, GroupGraph};
+pub use graph::{Color, GraphsView, GroupGraph, GroupGraphView, SideRef};
 pub use group::Group;
 pub use params::{GroupSizeRule, Params};
 pub use population::Population;

@@ -13,13 +13,13 @@
 //!   random search path traverses `G_v` (Lemma 1 bounds this by
 //!   `O(log^c n / n)`).
 
-use crate::graph::GroupGraph;
+use crate::graph::GroupGraphView;
 use crate::params::Params;
 use crate::routing::{search_path, SearchOutcome};
 use rand::rngs::StdRng;
 use rand::Rng;
 use tg_idspace::Id;
-use tg_sim::Metrics;
+use tg_sim::{parallel_map_chunked, Metrics};
 
 /// Robustness measurements for one group graph.
 #[derive(Clone, Copy, Debug)]
@@ -45,8 +45,8 @@ pub struct RobustnessReport {
 }
 
 /// Sample `searches` random (initiator, key) pairs and measure.
-pub fn measure_robustness(
-    gg: &GroupGraph,
+pub fn measure_robustness<G: GroupGraphView>(
+    gg: &G,
     params: &Params,
     searches: usize,
     rng: &mut StdRng,
@@ -60,13 +60,13 @@ pub fn measure_robustness(
         let from = rng.gen_range(0..gg.len());
         let key = Id(rng.gen());
         // Track the truncated search path for responsibility accounting.
-        let from_id = gg.leaders.ring().at(from);
-        let route = gg.topology.route(from_id, key);
+        let from_id = gg.leaders().ring().at(from);
+        let route = gg.topology().route(from_id, key);
         let out = search_path(gg, from, key, &mut metrics);
         let traversed = out.hops();
         let mut idx: Vec<usize> = route.hops[..traversed]
             .iter()
-            .map(|&h| gg.leaders.ring().index_of(h).expect("leader hop"))
+            .map(|&h| gg.leaders().ring().index_of(h).expect("leader hop"))
             .collect();
         idx.sort_unstable();
         idx.dedup();
@@ -95,7 +95,11 @@ pub fn measure_robustness(
 
 /// Fraction of sampled searches for which at least one of the two sides
 /// succeeds (the dual-graph availability the construction exploits).
-pub fn measure_dual_success(sides: [&GroupGraph; 2], searches: usize, rng: &mut StdRng) -> f64 {
+pub fn measure_dual_success<G: GroupGraphView>(
+    sides: [&G; 2],
+    searches: usize,
+    rng: &mut StdRng,
+) -> f64 {
     let mut metrics = Metrics::new();
     let mut ok = 0usize;
     for _ in 0..searches {
@@ -108,10 +112,85 @@ pub fn measure_dual_success(sides: [&GroupGraph; 2], searches: usize, rng: &mut 
     ok as f64 / searches.max(1) as f64
 }
 
+/// Parallel [`measure_robustness`]: pre-draws the whole `(from, key)`
+/// sample (the exact RNG sequence the sequential loop consumes — searches
+/// themselves draw nothing) and fans the searches out in deterministic
+/// chunks, folding per-search results back in sample order. Produces a
+/// bit-identical [`RobustnessReport`] for any thread count; the arena
+/// kernel uses this at million-identity scale.
+pub fn measure_robustness_chunked<G: GroupGraphView + Sync>(
+    gg: &G,
+    params: &Params,
+    searches: usize,
+    rng: &mut StdRng,
+) -> RobustnessReport {
+    let pairs: Vec<(usize, Id)> =
+        (0..searches).map(|_| (rng.gen_range(0..gg.len()), Id(rng.gen()))).collect();
+    let per_search = parallel_map_chunked(pairs, 64, |(from, key)| {
+        let mut m = Metrics::new();
+        let from_id = gg.leaders().ring().at(from);
+        let route = gg.topology().route(from_id, key);
+        let out = search_path(gg, from, key, &mut m);
+        let mut idx: Vec<usize> = route.hops[..out.hops()]
+            .iter()
+            .map(|&h| gg.leaders().ring().index_of(h).expect("leader hop"))
+            .collect();
+        idx.sort_unstable();
+        idx.dedup();
+        (m, out, idx)
+    });
+
+    let mut metrics = Metrics::new();
+    let mut traversals = vec![0u32; gg.len()];
+    let mut success = 0usize;
+    let mut success_hops = 0usize;
+    for (m, out, idx) in &per_search {
+        metrics.merge(m);
+        for &i in idx {
+            traversals[i] += 1;
+        }
+        if let SearchOutcome::Success { hops, .. } = out {
+            success += 1;
+            success_hops += hops;
+        }
+    }
+
+    RobustnessReport {
+        n: gg.len(),
+        frac_red: gg.frac_red(),
+        frac_good_majority: gg.frac_good_majority(),
+        frac_paper_invariant: gg.frac_paper_invariant(params),
+        search_success: success as f64 / searches.max(1) as f64,
+        mean_hops: if success > 0 { success_hops as f64 / success as f64 } else { 0.0 },
+        mean_msgs: metrics.routing_msgs as f64 / searches.max(1) as f64,
+        max_responsibility: traversals.iter().copied().max().unwrap_or(0) as f64
+            / searches.max(1) as f64,
+        mean_group_size: gg.mean_group_size(),
+    }
+}
+
+/// Parallel [`measure_dual_success`], same pre-draw-then-fan-out scheme
+/// as [`measure_robustness_chunked`]; bit-identical to the sequential
+/// measurement for any thread count.
+pub fn measure_dual_success_chunked<G: GroupGraphView + Sync>(
+    sides: [&G; 2],
+    searches: usize,
+    rng: &mut StdRng,
+) -> f64 {
+    let pairs: Vec<(usize, Id)> =
+        (0..searches).map(|_| (rng.gen_range(0..sides[0].len()), Id(rng.gen()))).collect();
+    let oks = parallel_map_chunked(pairs, 64, |(from, key)| {
+        let mut m = Metrics::new();
+        crate::routing::dual_search(sides, from, key, &mut m)
+    });
+    oks.iter().filter(|&&ok| ok).count() as f64 / searches.max(1) as f64
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::build::build_initial_graph;
+    use crate::graph::GroupGraph;
     use crate::population::Population;
     use rand::SeedableRng;
     use tg_crypto::OracleFamily;
@@ -175,6 +254,28 @@ mod tests {
             r_low.search_success
         );
         assert!(r_high.frac_red > r_low.frac_red);
+    }
+
+    #[test]
+    fn chunked_measurement_is_bit_identical() {
+        // The parallel variants pre-draw the identical RNG sequence and
+        // fold in sample order: every report field must match bit for bit.
+        let (gg, params) = graph(1000, 80, 12);
+        let mut r_seq = StdRng::seed_from_u64(13);
+        let mut r_par = StdRng::seed_from_u64(13);
+        let a = measure_robustness(&gg, &params, 300, &mut r_seq);
+        let b = measure_robustness_chunked(&gg, &params, 300, &mut r_par);
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
+
+        let mut rng0 = StdRng::seed_from_u64(14);
+        let pop = Population::uniform(1000, 80, &mut rng0);
+        let fam = OracleFamily::new(12);
+        let other = build_initial_graph(pop, GraphKind::Chord, fam.h2, &params);
+        let mut r_seq = StdRng::seed_from_u64(15);
+        let mut r_par = StdRng::seed_from_u64(15);
+        let d_seq = measure_dual_success([&gg, &other], 300, &mut r_seq);
+        let d_par = measure_dual_success_chunked([&gg, &other], 300, &mut r_par);
+        assert_eq!(d_seq.to_bits(), d_par.to_bits());
     }
 
     #[test]

@@ -15,7 +15,7 @@
 //!   group-level semantics matches what the messages actually do, and to
 //!   account messages exactly (E3).
 
-use crate::graph::GroupGraph;
+use crate::graph::{GroupGraph, GroupGraphView};
 use rand::rngs::StdRng;
 use rand::Rng;
 use tg_ba::{majority_filter, AdversaryMode};
@@ -66,19 +66,23 @@ impl SearchOutcome {
 
 /// Group-level search from the group of `from_leader` (a leader ring
 /// index) for `key`. Updates `metrics`.
-pub fn search_path(
-    gg: &GroupGraph,
+///
+/// Generic over the graph's storage layout ([`GroupGraphView`]): the
+/// legacy per-group and the arena SoA kernels share this one routine, so
+/// their search semantics cannot drift apart.
+pub fn search_path<G: GroupGraphView>(
+    gg: &G,
     from_leader: usize,
     key: Id,
     metrics: &mut Metrics,
 ) -> SearchOutcome {
     metrics.searches += 1;
-    let from_id = gg.leaders.ring().at(from_leader);
-    let route = gg.topology.route(from_id, key);
+    let from_id = gg.leaders().ring().at(from_leader);
+    let route = gg.topology().route(from_id, key);
     let mut msgs = 0u64;
     let mut prev_size = 0usize;
     for (pos, &hop) in route.hops.iter().enumerate() {
-        let gi = gg.leaders.ring().index_of(hop).expect("route hops are leader-ring IDs");
+        let gi = gg.leaders().ring().index_of(hop).expect("route hops are leader-ring IDs");
         let size = gg.group_size(gi);
         if pos > 0 {
             msgs += (prev_size * size) as u64;
@@ -101,8 +105,8 @@ pub fn search_path(
 /// and favors the true successor — with verifiable IDs, one honest result
 /// suffices; §III-A "if different IDs are returned by the two searches,
 /// the successor to `h1(w,i)` is selected").
-pub fn dual_search(
-    sides: [&GroupGraph; 2],
+pub fn dual_search<G: GroupGraphView>(
+    sides: [&G; 2],
     from_leader: usize,
     key: Id,
     metrics: &mut Metrics,

@@ -62,13 +62,15 @@ use crate::dynamic::adversary::{
 };
 use crate::dynamic::build::{BuildMode, BuildStats};
 use crate::dynamic::provider::{IdentityProvider, UniformProvider};
-use crate::dynamic::system::{DynamicSystem, EpochReport};
-use crate::graph::GroupGraph;
+use crate::dynamic::system::EpochReport;
+use crate::graph::{GraphsView, GroupGraphView};
 use crate::params::{GroupSizeRule, Params};
 use rand::rngs::StdRng;
 use tg_idspace::Id;
 use tg_overlay::GraphKind;
 use tg_sim::Metrics;
+
+pub use crate::dynamic::kernel::{EpochKernel, KernelChoice};
 
 /// Which minting scheme a PoW pipeline runs (§IV-A). Lives here (rather
 /// than in `tg-pow`, which re-exports it) so the defense axis of a
@@ -329,6 +331,15 @@ pub struct ScenarioSpec {
     /// Master seed; every labelled RNG stream of the run derives from
     /// it.
     pub seed: u64,
+    /// Which epoch kernel runs the scenario. Both kernels produce
+    /// identical observations for identical specs — [`KernelChoice::
+    /// Arena`] is the throughput choice for `n` far above paper scale.
+    /// Codec-optional: omitted from labels/JSON when left at the
+    /// default, so every pre-existing label parses unchanged.
+    pub kernel: KernelChoice,
+    /// Arena member-column capacity hint (pre-sizes the hot allocation;
+    /// ignored by the legacy kernel). Codec-optional like `kernel`.
+    pub capacity: Option<usize>,
 }
 
 impl ScenarioSpec {
@@ -350,6 +361,8 @@ impl ScenarioSpec {
             idealized_good: true,
             searches: 400,
             seed,
+            kernel: KernelChoice::default(),
+            capacity: None,
         }
     }
 
@@ -439,6 +452,19 @@ impl ScenarioSpec {
     /// pipeline).
     pub fn idealized(mut self, idealized_good: bool) -> Self {
         self.idealized_good = idealized_good;
+        self
+    }
+
+    /// Select the epoch kernel (legacy per-group storage vs the arena
+    /// SoA hot path).
+    pub fn kernel(mut self, kernel: KernelChoice) -> Self {
+        self.kernel = kernel;
+        self
+    }
+
+    /// Set the arena member-column capacity hint.
+    pub fn capacity(mut self, capacity: usize) -> Self {
+        self.capacity = Some(capacity);
         self
     }
 
@@ -574,6 +600,12 @@ const KEYS: [&str; 18] = [
     "retries",
 ];
 
+/// Codec fields added after `tg1` froze: emitted only when they differ
+/// from their defaults, accepted (at most once) whether present or not.
+/// Every label or JSON form written before these keys existed therefore
+/// parses to a spec with the defaults — byte-compatible both ways.
+const OPTIONAL_KEYS: [&str; 2] = ["kernel", "cap"];
+
 impl ScenarioSpec {
     /// The spec as ordered `(key, value)` codec fields — the single
     /// source both serialized forms are generated from.
@@ -600,7 +632,14 @@ impl ScenarioSpec {
             p.link_retries.to_string(),
         ];
         debug_assert_eq!(values.len(), KEYS.len());
-        KEYS.into_iter().zip(values).collect()
+        let mut fields: Vec<(&'static str, String)> = KEYS.into_iter().zip(values).collect();
+        if self.kernel != KernelChoice::default() {
+            fields.push(("kernel", self.kernel.label().to_string()));
+        }
+        if let Some(cap) = self.capacity {
+            fields.push(("cap", cap.to_string()));
+        }
+        fields
     }
 
     /// Rebuild a spec from codec fields (order-insensitive; every field
@@ -622,10 +661,29 @@ impl ScenarioSpec {
             get(key)?.parse().map_err(|_| err(&format!("field `{key}` is not an integer")))
         };
         for (k, _) in pairs {
-            if !KEYS.contains(&k.as_str()) {
+            if !KEYS.contains(&k.as_str()) && !OPTIONAL_KEYS.contains(&k.as_str()) {
                 return Err(err(&format!("unknown field `{k}`")));
             }
         }
+        // Optional fields: absent means default, present at most once.
+        let opt = |key: &str| -> Result<Option<&str>, ScenarioError> {
+            let mut found = pairs.iter().filter(|(k, _)| k == key);
+            let first = found.next();
+            if found.next().is_some() {
+                return Err(err(&format!("duplicate field `{key}`")));
+            }
+            Ok(first.map(|(_, v)| v.as_str()))
+        };
+        let kernel = match opt("kernel")? {
+            None => KernelChoice::default(),
+            Some(v) => KernelChoice::parse(v).ok_or_else(|| err("bad `kernel`"))?,
+        };
+        let capacity = match opt("cap")? {
+            None => None,
+            Some(v) => {
+                Some(v.parse::<u64>().map_err(|_| err("field `cap` is not an integer"))? as usize)
+            }
+        };
         let mut params = Params::paper_defaults();
         params.beta = num("beta")?;
         params.delta = num("delta")?;
@@ -650,6 +708,8 @@ impl ScenarioSpec {
                 .map_err(|_| err("field `idealized` is not a bool"))?,
             searches: int("searches")? as usize,
             seed: int("seed")?,
+            kernel,
+            capacity,
         })
     }
 
@@ -806,7 +866,7 @@ impl EpochObservation {
     /// (the batched-driver hot path re-allocates nothing per epoch).
     /// PoW fields are reset to `None`; drivers with a minting layer fill
     /// them afterwards.
-    pub fn fill_dynamic(&mut self, r: &EpochReport, graphs: &[GroupGraph]) {
+    pub fn fill_dynamic(&mut self, r: &EpochReport, graphs: GraphsView<'_>) {
         self.epoch = r.epoch;
         for (dst, src) in [
             (&mut self.frac_red, &r.frac_red),
@@ -824,9 +884,9 @@ impl EpochObservation {
         self.max_memberships = r.max_memberships;
         self.metrics = r.metrics;
         let (mut captured, mut total) = (0usize, 0usize);
-        for g in graphs {
-            total += g.groups.len();
-            captured += g.groups.iter().filter(|gr| !gr.has_good_majority(&g.pool)).count();
+        for g in graphs.iter() {
+            total += g.len();
+            captured += (0..g.len()).filter(|&i| !g.has_good_majority(i)).count();
         }
         self.captured_groups = captured;
         self.total_groups = total;
@@ -835,6 +895,213 @@ impl EpochObservation {
         self.verification_coverage = None;
         self.minted_good = None;
         self.good_misses = None;
+    }
+}
+
+/// The scalar projection of one [`EpochObservation`] — the `Copy` row a
+/// batched run appends to its [`ObservationBatch`]. Optional PoW counts
+/// are encoded as `f64::NAN` when the scenario has no minting layer,
+/// keeping every column a plain numeric slice.
+#[derive(Clone, Copy, Debug)]
+pub struct ObsRow {
+    /// Epoch index the freshly built graphs serve.
+    pub epoch: u64,
+    /// Search success using a single side.
+    pub search_success_single: f64,
+    /// Search success using both sides.
+    pub search_success_dual: f64,
+    /// Side-0 red fraction.
+    pub frac_red_s0: f64,
+    /// Groups without a good majority, all sides.
+    pub captured_groups: u32,
+    /// Total groups, all sides.
+    pub total_groups: u32,
+    /// Adversarial IDs that entered the dynamic layer.
+    pub bad_ids: u32,
+    /// Key-space fraction those IDs own.
+    pub bad_share: f64,
+    /// Mean per-good-pool-ID memberships.
+    pub mean_memberships: f64,
+    /// Good IDs minted (PoW only; `NAN` otherwise).
+    pub minted_good: f64,
+    /// Good minting-window misses (PoW statistical pipeline; `NAN`
+    /// otherwise).
+    pub good_misses: f64,
+}
+
+impl ObsRow {
+    /// Project an observation onto the batch columns.
+    pub fn of(o: &EpochObservation) -> ObsRow {
+        ObsRow {
+            epoch: o.epoch,
+            search_success_single: o.search_success_single,
+            search_success_dual: o.search_success_dual,
+            frac_red_s0: o.frac_red.first().copied().unwrap_or(0.0),
+            captured_groups: o.captured_groups as u32,
+            total_groups: o.total_groups as u32,
+            bad_ids: o.bad_ids as u32,
+            bad_share: o.bad_share,
+            mean_memberships: o.mean_memberships,
+            minted_good: o.minted_good.map(|v| v as f64).unwrap_or(f64::NAN),
+            good_misses: o.good_misses.map(|v| v as f64).unwrap_or(f64::NAN),
+        }
+    }
+}
+
+/// Driver-owned SoA columns over a batched run: one entry per stepped
+/// epoch, read back as plain slices. [`EpochDriver::run`] clears and
+/// refills the same batch (capacity is retained), so sweeping thousands
+/// of cells re-allocates nothing once the columns have grown to the
+/// epoch count.
+#[derive(Clone, Debug, Default)]
+pub struct ObservationBatch {
+    epoch: Vec<u64>,
+    search_success_single: Vec<f64>,
+    search_success_dual: Vec<f64>,
+    frac_red_s0: Vec<f64>,
+    captured_groups: Vec<u32>,
+    total_groups: Vec<u32>,
+    bad_ids: Vec<u32>,
+    bad_share: Vec<f64>,
+    mean_memberships: Vec<f64>,
+    minted_good: Vec<f64>,
+    good_misses: Vec<f64>,
+}
+
+impl ObservationBatch {
+    /// An empty batch.
+    pub fn new() -> ObservationBatch {
+        ObservationBatch::default()
+    }
+
+    /// Number of recorded epochs.
+    pub fn len(&self) -> usize {
+        self.epoch.len()
+    }
+
+    /// Whether no epochs are recorded.
+    pub fn is_empty(&self) -> bool {
+        self.epoch.is_empty()
+    }
+
+    /// Drop the rows, keep the column capacity.
+    pub fn clear(&mut self) {
+        self.epoch.clear();
+        self.search_success_single.clear();
+        self.search_success_dual.clear();
+        self.frac_red_s0.clear();
+        self.captured_groups.clear();
+        self.total_groups.clear();
+        self.bad_ids.clear();
+        self.bad_share.clear();
+        self.mean_memberships.clear();
+        self.minted_good.clear();
+        self.good_misses.clear();
+    }
+
+    /// Append one epoch's row.
+    pub fn push(&mut self, r: ObsRow) {
+        self.epoch.push(r.epoch);
+        self.search_success_single.push(r.search_success_single);
+        self.search_success_dual.push(r.search_success_dual);
+        self.frac_red_s0.push(r.frac_red_s0);
+        self.captured_groups.push(r.captured_groups);
+        self.total_groups.push(r.total_groups);
+        self.bad_ids.push(r.bad_ids);
+        self.bad_share.push(r.bad_share);
+        self.mean_memberships.push(r.mean_memberships);
+        self.minted_good.push(r.minted_good);
+        self.good_misses.push(r.good_misses);
+    }
+
+    /// Epoch indices.
+    pub fn epochs(&self) -> &[u64] {
+        &self.epoch
+    }
+
+    /// Single-side search success per epoch.
+    pub fn search_success_single(&self) -> &[f64] {
+        &self.search_success_single
+    }
+
+    /// Dual-side search success per epoch.
+    pub fn search_success_dual(&self) -> &[f64] {
+        &self.search_success_dual
+    }
+
+    /// Side-0 red fraction per epoch.
+    pub fn frac_red_s0(&self) -> &[f64] {
+        &self.frac_red_s0
+    }
+
+    /// Captured-group counts per epoch (all sides).
+    pub fn captured_groups(&self) -> &[u32] {
+        &self.captured_groups
+    }
+
+    /// Total group counts per epoch (all sides).
+    pub fn total_groups(&self) -> &[u32] {
+        &self.total_groups
+    }
+
+    /// Adversarial IDs entering the dynamic layer per epoch.
+    pub fn bad_ids(&self) -> &[u32] {
+        &self.bad_ids
+    }
+
+    /// Adversarial key-space share per epoch.
+    pub fn bad_share(&self) -> &[f64] {
+        &self.bad_share
+    }
+
+    /// Mean per-good-pool-ID memberships per epoch.
+    pub fn mean_memberships(&self) -> &[f64] {
+        &self.mean_memberships
+    }
+
+    /// Good IDs minted per epoch (`NAN` without a PoW layer).
+    pub fn minted_good(&self) -> &[f64] {
+        &self.minted_good
+    }
+
+    /// Good minting-window misses per epoch (`NAN` outside the PoW
+    /// statistical pipeline).
+    pub fn good_misses(&self) -> &[f64] {
+        &self.good_misses
+    }
+
+    /// Captured fraction at epoch `i`.
+    pub fn captured_frac_at(&self, i: usize) -> f64 {
+        self.captured_groups[i] as f64 / self.total_groups[i].max(1) as f64
+    }
+
+    fn mean(col: &[f64]) -> f64 {
+        col.iter().sum::<f64>() / col.len().max(1) as f64
+    }
+
+    /// Mean captured-group fraction over the batch.
+    pub fn mean_captured_frac(&self) -> f64 {
+        (0..self.len()).map(|i| self.captured_frac_at(i)).sum::<f64>() / self.len().max(1) as f64
+    }
+
+    /// Mean adversarial IDs per epoch.
+    pub fn mean_bad_ids(&self) -> f64 {
+        self.bad_ids.iter().map(|&b| b as f64).sum::<f64>() / self.len().max(1) as f64
+    }
+
+    /// Mean adversarial key-space share.
+    pub fn mean_bad_share(&self) -> f64 {
+        Self::mean(&self.bad_share)
+    }
+
+    /// Mean side-0 red fraction.
+    pub fn mean_frac_red_s0(&self) -> f64 {
+        Self::mean(&self.frac_red_s0)
+    }
+
+    /// Mean dual-search success.
+    pub fn mean_success_dual(&self) -> f64 {
+        Self::mean(&self.search_success_dual)
     }
 }
 
@@ -852,19 +1119,31 @@ pub trait EpochDriver {
 
     /// The operational group graphs (for measurements the observation
     /// does not pre-aggregate, e.g. victim-arc probes).
-    fn graphs(&self) -> &[GroupGraph];
+    fn graphs(&self) -> GraphsView<'_>;
 
     /// The epoch the operational graphs serve.
     fn epoch(&self) -> u64;
 
-    /// Advance `epochs` epochs through the same observation buffers and
-    /// return the final observation — the batched sweep-loop entry
-    /// point (no per-epoch re-allocation).
-    fn run(&mut self, epochs: usize) -> &EpochObservation {
+    /// The driver-owned columnar record of the last [`EpochDriver::run`]
+    /// (empty before the first batched run).
+    fn batch(&self) -> &ObservationBatch;
+
+    /// Mutable access to the batch columns (how the provided
+    /// [`EpochDriver::run`] fills them).
+    fn batch_mut(&mut self) -> &mut ObservationBatch;
+
+    /// Advance `epochs` epochs, appending one [`ObsRow`] per epoch to
+    /// the driver-owned [`ObservationBatch`], and return it — the
+    /// batched sweep-loop entry point. Columns are cleared first but
+    /// keep their capacity, so repeated runs re-allocate nothing.
+    fn run(&mut self, epochs: usize) -> &ObservationBatch {
+        self.batch_mut().clear();
         for _ in 0..epochs {
             self.step();
+            let row = ObsRow::of(self.observation());
+            self.batch_mut().push(row);
         }
-        self.observation()
+        self.batch()
     }
 }
 
@@ -894,28 +1173,43 @@ impl IdentityProvider for RecordingProvider {
 /// The [`EpochDriver`] over the §III dynamic layer alone
 /// ([`Defense::NoPow`]).
 pub struct DynamicDriver {
-    sys: DynamicSystem,
+    sys: EpochKernel,
     provider: RecordingProvider,
     obs: EpochObservation,
+    batch: ObservationBatch,
 }
 
 impl DynamicDriver {
     /// Build the driver for `spec` around an explicit identity provider
     /// (how `tg_pow::scenario` composes minting providers with this
     /// driver; core-only callers should use [`ScenarioSpec::build`]).
+    /// The spec's `kernel` knob picks the legacy per-group or the
+    /// arena/SoA epoch kernel; both produce identical observations.
     pub fn with_provider(spec: &ScenarioSpec, inner: Box<dyn IdentityProvider>) -> DynamicDriver {
         let mut provider = RecordingProvider { inner, last_bad: 0, last_share: 0.0 };
-        let mut sys =
-            DynamicSystem::new(spec.params, spec.kind, spec.mode, &mut provider, spec.seed);
-        sys.searches_per_epoch = spec.searches;
-        DynamicDriver { sys, provider, obs: EpochObservation::default() }
+        let mut sys = EpochKernel::new(
+            spec.kernel,
+            spec.params,
+            spec.kind,
+            spec.mode,
+            &mut provider,
+            spec.seed,
+            spec.capacity,
+        );
+        sys.set_searches_per_epoch(spec.searches);
+        DynamicDriver {
+            sys,
+            provider,
+            obs: EpochObservation::default(),
+            batch: ObservationBatch::new(),
+        }
     }
 }
 
 impl EpochDriver for DynamicDriver {
     fn step(&mut self) -> &EpochObservation {
         let r = self.sys.advance_epoch(&mut self.provider);
-        self.obs.fill_dynamic(&r, &self.sys.graphs);
+        self.obs.fill_dynamic(&r, self.sys.graphs());
         self.obs.bad_ids = self.provider.last_bad;
         self.obs.bad_share = self.provider.last_share;
         &self.obs
@@ -925,12 +1219,20 @@ impl EpochDriver for DynamicDriver {
         &self.obs
     }
 
-    fn graphs(&self) -> &[GroupGraph] {
-        &self.sys.graphs
+    fn graphs(&self) -> GraphsView<'_> {
+        self.sys.graphs()
     }
 
     fn epoch(&self) -> u64 {
-        self.sys.epoch
+        self.sys.epoch()
+    }
+
+    fn batch(&self) -> &ObservationBatch {
+        &self.batch
+    }
+
+    fn batch_mut(&mut self) -> &mut ObservationBatch {
+        &mut self.batch
     }
 }
 
@@ -938,6 +1240,7 @@ impl EpochDriver for DynamicDriver {
 mod tests {
     use super::*;
     use crate::dynamic::provider::UniformProvider;
+    use crate::dynamic::system::DynamicSystem;
 
     fn spec() -> ScenarioSpec {
         ScenarioSpec::new(380, 7).churn(0.1).attack_requests(1).searches(200)
@@ -957,6 +1260,8 @@ mod tests {
                 .defense(Defense::Pow { scheme: MintScheme::SingleHash, fresh_strings: false })
                 .strings(StringMode::Synthesized)
                 .strategy(StrategySpec::PrecomputeHoarder { fam_seed: 99, attempts: 2000 }),
+            spec().kernel(KernelChoice::Arena).capacity(1 << 16),
+            spec().kernel(KernelChoice::Arena),
         ];
         for s in specs {
             let label = s.label();
@@ -976,6 +1281,9 @@ mod tests {
             &format!("{};n=380", spec().label()),   // duplicate field
             &spec().label().replace("kind=chord", "kind=moebius"),
             &spec().label().replace("strategy=honest", "strategy=quantum"),
+            &format!("{};kernel=ring", spec().label()), // bad kernel token
+            &format!("{};cap=big", spec().label()),     // bad capacity
+            &format!("{};kernel=arena;kernel=arena", spec().label()), // dup optional
         ] {
             assert!(ScenarioSpec::parse(bad).is_err(), "must reject: {bad}");
         }
@@ -1027,32 +1335,52 @@ mod tests {
                 assert!(o.epoch_string.is_none() && o.minted_good.is_none());
             }
             assert_eq!(driver.epoch(), sys.epoch);
-            assert_eq!(driver.graphs().len(), sys.graphs.len());
+            assert_eq!(driver.graphs().sides(), sys.graphs.len());
         }
     }
 
-    /// `run(n)` is `n` steps through one reusable buffer: same final
-    /// observation, same buffer address across batches.
+    /// `run(n)` is `n` steps recorded into one driver-owned columnar
+    /// batch: per-epoch rows match step-by-step observations, and the
+    /// column storage is reused (not re-grown) across batched runs.
     #[test]
-    fn batched_run_reuses_buffers() {
+    fn batched_run_fills_columns_and_reuses_buffers() {
         let s = spec();
         let mut stepped = s.build().unwrap();
+        let mut rows = Vec::new();
         for _ in 0..3 {
-            stepped.step();
+            rows.push(ObsRow::of(stepped.step()));
         }
-        let by_steps = stepped.observation().clone();
 
         let mut batched = s.build().unwrap();
-        let first_ptr = {
-            let o = batched.run(2);
-            (o as *const EpochObservation, o.frac_red.as_ptr())
-        };
-        let o = batched.run(1);
-        assert_eq!(o.epoch, by_steps.epoch);
-        assert_eq!(o.frac_red, by_steps.frac_red);
-        assert_eq!(o.search_success_dual, by_steps.search_success_dual);
-        assert_eq!(o as *const EpochObservation, first_ptr.0, "observation buffer is stable");
-        assert_eq!(o.frac_red.as_ptr(), first_ptr.1, "per-side vectors are reused, not re-grown");
+        let b = batched.run(3);
+        assert_eq!(b.len(), 3);
+        for (i, row) in rows.iter().enumerate() {
+            assert_eq!(b.epochs()[i], row.epoch);
+            assert_eq!(b.frac_red_s0()[i], row.frac_red_s0);
+            assert_eq!(b.search_success_dual()[i], row.search_success_dual);
+            assert_eq!(b.captured_groups()[i], row.captured_groups);
+            assert_eq!(b.bad_ids()[i], row.bad_ids);
+            assert_eq!(b.mean_memberships()[i], row.mean_memberships);
+            assert!(b.minted_good()[i].is_nan(), "no PoW layer: minted column is NAN");
+        }
+        let first_ptr = b.frac_red_s0().as_ptr();
+        let b = batched.run(2);
+        assert_eq!(b.len(), 2, "run clears the previous batch");
+        assert_eq!(b.frac_red_s0().as_ptr(), first_ptr, "columns are reused, not re-grown");
+    }
+
+    /// The legacy and arena kernels agree observation-for-observation
+    /// when driven through the scenario layer.
+    #[test]
+    fn arena_kernel_spec_matches_legacy_spec() {
+        let base = spec().topology(GraphKind::D2B);
+        let mut legacy = base.build().unwrap();
+        let mut arena = base.kernel(KernelChoice::Arena).build().unwrap();
+        for _ in 0..3 {
+            let a = legacy.step().clone();
+            let b = arena.step();
+            assert_eq!(format!("{a:?}"), format!("{b:?}"));
+        }
     }
 
     #[test]

@@ -7,7 +7,9 @@
 use proptest::prelude::*;
 use tg_core::dynamic::BuildMode;
 use tg_core::params::GroupSizeRule;
-use tg_core::scenario::{Defense, MintScheme, ScenarioSpec, StrategySpec, StringMode};
+use tg_core::scenario::{
+    Defense, KernelChoice, MintScheme, ScenarioSpec, StrategySpec, StringMode,
+};
 use tg_overlay::GraphKind;
 
 /// Decode an index pair into one of the strategy variants, with
@@ -71,6 +73,8 @@ proptest! {
         rule_c in 0.1f64..8.0,
         rule_k in 1u64..64,
         idealized in any::<bool>(),
+        kernel_tag in 0u8..2,
+        cap in proptest::option::of(1u64..1u64 << 24),
     ) {
         let mut spec = ScenarioSpec::new(n_good, seed)
             .beta(beta)
@@ -85,7 +89,11 @@ proptest! {
             .strings(if strings_tag == 0 { StringMode::Protocol } else { StringMode::Synthesized })
             .strategy(strategy(strategy_tag, sa, sb, sn))
             .searches(searches)
-            .idealized(idealized);
+            .idealized(idealized)
+            .kernel(if kernel_tag == 0 { KernelChoice::Legacy } else { KernelChoice::Arena });
+        if let Some(c) = cap {
+            spec = spec.capacity(c as usize);
+        }
         spec.params.delta = delta;
         spec.params.size_rule = rule(rule_tag, rule_c, rule_k);
 
@@ -122,5 +130,31 @@ proptest! {
         if churn != other_churn {
             prop_assert_ne!(base.label(), churn_changed.label());
         }
+    }
+
+    /// The scale knobs are versioned *optional* fields: a default-knob
+    /// spec emits a label without them (committed labels stay valid and
+    /// byte-identical), and appending them to any label round-trips.
+    #[test]
+    fn scale_knobs_are_backward_compatible(
+        n_good in 1usize..10_000,
+        seed in any::<u64>(),
+        churn in 0.0f64..0.45,
+        cap in 1u64..1u64 << 24,
+    ) {
+        let base = ScenarioSpec::new(n_good, seed).churn(churn);
+        let label = base.label();
+        prop_assert!(!label.contains("kernel="), "default kernel is elided: {}", label);
+        prop_assert!(!label.contains("cap="), "default capacity is elided: {}", label);
+
+        // A pre-knob consumer's label parses to the default knobs.
+        let parsed = ScenarioSpec::parse(&label).unwrap();
+        prop_assert_eq!(parsed.kernel, KernelChoice::Legacy);
+        prop_assert_eq!(parsed.capacity, None);
+
+        // And the knobs themselves round-trip through both codecs.
+        let scaled = base.kernel(KernelChoice::Arena).capacity(cap as usize);
+        prop_assert_eq!(&ScenarioSpec::parse(&scaled.label()).unwrap(), &scaled);
+        prop_assert_eq!(&ScenarioSpec::from_json(&scaled.to_json()).unwrap(), &scaled);
     }
 }

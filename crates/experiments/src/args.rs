@@ -3,10 +3,14 @@
 //! Supported flags (all optional):
 //! `--seed <u64>` (default 42), `--full` (paper-scale parameters),
 //! `--out <dir>` (default `results/`), `--quiet` (suppress the table),
-//! `--only e10,e11,e12` (run a subset) and `--list` (print the
+//! `--only e10,e11,e12` (run a subset), `--list` (print the
 //! experiment registry and exit — both consumed by `run_all`; the
 //! single-experiment binaries accept and ignore them so one flag set
-//! can be passed around scripts unchanged).
+//! can be passed around scripts unchanged), and `--kernel legacy|arena`
+//! (which epoch kernel drives the simulated systems — identical results
+//! either way; `arena` is the scale path e13 benchmarks).
+
+use tg_core::scenario::KernelChoice;
 
 /// Parsed command-line options.
 #[derive(Clone, Debug)]
@@ -25,6 +29,8 @@ pub struct Options {
     /// Print the experiment registry (name + one-line description) and
     /// exit 0 instead of running anything (`run_all --list`).
     pub list: bool,
+    /// Which epoch kernel drives the simulated systems.
+    pub kernel: KernelChoice,
 }
 
 impl Default for Options {
@@ -36,6 +42,7 @@ impl Default for Options {
             quiet: false,
             only: None,
             list: false,
+            kernel: KernelChoice::default(),
         }
     }
 }
@@ -73,6 +80,11 @@ impl Options {
                     }
                     opts.only = Some(names);
                 }
+                "--kernel" => {
+                    let v = it.next().unwrap_or_else(|| usage("--kernel needs a value"));
+                    opts.kernel = KernelChoice::parse(&v)
+                        .unwrap_or_else(|| usage("--kernel must be legacy or arena"));
+                }
                 "--help" | "-h" => usage(""),
                 other => usage(&format!("unknown flag {other}")),
             }
@@ -99,7 +111,7 @@ fn usage(msg: &str) -> ! {
     }
     eprintln!(
         "usage: <experiment> [--seed N] [--full] [--out DIR] [--quiet] [--only e10,e11,e12] \
-         [--list]"
+         [--list] [--kernel legacy|arena]"
     );
     std::process::exit(if msg.is_empty() { 0 } else { 2 });
 }
@@ -134,6 +146,13 @@ mod tests {
     fn list_flag_parses() {
         assert!(parse(&["--list"]).list);
         assert!(!parse(&[]).list);
+    }
+
+    #[test]
+    fn kernel_flag_parses() {
+        assert_eq!(parse(&[]).kernel, KernelChoice::Legacy);
+        assert_eq!(parse(&["--kernel", "arena"]).kernel, KernelChoice::Arena);
+        assert_eq!(parse(&["--kernel", "legacy"]).kernel, KernelChoice::Legacy);
     }
 
     #[test]

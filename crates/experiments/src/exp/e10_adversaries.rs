@@ -29,8 +29,8 @@ use crate::table::{f, Table};
 use rand::rngs::StdRng;
 use rand::Rng;
 use tg_core::routing::dual_search;
-use tg_core::scenario::{Defense, ScenarioSpec, StrategySpec, StringMode};
-use tg_core::{GroupGraph, Params};
+use tg_core::scenario::{Defense, KernelChoice, ScenarioSpec, StrategySpec, StringMode};
+use tg_core::{GraphsView, GroupGraphView, Params};
 use tg_idspace::{Id, RingDistance};
 use tg_pow::MintScheme;
 use tg_sim::{stream_rng, Metrics};
@@ -85,23 +85,31 @@ fn cell_defense(pipeline: &str) -> Defense {
 
 /// The shared per-cell scenario: paper parameters with the sweep's
 /// churn/attack conventions over a dual-graph Chord system.
-fn cell_spec(n_good: usize, n_bad: usize, searches: usize, cell_seed: u64) -> ScenarioSpec {
+fn cell_spec(
+    n_good: usize,
+    n_bad: usize,
+    searches: usize,
+    cell_seed: u64,
+    kernel: KernelChoice,
+) -> ScenarioSpec {
     ScenarioSpec::new(n_good, cell_seed)
         .params(sweep_params())
         .budget(n_bad)
         .strings(StringMode::Synthesized)
         .searches(searches)
+        .kernel(kernel)
 }
 
 /// Dual-search success for keys u.a.r. in the victim arc.
-fn victim_success(graphs: &[GroupGraph], probes: usize, rng: &mut StdRng) -> f64 {
+fn victim_success(graphs: GraphsView<'_>, probes: usize, rng: &mut StdRng) -> f64 {
     let mut metrics = Metrics::new();
     let start = Id::from_f64(VICTIM).sub(RingDistance::from_f64(VICTIM_WIDTH));
     let mut ok = 0usize;
+    let (s0, s1) = (graphs.side(0), graphs.side(1));
     for _ in 0..probes {
-        let from = rng.gen_range(0..graphs[0].len());
+        let from = rng.gen_range(0..s0.len());
         let key = start.add(RingDistance::from_f64(rng.gen::<f64>() * VICTIM_WIDTH));
-        if dual_search([&graphs[0], &graphs[1]], from, key, &mut metrics) {
+        if dual_search([&s0, &s1], from, key, &mut metrics) {
             ok += 1;
         }
     }
@@ -126,10 +134,11 @@ fn run_cell(
     epochs: usize,
     searches: usize,
     seed: u64,
+    kernel: KernelChoice,
 ) -> Vec<Vec<String>> {
     let pipeline_idx = PIPELINES.iter().position(|&p| p == pipeline).unwrap() as u64;
     let cell_seed = tg_sim::derive_seed(seed, strategy, pipeline_idx);
-    let spec = cell_spec(n_good, n_bad, searches, cell_seed)
+    let spec = cell_spec(n_good, n_bad, searches, cell_seed, kernel)
         .strategy(cell_strategy(strategy, cell_seed ^ 0xE10, n_bad))
         .defense(cell_defense(pipeline));
     let mut sys = tg_pow::scenario::build(&spec).expect("E10 scenarios are buildable");
@@ -182,8 +191,9 @@ pub fn run(opts: &Options) -> Vec<Table> {
         }
     }
     let seed = opts.seed;
+    let kernel = opts.kernel;
     let results = tg_sim::parallel_map(cells, move |(strategy, pipeline)| {
-        run_cell(strategy, pipeline, n_good, n_bad, epochs, searches, seed)
+        run_cell(strategy, pipeline, n_good, n_bad, epochs, searches, seed, kernel)
     });
     for rows in results {
         for row in rows {
@@ -206,7 +216,7 @@ pub fn run(opts: &Options) -> Vec<Table> {
     );
     let hoard_rows = tg_sim::parallel_map(vec![true, false], move |fresh| {
         let cell_seed = tg_sim::derive_seed(seed, "e10-hoard", fresh as u64);
-        let spec = cell_spec(n_good, n_bad, searches, cell_seed)
+        let spec = cell_spec(n_good, n_bad, searches, cell_seed, kernel)
             .strategy(cell_strategy("precompute-hoarder", cell_seed ^ 0xB0A, n_bad))
             .defense(Defense::Pow { scheme: MintScheme::TwoHash, fresh_strings: fresh });
         let mut sys = tg_pow::scenario::build(&spec).expect("E10 scenarios are buildable");
@@ -241,6 +251,7 @@ mod tests {
 
     fn opts() -> Options {
         Options {
+            kernel: Default::default(),
             seed: 42,
             full: false,
             out_dir: "/tmp".into(),

@@ -66,6 +66,7 @@ pub fn config(opts: &Options) -> FrontierConfig {
             trials: 3,
             searches: 400,
             seed: opts.seed,
+            kernel: opts.kernel,
         }
     } else {
         FrontierConfig {
@@ -80,6 +81,7 @@ pub fn config(opts: &Options) -> FrontierConfig {
             trials: 1,
             searches: 100,
             seed: opts.seed,
+            kernel: opts.kernel,
         }
     }
 }
@@ -98,6 +100,7 @@ mod tests {
     fn opts() -> Options {
         Options {
             seed: 42,
+            kernel: Default::default(),
             full: false,
             out_dir: "/tmp".into(),
             quiet: true,
@@ -220,6 +223,7 @@ mod tests {
             trials: 2,
             searches: 60,
             seed: 42,
+            kernel: Default::default(),
         };
         let a = run_frontier(&cfg);
         let b = run_frontier(&cfg);

@@ -79,6 +79,7 @@ pub fn config(opts: &Options) -> RefineConfig {
             trials: 3,
             searches: 300,
             seed: opts.seed,
+            kernel: opts.kernel,
         }
     } else {
         FrontierConfig {
@@ -93,6 +94,7 @@ pub fn config(opts: &Options) -> RefineConfig {
             trials: 1,
             searches: 60,
             seed: opts.seed,
+            kernel: opts.kernel,
         }
     };
     RefineConfig { grid, z: 1.645, max_extra_rounds: 2 }
@@ -113,6 +115,7 @@ mod tests {
     fn opts() -> Options {
         Options {
             seed: 42,
+            kernel: Default::default(),
             full: false,
             out_dir: "/tmp".into(),
             quiet: true,
@@ -148,6 +151,7 @@ mod tests {
             trials: 1,
             searches: 50,
             seed: 42,
+            kernel: Default::default(),
         }
     }
 
@@ -269,6 +273,7 @@ mod tests {
                 trials: 2,
                 searches: 60,
                 seed: 42,
+                kernel: Default::default(),
             },
             z: 1.645,
             max_extra_rounds: 1,

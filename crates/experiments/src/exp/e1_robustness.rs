@@ -102,6 +102,7 @@ mod tests {
     #[test]
     fn e1_smoke() {
         let opts = Options {
+            kernel: Default::default(),
             seed: 1,
             full: false,
             out_dir: "/tmp".into(),

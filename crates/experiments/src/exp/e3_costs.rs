@@ -153,6 +153,7 @@ mod tests {
     #[test]
     fn tiny_groups_cost_less_and_route_as_well() {
         let opts = Options {
+            kernel: Default::default(),
             seed: 5,
             full: false,
             out_dir: "/tmp".into(),

@@ -64,7 +64,8 @@ pub fn run(opts: &Options) -> Table {
             .attack_requests(0)
             .link_retries(retries)
             .build_mode(mode)
-            .searches(if opts.full { 800 } else { 400 });
+            .searches(if opts.full { 800 } else { 400 })
+            .kernel(opts.kernel);
         let mut sys = tg_pow::scenario::build(&spec).expect("honest no-PoW scenario");
         for _ in 0..epochs {
             let r = sys.step();
@@ -101,8 +102,9 @@ mod tests {
                 .build_mode(mode)
                 .searches(200);
             let mut sys = spec.build().expect("honest no-PoW scenario");
-            let r = sys.run(6);
-            (r.frac_red[0], r.search_success_dual)
+            let b = sys.run(6);
+            let last = b.len() - 1;
+            (b.frac_red_s0()[last], b.search_success_dual()[last])
         };
         let (red_dual, success_dual) = run_final(BuildMode::DualGraph, 2);
         let (red_single, success_single) = run_final(BuildMode::SingleGraph, 2);

@@ -39,7 +39,8 @@ pub fn run(opts: &Options) -> Table {
             .churn(0.2)
             .attack_requests(attack)
             .topology(GraphKind::D2B)
-            .searches(200);
+            .searches(200)
+            .kernel(opts.kernel);
         let mut sys = tg_pow::scenario::build(&spec).expect("honest no-PoW scenario");
         for _ in 0..epochs {
             let r = sys.step();
@@ -72,6 +73,7 @@ mod tests {
     #[test]
     fn attack_barely_moves_state() {
         let opts = Options {
+            kernel: Default::default(),
             seed: 7,
             full: false,
             out_dir: "/tmp".into(),

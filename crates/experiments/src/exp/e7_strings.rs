@@ -86,6 +86,7 @@ mod tests {
     #[test]
     fn all_scenarios_agree_and_sets_stay_logarithmic() {
         let opts = Options {
+            kernel: Default::default(),
             seed: 13,
             full: false,
             out_dir: "/tmp".into(),

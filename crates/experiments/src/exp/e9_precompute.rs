@@ -52,6 +52,7 @@ mod tests {
     #[test]
     fn amplification_tracks_hoard_length() {
         let opts = Options {
+            kernel: Default::default(),
             seed: 17,
             full: false,
             out_dir: "/tmp".into(),

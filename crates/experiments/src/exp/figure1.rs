@@ -50,6 +50,7 @@ mod tests {
     fn figure1_writes_dot_files() {
         let dir = std::env::temp_dir().join("tg-figure1-test");
         let opts = Options {
+            kernel: Default::default(),
             seed: 21,
             full: false,
             out_dir: dir.to_str().unwrap().to_string(),

@@ -60,7 +60,7 @@
 //! lost system).
 
 use crate::table::{f, Table};
-use tg_core::scenario::{budget_for, ScenarioSpec, StrategySpec};
+use tg_core::scenario::{budget_for, KernelChoice, ScenarioSpec, StrategySpec};
 use tg_overlay::GraphKind;
 use tg_sim::{derive_seed_grid, parallel_map};
 
@@ -138,6 +138,7 @@ impl RowKey {
             .defense(self.defense)
             .strategy(strategy_spec(self.strategy, trial_seed, budget))
             .searches(cfg.searches)
+            .kernel(cfg.kernel)
     }
 }
 
@@ -166,6 +167,10 @@ pub struct FrontierConfig {
     pub searches: usize,
     /// Master seed; every trial derives its own grid stream from it.
     pub seed: u64,
+    /// Which epoch kernel runs each cell (legacy per-group or arena/SoA
+    /// — byte-identical observations, so the choice never moves a
+    /// frontier; it is swept by the throughput experiment, not here).
+    pub kernel: KernelChoice,
 }
 
 impl FrontierConfig {
@@ -232,29 +237,16 @@ pub struct TrialStats {
 fn run_trial(cfg: &FrontierConfig, key: &RowKey, beta: f64, trial_seed: u64) -> TrialStats {
     let spec = key.scenario(cfg, beta, trial_seed);
     let mut driver = tg_pow::scenario::build(&spec).expect("frontier scenarios are buildable");
-    let epochs = cfg.epochs.max(1);
-    let mut acc = TrialStats {
-        captured_frac: 0.0,
-        bad_ids: 0.0,
-        bad_share: 0.0,
-        frac_red: 0.0,
-        success_dual: 0.0,
-    };
-    for _ in 0..epochs {
-        let o = driver.step();
-        acc.captured_frac += o.captured_frac();
-        acc.bad_ids += o.bad_ids as f64;
-        acc.bad_share += o.bad_share;
-        acc.frac_red += o.frac_red[0];
-        acc.success_dual += o.search_success_dual;
-    }
-    let e = epochs as f64;
+    // One batched run fills the driver's columnar `ObservationBatch`;
+    // the mean helpers reduce each column in epoch order, so the stats
+    // are bit-identical to the old step-and-accumulate loop.
+    let batch = driver.run(cfg.epochs.max(1));
     TrialStats {
-        captured_frac: acc.captured_frac / e,
-        bad_ids: acc.bad_ids / e,
-        bad_share: acc.bad_share / e,
-        frac_red: acc.frac_red / e,
-        success_dual: acc.success_dual / e,
+        captured_frac: batch.mean_captured_frac(),
+        bad_ids: batch.mean_bad_ids(),
+        bad_share: batch.mean_bad_share(),
+        frac_red: batch.mean_frac_red_s0(),
+        success_dual: batch.mean_success_dual(),
     }
 }
 

@@ -43,7 +43,15 @@ fn check_golden(name: &str, actual: &str) {
 }
 
 fn opts() -> Options {
-    Options { seed: 42, full: false, out_dir: "/tmp".into(), quiet: true, only: None, list: false }
+    Options {
+        seed: 42,
+        full: false,
+        out_dir: "/tmp".into(),
+        quiet: true,
+        only: None,
+        list: false,
+        kernel: Default::default(),
+    }
 }
 
 /// E1 (static robustness sweep): every `RobustnessReport`-derived cell,

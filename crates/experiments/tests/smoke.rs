@@ -12,6 +12,7 @@ fn smoke_opts(name: &str) -> Options {
     let out = std::env::temp_dir().join(format!("tg-smoke-{name}-{}", std::process::id()));
     Options {
         seed: 42,
+        kernel: Default::default(),
         full: false,
         out_dir: out.to_str().expect("utf-8 temp path").to_string(),
         quiet: true,
@@ -175,6 +176,27 @@ fn e12_refine_smoke() {
     for table in out.tables() {
         check(table, &opts);
     }
+}
+
+/// E13 acceptance shape (quick rungs): both kernels appear, every rung
+/// reports positive throughput, and the machine-readable trajectory
+/// record lands next to the CSV with the shared comparator key.
+#[test]
+fn e13_scale_smoke() {
+    let opts = smoke_opts("e13");
+    let table = e13_scale::run(&opts);
+    for kernel in ["legacy", "arena"] {
+        assert!(table.rows.iter().any(|r| r[0] == kernel), "missing {kernel} rungs");
+    }
+    for row in &table.rows {
+        let rate: f64 = row[7].parse().expect("identities_per_sec is numeric");
+        assert!(rate > 0.0, "non-positive throughput in {row:?}");
+    }
+    let record = std::path::Path::new(&opts.out_dir).join("BENCH_kernel.json");
+    let json = std::fs::read_to_string(&record).expect("BENCH_kernel.json written");
+    assert!(json.contains("\"wall_ms_per_cell_run\""), "trajectory key missing: {json}");
+    assert!(json.contains("\"kernel\": \"arena\""), "record pins the arena kernel: {json}");
+    check(&table, &opts);
 }
 
 #[test]

@@ -20,7 +20,7 @@
 //! compounds without bound.
 
 use crate::miner::sample_binomial;
-use crate::puzzle::{attempt, verify, PuzzleParams, Solution};
+use crate::puzzle::{attempt, verify_batch, PuzzleParams, Solution};
 use rand::rngs::StdRng;
 use rand::Rng;
 use tg_core::dynamic::adversary::{dedup_against, AdversaryStrategy, AdversaryView, Uniform};
@@ -158,7 +158,7 @@ impl IdentityProvider for StrategicPowProvider {
 
 /// Hoard puzzle solutions across epochs and release the entire hoard
 /// (§IV-B's pre-computation attack), wired through the real
-/// [`attempt`]/[`verify`] pipeline.
+/// [`attempt`]/[`verify_batch`] pipeline.
 ///
 /// Every epoch the hoarder grinds `attempts_per_epoch` candidates
 /// against the string it sees *then* and banks the [`Solution`]s. At
@@ -227,12 +227,16 @@ impl AdversaryStrategy for PrecomputeHoarder {
                 self.hoard.push(sol);
             }
         }
-        // Present the whole hoard; verification culls the stale part.
+        // Present the whole hoard; one batched verification pass culls
+        // the stale part (the epoch's claims verify together, not one
+        // call at a time).
+        let verdicts = verify_batch(&self.fam, &self.puzzle, &self.hoard, r);
         let ids = self
             .hoard
             .iter()
-            .filter(|sol| verify(&self.fam, &self.puzzle, sol, r))
-            .map(|sol| sol.id)
+            .zip(&verdicts)
+            .filter(|&(_, &ok)| ok)
+            .map(|(sol, _)| sol.id)
             .collect();
         dedup_against(ids, good, rng)
     }
@@ -285,7 +289,7 @@ mod tests {
                 .map(|e| {
                     let view = AdversaryView {
                         epoch: e,
-                        graphs: &[],
+                        graphs: tg_core::GraphsView::empty(),
                         epoch_string: Some(epoch_string(fresh, e)),
                     };
                     hoarder.place(&view, &good, 0, &mut rng).len()

@@ -12,7 +12,7 @@
 //!   verification rejects it (§IV-B).
 
 use crate::miner::sample_binomial;
-use crate::puzzle::{attempt, attempt_single_hash, verify, PuzzleParams, Solution};
+use crate::puzzle::{attempt, attempt_single_hash, PuzzleParams, Solution};
 use rand::rngs::StdRng;
 use rand::Rng;
 use tg_crypto::OracleFamily;
@@ -141,7 +141,8 @@ pub fn hoard_goes_stale(
             hoard.push(sol);
         }
     }
-    let still_valid = hoard.iter().filter(|sol| verify(fam, params, sol, r1)).count();
+    let still_valid =
+        crate::puzzle::verify_batch(fam, params, &hoard, r1).iter().filter(|&&ok| ok).count();
     (hoard, still_valid)
 }
 

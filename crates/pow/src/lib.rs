@@ -50,7 +50,7 @@ pub mod system;
 pub use adversary::{MintScheme, PrecomputeHoarder, StrategicPowProvider};
 pub use miner::{MintingOutcome, MintingSim};
 pub use provider::PowProvider;
-pub use puzzle::{PuzzleParams, Solution};
+pub use puzzle::{verify_batch, PuzzleParams, Solution};
 pub use scenario::FullDriver;
 pub use strings::{run_string_protocol, StringAdversary, StringOutcome, StringParams};
 pub use system::{FullEpochReport, FullSystem};

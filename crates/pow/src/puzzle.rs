@@ -95,6 +95,31 @@ pub fn verify(fam: &OracleFamily, params: &PuzzleParams, sol: &Solution, current
     g_out <= params.tau && fam.f.hash_id(g_out) == sol.id
 }
 
+/// Verify a whole epoch's claimed solutions in one pass, returning one
+/// verdict per solution in input order.
+///
+/// The two recomputed hashes per claim are pure and independent, so the
+/// batch fans out over deterministic chunks
+/// ([`tg_sim::parallel_map_chunked`]) and folds verdicts back in claim
+/// order — bit-identical to mapping [`verify`] sequentially, for any
+/// thread count. The arena-scale pipeline verifies each epoch's minted
+/// set through this entry point instead of one call per claim.
+pub fn verify_batch(
+    fam: &OracleFamily,
+    params: &PuzzleParams,
+    sols: &[Solution],
+    current_r: u64,
+) -> Vec<bool> {
+    // Below this size the fan-out overhead dwarfs the hashing.
+    const BATCH_CHUNK: usize = 512;
+    if sols.len() < BATCH_CHUNK {
+        return sols.iter().map(|sol| verify(fam, params, sol, current_r)).collect();
+    }
+    tg_sim::parallel_map_chunked(sols.to_vec(), BATCH_CHUNK, |sol| {
+        verify(fam, params, &sol, current_r)
+    })
+}
+
 /// The **single-hash variant** the paper warns against: `σ` (one word,
 /// interpreted as a ring point) is itself the ID whenever `g(σ) ≤ τ`.
 /// Because the solver chooses `σ`, it chooses the ID's location.
@@ -151,6 +176,32 @@ mod tests {
         let hits = (0..trials).filter(|&s| attempt(&fam, &params, (s, !s), 99).is_some()).count();
         let rate = hits as f64 / trials as f64;
         assert!((0.015..0.025).contains(&rate), "hit rate {rate:.4} vs τ=0.02");
+    }
+
+    #[test]
+    fn batched_verification_matches_sequential() {
+        let fam = OracleFamily::new(11);
+        let params = PuzzleParams { tau: Id::from_f64(0.05), attempts_per_step: 1, t_epoch: 2 };
+        let r = 0x5EED;
+        // A mixed bag: genuine solutions, stale-string claims, forgeries.
+        let mut sols = Vec::new();
+        for s in 0..40_000u64 {
+            if let Some(sol) = attempt(&fam, &params, (s, s ^ 0xFF), r) {
+                sols.push(sol);
+            }
+        }
+        assert!(sols.len() >= 1024, "need a real batch, got {}", sols.len());
+        let n = sols.len();
+        for i in 0..n / 3 {
+            sols[3 * i].epoch_string ^= 1; // stale string
+        }
+        for i in 0..n / 5 {
+            sols[5 * i + 1].id = Id(sols[5 * i + 1].id.raw() ^ 1); // forged ID
+        }
+        let sequential: Vec<bool> = sols.iter().map(|s| verify(&fam, &params, s, r)).collect();
+        let batched = verify_batch(&fam, &params, &sols, r);
+        assert_eq!(sequential, batched);
+        assert!(batched.iter().any(|&b| b) && batched.iter().any(|&b| !b));
     }
 
     #[test]

@@ -36,10 +36,10 @@ use crate::system::FullSystem;
 use tg_core::dynamic::adversary::AdversaryStrategy;
 use tg_core::dynamic::{BuildMode, IdentityProvider, StrategicProvider};
 use tg_core::scenario::{
-    Defense, DynamicDriver, EpochDriver, EpochObservation, ScenarioError, ScenarioSpec,
-    StrategySpec, StringMode,
+    Defense, DynamicDriver, EpochDriver, EpochObservation, ObservationBatch, ScenarioError,
+    ScenarioSpec, StrategySpec, StringMode,
 };
-use tg_core::GroupGraph;
+use tg_core::GraphsView;
 use tg_crypto::OracleFamily;
 use tg_idspace::Id;
 
@@ -95,7 +95,7 @@ fn build_protocol(
             "the string protocol runs over the dual-graph construction only",
         ));
     }
-    let mut sys = FullSystem::new(
+    let mut sys = FullSystem::new_with_kernel(
         spec.params,
         spec.kind,
         PuzzleParams::calibrated(16, 2048),
@@ -104,6 +104,8 @@ fn build_protocol(
         spec.n_bad as f64,
         spec.idealized_good,
         spec.seed,
+        spec.kernel,
+        spec.capacity,
     );
     // `None` means honest: the statistical minting pipeline inside
     // `FullSystem` (no strategic provider to install).
@@ -118,8 +120,12 @@ fn build_protocol(
     if !fresh_strings {
         sys = sys.with_frozen_strings();
     }
-    sys.dynamics.searches_per_epoch = spec.searches;
-    Ok(Box::new(FullDriver { sys, obs: EpochObservation::default() }))
+    sys.dynamics.set_searches_per_epoch(spec.searches);
+    Ok(Box::new(FullDriver {
+        sys,
+        obs: EpochObservation::default(),
+        batch: ObservationBatch::new(),
+    }))
 }
 
 /// The provider-level shortcut: the minting pipeline (strategic or
@@ -155,6 +161,7 @@ pub struct FullDriver {
     /// layers the observation aggregates away).
     sys: FullSystem,
     obs: EpochObservation,
+    batch: ObservationBatch,
 }
 
 impl FullDriver {
@@ -167,7 +174,7 @@ impl FullDriver {
 impl EpochDriver for FullDriver {
     fn step(&mut self) -> &EpochObservation {
         let r = self.sys.run_epoch();
-        self.obs.fill_dynamic(&r.dynamics, &self.sys.dynamics.graphs);
+        self.obs.fill_dynamic(&r.dynamics, self.sys.dynamics.graphs());
         self.obs.bad_ids = r.minted_bad;
         self.obs.bad_share = r.bad_share;
         self.obs.epoch_string = Some(r.epoch_string);
@@ -182,12 +189,20 @@ impl EpochDriver for FullDriver {
         &self.obs
     }
 
-    fn graphs(&self) -> &[GroupGraph] {
-        &self.sys.dynamics.graphs
+    fn graphs(&self) -> GraphsView<'_> {
+        self.sys.dynamics.graphs()
     }
 
     fn epoch(&self) -> u64 {
-        self.sys.dynamics.epoch
+        self.sys.dynamics.epoch()
+    }
+
+    fn batch(&self) -> &ObservationBatch {
+        &self.batch
+    }
+
+    fn batch_mut(&mut self) -> &mut ObservationBatch {
+        &mut self.batch
     }
 }
 
@@ -237,7 +252,7 @@ mod tests {
                     strategy.build_strategy().unwrap(),
                 ));
             }
-            sys.dynamics.searches_per_epoch = spec.searches;
+            sys.dynamics.set_searches_per_epoch(spec.searches);
 
             for _ in 0..2 {
                 let r = sys.run_epoch();

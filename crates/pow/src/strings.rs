@@ -25,7 +25,7 @@
 use rand::rngs::StdRng;
 use rand::Rng;
 use std::collections::{HashSet, VecDeque};
-use tg_core::GroupGraph;
+use tg_core::GroupGraphView;
 use tg_sim::Summary;
 
 /// Protocol constants (Appendix VIII).
@@ -209,8 +209,8 @@ fn sample_min_of_uniforms(k: f64, rng: &mut StdRng) -> f64 {
 }
 
 /// Run the propagation protocol over the blue subgraph of `gg`.
-pub fn run_string_protocol(
-    gg: &GroupGraph,
+pub fn run_string_protocol<G: GroupGraphView>(
+    gg: &G,
     params: &StringParams,
     adversary: StringAdversary,
     rng: &mut StdRng,
@@ -226,13 +226,13 @@ pub fn run_string_protocol(
 
     // Blue adjacency (undirected union of topology links) and the giant
     // component.
-    let ring = gg.leaders.ring();
+    let ring = gg.leaders().ring();
     let adj: Vec<Vec<usize>> = (0..n)
         .map(|i| {
             if gg.is_red(i) {
                 return Vec::new();
             }
-            gg.topology
+            gg.topology()
                 .neighbors(ring.at(i))
                 .into_iter()
                 .map(|u| ring.index_of(u).expect("neighbor on ring"))
@@ -250,7 +250,7 @@ pub fn run_string_protocol(
     let mut nodes: Vec<NodeState> = (0..n).map(|_| NodeState::new(num_bins)).collect();
     let mut injections: Vec<(u64, usize, Flying)> = Vec::new(); // (step, node, string)
     for &i in &giant {
-        if gg.leaders.is_bad(i) {
+        if gg.leaders().is_bad(i) {
             continue;
         }
         let t = sample_min_of_uniforms(phase1_attempts as f64, rng);
@@ -316,7 +316,7 @@ pub fn run_string_protocol(
         // outbox, delivered to neighbors at the next step.
         let mut deliveries: Vec<(usize, Flying)> = Vec::new();
         for &i in &giant {
-            if gg.leaders.is_bad(i) {
+            if gg.leaders().is_bad(i) {
                 // A bad leader's group still has a good member majority if
                 // blue — the group forwards correctly. Leader badness
                 // does not change blue-group behaviour.
@@ -354,7 +354,8 @@ pub fn run_string_protocol(
     }
 
     // Solution sets: the rmax smallest stored strings.
-    let good_giant: Vec<usize> = giant.iter().copied().filter(|&i| !gg.leaders.is_bad(i)).collect();
+    let good_giant: Vec<usize> =
+        giant.iter().copied().filter(|&i| !gg.leaders().is_bad(i)).collect();
     let set_sizes: Vec<f64> =
         good_giant.iter().map(|&i| nodes[i].stored.len().min(rmax) as f64).collect();
 
@@ -421,7 +422,7 @@ fn giant_component(adj: &[Vec<usize>]) -> Vec<usize> {
 mod tests {
     use super::*;
     use rand::SeedableRng;
-    use tg_core::{build_initial_graph, Params, Population};
+    use tg_core::{build_initial_graph, GroupGraph, Params, Population};
     use tg_crypto::OracleFamily;
     use tg_overlay::GraphKind;
 

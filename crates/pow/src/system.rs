@@ -32,7 +32,7 @@ use crate::puzzle::PuzzleParams;
 use crate::strings::{run_string_protocol, StringAdversary, StringOutcome, StringParams};
 use rand::rngs::StdRng;
 use tg_core::dynamic::{
-    AdversaryView, BuildMode, DynamicSystem, EpochIds, EpochReport, IdentityProvider,
+    AdversaryView, BuildMode, EpochIds, EpochKernel, EpochReport, IdentityProvider, KernelChoice,
     WithEpochString,
 };
 use tg_core::Params;
@@ -111,8 +111,11 @@ pub struct FullEpochReport {
 
 /// The composed system.
 pub struct FullSystem {
-    /// The §III dynamic layer (owns the operational group graphs).
-    pub dynamics: DynamicSystem,
+    /// The §III dynamic layer (owns the operational group graphs),
+    /// behind the kernel dispatcher: the legacy per-group path or the
+    /// arena/SoA path, chosen at construction — identical epochs either
+    /// way.
+    pub dynamics: EpochKernel,
     /// Puzzle difficulty/rate parameters.
     pub puzzle: PuzzleParams,
     /// String-protocol parameters.
@@ -154,13 +157,50 @@ impl FullSystem {
         idealized_good: bool,
         master_seed: u64,
     ) -> Self {
+        Self::new_with_kernel(
+            params,
+            kind,
+            puzzle,
+            string_params,
+            n_good,
+            adversary_units,
+            idealized_good,
+            master_seed,
+            KernelChoice::Legacy,
+            None,
+        )
+    }
+
+    /// [`FullSystem::new`] with an explicit epoch kernel and arena
+    /// capacity hint (how `tg_pow::scenario` applies the spec's scale
+    /// knobs to the full protocol).
+    #[allow(clippy::too_many_arguments)]
+    pub fn new_with_kernel(
+        params: Params,
+        kind: GraphKind,
+        puzzle: PuzzleParams,
+        string_params: StringParams,
+        n_good: usize,
+        adversary_units: f64,
+        idealized_good: bool,
+        master_seed: u64,
+        kernel: KernelChoice,
+        capacity: Option<usize>,
+    ) -> Self {
         let sim = MintingSim { params: puzzle, n_good, adversary_units, idealized_good };
         let mut rng = stream_rng(master_seed, "full-init-mint", 0);
         let minted = sim.run_window(&mut rng);
         let mut provider =
             PreMinted { ids: Some(EpochIds { good: minted.good_ids, bad: minted.bad_ids }) };
-        let dynamics =
-            DynamicSystem::new(params, kind, BuildMode::DualGraph, &mut provider, master_seed);
+        let dynamics = EpochKernel::new(
+            kernel,
+            params,
+            kind,
+            BuildMode::DualGraph,
+            &mut provider,
+            master_seed,
+            capacity,
+        );
         FullSystem {
             dynamics,
             puzzle,
@@ -202,16 +242,14 @@ impl FullSystem {
 
     /// Run one full epoch: strings → minting → dynamics.
     pub fn run_epoch(&mut self) -> FullEpochReport {
-        let epoch = self.dynamics.epoch;
+        let epoch = self.dynamics.epoch();
 
         // 1. Agree on the next epoch string over the operational graph.
         let mut srng = stream_rng(self.master_seed, "full-strings", epoch);
-        let strings = run_string_protocol(
-            &self.dynamics.graphs[0],
-            &self.string_params,
-            self.string_adversary,
-            &mut srng,
-        );
+        let strings = {
+            let side0 = self.dynamics.graphs().side(0);
+            run_string_protocol(&side0, &self.string_params, self.string_adversary, &mut srng)
+        };
         let pairs = (strings.giant_size as u64).pow(2);
         let verification_coverage =
             if pairs == 0 { 0.0 } else { 1.0 - strings.missing_pairs as f64 / pairs as f64 };
@@ -293,7 +331,7 @@ mod tests {
             true,
             seed,
         );
-        sys.dynamics.searches_per_epoch = 200;
+        sys.dynamics.set_searches_per_epoch(200);
         sys
     }
 
@@ -383,7 +421,7 @@ mod tests {
             scheme,
             Box::new(tg_core::dynamic::GapFilling),
         ));
-        sys.dynamics.searches_per_epoch = 200;
+        sys.dynamics.set_searches_per_epoch(200);
         sys
     }
 
@@ -440,7 +478,7 @@ mod tests {
             if frozen {
                 sys = sys.with_frozen_strings();
             }
-            sys.dynamics.searches_per_epoch = 200;
+            sys.dynamics.set_searches_per_epoch(200);
             (0..4).map(|_| sys.run_epoch().minted_bad).collect()
         };
         let fresh = minted_bad(false);
@@ -483,7 +521,7 @@ mod tests {
                 MintScheme::SingleHash,
                 Box::new(tg_core::dynamic::ChurnTimed::default()),
             ));
-            sys.dynamics.searches_per_epoch = 100;
+            sys.dynamics.set_searches_per_epoch(100);
             (0..2).map(|_| sys.run_epoch()).map(|r| (r.minted_bad, r.bad_share)).last().unwrap()
         };
         let (quiet_bad, quiet_share) = run(0.05);

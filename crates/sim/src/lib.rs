@@ -29,6 +29,6 @@ pub mod stats;
 
 pub use clock::EpochClock;
 pub use metrics::{CostReport, Metrics};
-pub use parallel::parallel_map;
+pub use parallel::{parallel_map, parallel_map_chunked};
 pub use rng::{derive_seed, derive_seed_grid, derive_seed_nd, stream_rng, stream_rng_grid};
 pub use stats::{binomial_wilson, Summary};

@@ -59,6 +59,68 @@ where
         .collect()
 }
 
+/// Like [`parallel_map`], but work is claimed in **chunks of consecutive
+/// items** instead of one item at a time.
+///
+/// The item→chunk assignment is a pure function of `(items.len(),
+/// chunk)` — chunk `c` owns items `[c·chunk, (c+1)·chunk)` — so the
+/// work-split is deterministic and identical on every run; only *which
+/// thread* executes a chunk varies, and results still come back in input
+/// order. Use this when per-item work is small but skewed (e.g. one
+/// search per group, where captured groups truncate early): item-level
+/// stealing would spend more time on the atomic cursor than on the
+/// items, while fixed pre-chunking (`len / threads`) can leave one
+/// thread holding all the expensive items. Chunked stealing bounds the
+/// imbalance by one chunk's worth of work.
+///
+/// `chunk == 0` is treated as `1`. A `chunk ≥ items.len()` degenerates
+/// to the serial path (one chunk, zero coordination).
+pub fn parallel_map_chunked<T, R, F>(items: Vec<T>, chunk: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    let chunk = chunk.max(1);
+    if n == 0 {
+        return Vec::new();
+    }
+    let n_chunks = n.div_ceil(chunk);
+    let threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1).min(n_chunks);
+    if threads <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+
+    let work: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let c = cursor.fetch_add(1, Ordering::Relaxed);
+                if c >= n_chunks {
+                    break;
+                }
+                let lo = c * chunk;
+                let hi = (lo + chunk).min(n);
+                for i in lo..hi {
+                    let item =
+                        work[i].lock().expect("unpoisoned").take().expect("each cell claimed once");
+                    let r = f(item);
+                    *results[i].lock().expect("unpoisoned") = Some(r);
+                }
+            });
+        }
+    });
+
+    results
+        .into_iter()
+        .map(|m| m.into_inner().expect("unpoisoned").expect("all cells computed"))
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -88,6 +150,38 @@ mod tests {
         let expect: Vec<u64> = items.iter().map(|&k| (0..k).sum::<u64>()).collect();
         let out = parallel_map(items, |k: u64| (0..k).sum::<u64>());
         assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn chunked_matches_sequential_exactly() {
+        // Regression for the load-imbalance fix: the chunked variant must
+        // return the same results, in the same order, as the sequential
+        // map — for every chunk size including degenerate ones.
+        let items: Vec<u64> = (0..537).map(|i| i * 3 + 1).collect();
+        let expect: Vec<u64> = items.iter().map(|&k| k.wrapping_mul(k) ^ 0xA5).collect();
+        for chunk in [0usize, 1, 2, 7, 64, 537, 10_000] {
+            let out = parallel_map_chunked(items.clone(), chunk, |k: u64| k.wrapping_mul(k) ^ 0xA5);
+            assert_eq!(out, expect, "chunk={chunk}");
+        }
+    }
+
+    #[test]
+    fn chunked_balances_skewed_costs() {
+        // Skewed per-item work (every 13th item is ~2000× heavier, like a
+        // group whose search runs long): correctness is order-preserving
+        // equality with the serial result under chunked stealing.
+        let items: Vec<u64> = (0..256).map(|i| if i % 13 == 0 { 40_000 } else { 20 }).collect();
+        let expect: Vec<u64> = items.iter().map(|&k| (0..k).sum::<u64>()).collect();
+        let out = parallel_map_chunked(items, 8, |k: u64| (0..k).sum::<u64>());
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn chunked_empty_and_single() {
+        let out: Vec<i32> = parallel_map_chunked(Vec::<i32>::new(), 4, |x| x);
+        assert!(out.is_empty());
+        let out = parallel_map_chunked(vec![41], 4, |x: i32| x + 1);
+        assert_eq!(out, vec![42]);
     }
 
     #[test]

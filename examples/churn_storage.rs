@@ -16,7 +16,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use tiny_groups::ba::AdversaryMode;
 use tiny_groups::core::dht::GetOutcome;
-use tiny_groups::core::{ScenarioSpec, SecureDht};
+use tiny_groups::core::{GroupGraphView, ScenarioSpec, SecureDht};
 use tiny_groups::idspace::Id;
 use tiny_groups::sim::Metrics;
 
@@ -45,8 +45,8 @@ fn main() {
     for _ in 0..8 {
         let epoch = sys.step().epoch;
         let frac_red = sys.observation().frac_red[0];
-        let gg = &sys.graphs()[0];
-        let mut dht = SecureDht::new(gg, AdversaryMode::Collude { value: 0xBAD });
+        let gg = sys.graphs().side(0);
+        let mut dht = SecureDht::new(&gg, AdversaryMode::Collude { value: 0xBAD });
         let mut metrics = Metrics::new();
         let mut stored = 0usize;
         for &(key, value) in &items {

@@ -6,7 +6,9 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use tiny_groups::ba::AdversaryMode;
 use tiny_groups::core::dht::GetOutcome;
-use tiny_groups::core::{assemble_bootstrap, recommended_contacts, ScenarioSpec, SecureDht};
+use tiny_groups::core::{
+    assemble_bootstrap, recommended_contacts, GroupGraphView, ScenarioSpec, SecureDht,
+};
 use tiny_groups::idspace::Id;
 use tiny_groups::overlay::GraphKind;
 use tiny_groups::pow::{FullSystem, PuzzleParams, StringAdversary, StringParams};
@@ -24,8 +26,8 @@ fn dht_over_dynamic_epochs_never_serves_forged_data() {
 
     for _ in 0..3 {
         sys.step();
-        let gg = &sys.graphs()[0];
-        let mut dht = SecureDht::new(gg, AdversaryMode::Collude { value: 0xF0F0 });
+        let gg = sys.graphs().side(0);
+        let mut dht = SecureDht::new(&gg, AdversaryMode::Collude { value: 0xF0F0 });
         let mut m = Metrics::new();
         let (stored, available) = dht.measure_availability(&items, &mut rng, &mut m);
         assert!(stored > 0.95, "stored {stored:.3}");
@@ -53,10 +55,10 @@ fn bootstrap_assembly_over_live_epochs() {
     let mut rng = StdRng::seed_from_u64(64);
     for _ in 0..3 {
         sys.step();
-        let gg = &sys.graphs()[0];
+        let gg = sys.graphs().side(0);
         let k = recommended_contacts(gg.len());
         for _ in 0..50 {
-            let boot = assemble_bootstrap(gg, k, &mut rng);
+            let boot = assemble_bootstrap(&gg, k, &mut rng);
             assert!(boot.has_good_majority(), "bootstrap lost its majority");
         }
     }
@@ -84,7 +86,7 @@ fn full_system_invariants_hold_jointly() {
         65,
     );
     sys.string_adversary = StringAdversary::ForcedRecords { strings: 3, release_frac: 0.49 };
-    sys.dynamics.searches_per_epoch = 150;
+    sys.dynamics.set_searches_per_epoch(150);
     let mut seen_strings = std::collections::HashSet::new();
     for _ in 0..3 {
         let r = sys.run_epoch();

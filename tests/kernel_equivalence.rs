@@ -1,0 +1,127 @@
+//! Kernel-equivalence suite: the arena/SoA epoch kernel and the legacy
+//! per-group kernel are **observation-identical** — same spec, same
+//! seed, same epoch-by-epoch `EpochObservation`, byte for byte — across
+//! every defense arm and placement strategy the scenario API can
+//! express.
+//!
+//! The legacy kernel is the conformance oracle: it predates the arena
+//! and produced the committed golden corpus. These tests pin that
+//! swapping `kernel=arena` into any spec changes wall clock and memory
+//! layout, never results. (The corpus-level half of this statement —
+//! committed seed-42 CSVs replaying byte-identically through the arena
+//! kernel — lives in `crates/experiments/tests/golden_arena.rs`.)
+
+use proptest::prelude::*;
+use tiny_groups::core::scenario::{
+    Defense, KernelChoice, MintScheme, ScenarioSpec, StrategySpec, StringMode,
+};
+use tiny_groups::overlay::GraphKind;
+use tiny_groups::pow::scenario::build;
+
+/// Step both kernels over the same spec and require Debug-identical
+/// observations every epoch (the full report: fractions, search rates,
+/// build stats, minting counters — everything the systems can observe).
+fn assert_kernels_agree(spec: &ScenarioSpec, epochs: usize) {
+    let legacy = spec.clone().kernel(KernelChoice::Legacy);
+    let arena = spec.clone().kernel(KernelChoice::Arena);
+    let mut a = build(&legacy).expect("legacy spec builds");
+    let mut b = build(&arena).expect("arena spec builds");
+    for e in 0..epochs {
+        let oa = a.step();
+        let ob = b.step();
+        assert_eq!(
+            format!("{oa:?}"),
+            format!("{ob:?}"),
+            "kernels diverged at epoch {e} of {}",
+            spec.label()
+        );
+    }
+}
+
+/// Every defense arm × every placement strategy, one fixed small spec
+/// each: the exhaustive sweep of the scenario API's categorical axes.
+/// (The hoarder under no-PoW degrades to uniform placement — still a
+/// buildable, comparable arm.)
+#[test]
+fn all_defenses_and_strategies_agree_across_kernels() {
+    let defenses = [
+        Defense::NoPow,
+        Defense::Pow { scheme: MintScheme::SingleHash, fresh_strings: true },
+        Defense::Pow { scheme: MintScheme::TwoHash, fresh_strings: true },
+        Defense::Pow { scheme: MintScheme::TwoHash, fresh_strings: false },
+    ];
+    let strategies = [
+        StrategySpec::Honest,
+        StrategySpec::Uniform,
+        StrategySpec::GapFilling,
+        StrategySpec::IntervalTargeting { victim: 0.4, width: 0.01 },
+        StrategySpec::AdaptiveMajorityFlipper { margin: 2 },
+        StrategySpec::ChurnTimed { trigger: 0.12, retainer: 0.2 },
+        StrategySpec::PrecomputeHoarder { fam_seed: 7, attempts: 300 },
+    ];
+    for &defense in &defenses {
+        for &strategy in &strategies {
+            let spec = ScenarioSpec::new(240, 42)
+                .beta(0.1)
+                .churn(0.15)
+                .attack_requests(0)
+                .searches(40)
+                .defense(defense)
+                .strategy(strategy);
+            assert_kernels_agree(&spec, 1);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Random small-n specs over the full categorical product (defense
+    /// × strategy × topology × string mode), random β/churn/seed: the
+    /// kernels stay Debug-identical for two epochs.
+    #[test]
+    fn random_specs_agree_across_kernels(
+        seed in any::<u64>(),
+        n_good in 180usize..340,
+        beta_pct in 4u32..16,
+        churn_pct in 5u32..22,
+        defense_sel in 0usize..4,
+        strategy_sel in 0usize..7,
+        kind_sel in 0usize..2,
+        synthesized in any::<bool>(),
+        cap in proptest::option::of(1usize..1 << 14),
+    ) {
+        let defense = [
+            Defense::NoPow,
+            Defense::Pow { scheme: MintScheme::SingleHash, fresh_strings: true },
+            Defense::Pow { scheme: MintScheme::TwoHash, fresh_strings: true },
+            Defense::Pow { scheme: MintScheme::TwoHash, fresh_strings: false },
+        ][defense_sel];
+        let strategy = [
+            StrategySpec::Honest,
+            StrategySpec::Uniform,
+            StrategySpec::GapFilling,
+            StrategySpec::IntervalTargeting { victim: 0.4, width: 0.01 },
+            StrategySpec::AdaptiveMajorityFlipper { margin: 2 },
+            StrategySpec::ChurnTimed { trigger: 0.12, retainer: 0.2 },
+            StrategySpec::PrecomputeHoarder { fam_seed: seed ^ 0xEC4, attempts: 250 },
+        ][strategy_sel];
+        let kind = [GraphKind::Chord, GraphKind::D2B][kind_sel];
+        let mut spec = ScenarioSpec::new(n_good, seed)
+            .beta(beta_pct as f64 / 100.0)
+            .churn(churn_pct as f64 / 100.0)
+            .attack_requests(0)
+            .topology(kind)
+            .searches(30)
+            .defense(defense)
+            .strategy(strategy);
+        if synthesized {
+            spec = spec.strings(StringMode::Synthesized);
+        }
+        if let Some(c) = cap {
+            // The capacity hint shapes allocation only, never results.
+            spec = spec.capacity(c);
+        }
+        assert_kernels_agree(&spec, 2);
+    }
+}

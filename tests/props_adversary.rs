@@ -144,7 +144,7 @@ proptest! {
         let good = census(n_sel, seed);
         let heavy = heavy_churn_system();
         let strike_view =
-            AdversaryView { epoch: 2, graphs: &heavy.graphs, epoch_string: None };
+            AdversaryView { epoch: 2, graphs: tiny_groups::core::GraphsView::Legacy(&heavy.graphs), epoch_string: None };
         for (view, label) in [(AdversaryView::genesis(0), "quiet"), (strike_view, "strike")] {
             let mut s = ChurnTimed::default();
             let mut rng = StdRng::seed_from_u64(seed ^ 0xC4);
@@ -176,7 +176,7 @@ proptest! {
         let heavy = heavy_churn_system();
         for view in [
             AdversaryView::genesis(0),
-            AdversaryView { epoch: 2, graphs: &heavy.graphs, epoch_string: None },
+            AdversaryView { epoch: 2, graphs: tiny_groups::core::GraphsView::Legacy(&heavy.graphs), epoch_string: None },
         ] {
             let run = || {
                 let mut s = ChurnTimed::default();
