@@ -47,6 +47,7 @@ fn bench_mini_grid(c: &mut Criterion) {
                 searches: 60,
                 seed: 7,
                 kernel: Default::default(),
+                runtime: Default::default(),
             })
         });
     });

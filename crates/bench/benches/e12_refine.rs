@@ -26,6 +26,7 @@ fn grid() -> FrontierConfig {
         searches: 60,
         seed: 7,
         kernel: Default::default(),
+        runtime: Default::default(),
     }
 }
 

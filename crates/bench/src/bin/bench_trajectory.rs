@@ -51,11 +51,15 @@ fn compare(baseline_dir: &str, new_dir: &str) {
             Some(msg) => println!("::warning title=bench-trajectory regression::{msg}"),
             None => {
                 let per = |j: &str| tg_bench::json_number(j, "wall_ms_per_cell_run");
-                println!(
-                    "{name}: ok ({:?} -> {:?} ms per cell-run)",
-                    per(&baseline),
-                    per(&current)
-                );
+                match (per(&baseline), per(&current)) {
+                    (Some(old), Some(new)) if old.is_finite() && new.is_finite() && old > 0.0 => {
+                        println!("{name}: ok ({old:.3} -> {new:.3} ms per cell-run)");
+                    }
+                    (old, new) => println!(
+                        "{name}: unusable wall_ms_per_cell_run (baseline {old:?}, fresh \
+                         {new:?}); skipping comparison"
+                    ),
+                }
             }
         }
     }
@@ -88,6 +92,7 @@ fn quick_grid() -> FrontierConfig {
         searches: 60,
         seed: 42,
         kernel: Default::default(),
+        runtime: Default::default(),
     }
 }
 

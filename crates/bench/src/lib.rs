@@ -118,8 +118,10 @@ pub const REGRESSION_THRESHOLD: f64 = 0.25;
 /// Compare a fresh trajectory record against the previous main
 /// artifact's JSON. `Some(message)` when per-cell-run wall time
 /// regressed by more than `threshold` (fractional); `None` when within
-/// budget or when either JSON is unreadable (a missing baseline is not
-/// a regression).
+/// budget or when either record is unusable: JSON that does not parse,
+/// a missing key, or a baseline/current value that is non-finite or
+/// non-positive (a zero, NaN, or infinite baseline would make the
+/// ratio meaningless, so it is skipped rather than divided by).
 pub fn regression_warning(
     name: &str,
     baseline_json: &str,
@@ -128,7 +130,10 @@ pub fn regression_warning(
 ) -> Option<String> {
     let old = json_number(baseline_json, "wall_ms_per_cell_run")?;
     let new = json_number(current_json, "wall_ms_per_cell_run")?;
-    if old <= 0.0 || new <= old * (1.0 + threshold) {
+    if !old.is_finite() || !new.is_finite() || old <= 0.0 {
+        return None;
+    }
+    if new <= old * (1.0 + threshold) {
         return None;
     }
     Some(format!(
@@ -182,6 +187,29 @@ mod tests {
         // Speedups and flat runs never warn; junk baselines are skipped.
         assert!(regression_warning("e11", &base, &record(80.0), 0.25).is_none());
         assert!(regression_warning("e11", "not json", &record(130.0), 0.25).is_none());
+    }
+
+    /// Degenerate records never produce a warning (and never divide by
+    /// zero): a zero, NaN, or infinite `wall_ms_per_cell_run` on either
+    /// side is warn-and-skip territory, not a "regressed NaN%" banner.
+    #[test]
+    fn regression_warning_skips_zero_and_non_finite_records() {
+        let raw = |v: &str| format!("{{\n  \"wall_ms_per_cell_run\": {v}\n}}\n");
+        let good = raw("100.0");
+        // Zero baseline: the ratio is undefined, never a warning.
+        assert!(regression_warning("k", &raw("0.0"), &good, 0.25).is_none());
+        assert!(regression_warning("k", &raw("0"), &raw("1e9"), 0.25).is_none());
+        // Negative baseline: corrupt, skipped.
+        assert!(regression_warning("k", &raw("-5.0"), &good, 0.25).is_none());
+        // NaN on either side: json_number already refuses the token,
+        // and an overflowed literal (`1e999` -> inf) is caught by the
+        // finiteness guard rather than compared.
+        assert!(regression_warning("k", &raw("NaN"), &good, 0.25).is_none());
+        assert!(regression_warning("k", &good, &raw("NaN"), 0.25).is_none());
+        assert!(regression_warning("k", &raw("1e999"), &good, 0.25).is_none());
+        assert!(regression_warning("k", &good, &raw("1e999"), 0.25).is_none());
+        // A sane pair still warns.
+        assert!(regression_warning("k", &good, &raw("200.0"), 0.25).is_some());
     }
 
     #[test]

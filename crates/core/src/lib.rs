@@ -35,6 +35,11 @@
 //!   variants}, strategy, topology, churn, seed — round-tripping through
 //!   a stable label/JSON codec) built into a [`scenario::EpochDriver`],
 //!   the one trait every experiment, frontier cell, and bench drives,
+//! * [`runtime`] — the actor epoch runtime: per-node actors exchanging
+//!   typed protocol messages (membership announcements, routing probes,
+//!   string dissemination) over an injectable transport with seeded
+//!   fault injection; byte-identical to the synchronous drivers over a
+//!   perfect transport,
 //! * [`bootstrap`] — pooled bootstrap groups for joiners (Appendix IX),
 //! * [`dht`] — the replicated key→value store over groups (the §I-A
 //!   motivating application),
@@ -53,6 +58,7 @@ pub mod population;
 pub mod render;
 pub mod robustness;
 pub mod routing;
+pub mod runtime;
 pub mod scenario;
 
 pub use arena::{ArenaGraphs, ArenaSideRef, ArenaSystem};
@@ -65,6 +71,7 @@ pub use params::{GroupSizeRule, Params};
 pub use population::Population;
 pub use robustness::{measure_robustness, RobustnessReport};
 pub use routing::{search_path, SearchOutcome};
+pub use runtime::{ActorDriver, EpochNet, NetFilter, ProtocolMsg, RuntimeChoice};
 pub use scenario::{
     Defense, EpochDriver, EpochObservation, MintScheme, ScenarioError, ScenarioSpec, StrategySpec,
     StringMode,

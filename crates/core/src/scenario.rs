@@ -71,6 +71,8 @@ use tg_overlay::GraphKind;
 use tg_sim::Metrics;
 
 pub use crate::dynamic::kernel::{EpochKernel, KernelChoice};
+pub use crate::runtime::RuntimeChoice;
+pub use tg_sim::net::FaultPlan;
 
 /// Which minting scheme a PoW pipeline runs (§IV-A). Lives here (rather
 /// than in `tg-pow`, which re-exports it) so the defense axis of a
@@ -340,6 +342,17 @@ pub struct ScenarioSpec {
     /// Arena member-column capacity hint (pre-sizes the hot allocation;
     /// ignored by the legacy kernel). Codec-optional like `kernel`.
     pub capacity: Option<usize>,
+    /// Which execution model advances the epochs: one synchronous
+    /// in-process step ([`RuntimeChoice::Sync`], the conformance
+    /// oracle) or per-node actors over an injectable transport
+    /// ([`RuntimeChoice::Actor`]). Codec-optional like `kernel`: over a
+    /// perfect transport both runtimes produce identical observations.
+    pub runtime: RuntimeChoice,
+    /// Fault plan for the actor runtime's transport (drops, latency,
+    /// partitions — all seeded, see `tg_sim::net`). Ignored under
+    /// [`RuntimeChoice::Sync`]. Codec-optional: each knob is emitted
+    /// only when non-zero (`drop=`, `lat=`, `part=`).
+    pub faults: FaultPlan,
 }
 
 impl ScenarioSpec {
@@ -363,6 +376,8 @@ impl ScenarioSpec {
             seed,
             kernel: KernelChoice::default(),
             capacity: None,
+            runtime: RuntimeChoice::default(),
+            faults: FaultPlan::default(),
         }
     }
 
@@ -468,6 +483,37 @@ impl ScenarioSpec {
         self
     }
 
+    /// Select the epoch runtime (synchronous in-process vs per-node
+    /// actors over a transport).
+    pub fn runtime(mut self, runtime: RuntimeChoice) -> Self {
+        self.runtime = runtime;
+        self
+    }
+
+    /// Replace the transport fault plan wholesale.
+    pub fn faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Set the transport's per-message drop probability.
+    pub fn drop_rate(mut self, drop_rate: f64) -> Self {
+        self.faults.drop_rate = drop_rate;
+        self
+    }
+
+    /// Set the transport's maximum per-message latency (ticks).
+    pub fn latency(mut self, latency_max: u64) -> Self {
+        self.faults.latency_max = latency_max;
+        self
+    }
+
+    /// Set the per-phase partition window (ticks).
+    pub fn partition(mut self, partition_ticks: u64) -> Self {
+        self.faults.partition_ticks = partition_ticks;
+        self
+    }
+
     /// Build the scenario's driver, for every spec the core layer can
     /// express ([`Defense::NoPow`] with a non-PoW strategy).
     ///
@@ -490,7 +536,22 @@ impl ScenarioSpec {
                 Box::new(StrategicProvider::boxed(self.n_good, self.n_bad, strategy))
             }
         };
-        Ok(Box::new(DynamicDriver::with_provider(self, inner)))
+        Ok(driver_with_provider(self, inner))
+    }
+}
+
+/// The kernel-over-provider driver for `spec`'s runtime choice: the
+/// synchronous [`DynamicDriver`] or the actor-runtime
+/// [`ActorDriver`](crate::runtime::ActorDriver). Used by both
+/// [`ScenarioSpec::build`] and the `tg_pow` total builder's
+/// provider-composed arms.
+pub fn driver_with_provider(
+    spec: &ScenarioSpec,
+    inner: Box<dyn IdentityProvider>,
+) -> Box<dyn EpochDriver> {
+    match spec.runtime {
+        RuntimeChoice::Sync => Box::new(DynamicDriver::with_provider(spec, inner)),
+        RuntimeChoice::Actor => Box::new(crate::runtime::ActorDriver::with_provider(spec, inner)),
     }
 }
 
@@ -604,7 +665,7 @@ const KEYS: [&str; 18] = [
 /// from their defaults, accepted (at most once) whether present or not.
 /// Every label or JSON form written before these keys existed therefore
 /// parses to a spec with the defaults — byte-compatible both ways.
-const OPTIONAL_KEYS: [&str; 2] = ["kernel", "cap"];
+const OPTIONAL_KEYS: [&str; 6] = ["kernel", "cap", "runtime", "drop", "lat", "part"];
 
 impl ScenarioSpec {
     /// The spec as ordered `(key, value)` codec fields — the single
@@ -638,6 +699,18 @@ impl ScenarioSpec {
         }
         if let Some(cap) = self.capacity {
             fields.push(("cap", cap.to_string()));
+        }
+        if self.runtime != RuntimeChoice::default() {
+            fields.push(("runtime", self.runtime.label().to_string()));
+        }
+        if self.faults.drop_rate != 0.0 {
+            fields.push(("drop", self.faults.drop_rate.to_string()));
+        }
+        if self.faults.latency_max != 0 {
+            fields.push(("lat", self.faults.latency_max.to_string()));
+        }
+        if self.faults.partition_ticks != 0 {
+            fields.push(("part", self.faults.partition_ticks.to_string()));
         }
         fields
     }
@@ -684,6 +757,24 @@ impl ScenarioSpec {
                 Some(v.parse::<u64>().map_err(|_| err("field `cap` is not an integer"))? as usize)
             }
         };
+        let runtime = match opt("runtime")? {
+            None => RuntimeChoice::default(),
+            Some(v) => RuntimeChoice::parse(v).ok_or_else(|| err("bad `runtime`"))?,
+        };
+        let mut faults = FaultPlan::default();
+        if let Some(v) = opt("drop")? {
+            faults.drop_rate = v.parse().map_err(|_| err("field `drop` is not a number"))?;
+            if !(0.0..=1.0).contains(&faults.drop_rate) {
+                return Err(err("field `drop` is not a probability"));
+            }
+        }
+        if let Some(v) = opt("lat")? {
+            faults.latency_max = v.parse().map_err(|_| err("field `lat` is not an integer"))?;
+        }
+        if let Some(v) = opt("part")? {
+            faults.partition_ticks =
+                v.parse().map_err(|_| err("field `part` is not an integer"))?;
+        }
         let mut params = Params::paper_defaults();
         params.beta = num("beta")?;
         params.delta = num("delta")?;
@@ -710,6 +801,8 @@ impl ScenarioSpec {
             seed: int("seed")?,
             kernel,
             capacity,
+            runtime,
+            faults,
         })
     }
 

@@ -7,6 +7,7 @@
 use proptest::prelude::*;
 use tg_core::dynamic::BuildMode;
 use tg_core::params::GroupSizeRule;
+use tg_core::runtime::RuntimeChoice;
 use tg_core::scenario::{
     Defense, KernelChoice, MintScheme, ScenarioSpec, StrategySpec, StringMode,
 };
@@ -75,6 +76,10 @@ proptest! {
         idealized in any::<bool>(),
         kernel_tag in 0u8..2,
         cap in proptest::option::of(1u64..1u64 << 24),
+        runtime_tag in 0u8..2,
+        drop in 0.0f64..1.0,
+        lat in 0u64..1024,
+        part in 0u64..1024,
     ) {
         let mut spec = ScenarioSpec::new(n_good, seed)
             .beta(beta)
@@ -90,7 +95,11 @@ proptest! {
             .strategy(strategy(strategy_tag, sa, sb, sn))
             .searches(searches)
             .idealized(idealized)
-            .kernel(if kernel_tag == 0 { KernelChoice::Legacy } else { KernelChoice::Arena });
+            .kernel(if kernel_tag == 0 { KernelChoice::Legacy } else { KernelChoice::Arena })
+            .runtime(if runtime_tag == 0 { RuntimeChoice::Sync } else { RuntimeChoice::Actor })
+            .drop_rate(drop)
+            .latency(lat)
+            .partition(part);
         if let Some(c) = cap {
             spec = spec.capacity(c as usize);
         }
@@ -146,15 +155,70 @@ proptest! {
         let label = base.label();
         prop_assert!(!label.contains("kernel="), "default kernel is elided: {}", label);
         prop_assert!(!label.contains("cap="), "default capacity is elided: {}", label);
+        for knob in ["runtime=", "drop=", "lat=", "part="] {
+            prop_assert!(!label.contains(knob), "default {} is elided: {}", knob, label);
+        }
 
         // A pre-knob consumer's label parses to the default knobs.
         let parsed = ScenarioSpec::parse(&label).unwrap();
         prop_assert_eq!(parsed.kernel, KernelChoice::Legacy);
         prop_assert_eq!(parsed.capacity, None);
+        prop_assert_eq!(parsed.runtime, RuntimeChoice::Sync);
+        prop_assert_eq!(parsed.faults, tg_core::scenario::FaultPlan::default());
 
         // And the knobs themselves round-trip through both codecs.
         let scaled = base.kernel(KernelChoice::Arena).capacity(cap as usize);
         prop_assert_eq!(&ScenarioSpec::parse(&scaled.label()).unwrap(), &scaled);
         prop_assert_eq!(&ScenarioSpec::from_json(&scaled.to_json()).unwrap(), &scaled);
+    }
+
+    /// Every key of a label — required or optional — is accepted at
+    /// most once: appending a duplicate of *any* field makes the parse
+    /// fail loudly instead of silently letting one value win. (The
+    /// canonical-label property above makes aliasing impossible for
+    /// emitted labels; this pins the behavior for hand-built ones.)
+    #[test]
+    fn duplicate_label_keys_are_rejected(
+        n_good in 1usize..10_000,
+        seed in any::<u64>(),
+        churn in 0.0f64..0.45,
+        drop in 0.001f64..1.0,
+        lat in 1u64..1024,
+        part in 1u64..1024,
+        cap in 1u64..1u64 << 24,
+        dup_value_from_label in any::<bool>(),
+    ) {
+        // Every optional knob is non-default, so all 24 codec keys
+        // appear in the label and each one gets a duplication trial.
+        let spec = ScenarioSpec::new(n_good, seed)
+            .churn(churn)
+            .kernel(KernelChoice::Arena)
+            .capacity(cap as usize)
+            .runtime(RuntimeChoice::Actor)
+            .drop_rate(drop)
+            .latency(lat)
+            .partition(part);
+        let label = spec.label();
+        let fields: Vec<(&str, &str)> = label
+            .split(';')
+            .skip(1) // the `tg1` version tag
+            .map(|f| f.split_once('=').expect("every label field is key=value"))
+            .collect();
+        prop_assert_eq!(fields.len(), 24, "label: {}", label);
+        for (key, value) in &fields {
+            // Duplicating with the same value must fail exactly like a
+            // conflicting one — duplicates are rejected, not merged.
+            let dup = if dup_value_from_label { value } else { "0" };
+            let poisoned = format!("{label};{key}={dup}");
+            let parsed = ScenarioSpec::parse(&poisoned);
+            prop_assert!(parsed.is_err(), "duplicate `{}` accepted: {}", key, poisoned);
+            let msg = format!("{:?}", parsed.unwrap_err());
+            prop_assert!(
+                msg.contains("duplicate field"),
+                "duplicate `{}` rejected for the wrong reason: {}",
+                key,
+                msg
+            );
+        }
     }
 }

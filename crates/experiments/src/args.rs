@@ -6,10 +6,14 @@
 //! `--only e10,e11,e12` (run a subset), `--list` (print the
 //! experiment registry and exit — both consumed by `run_all`; the
 //! single-experiment binaries accept and ignore them so one flag set
-//! can be passed around scripts unchanged), and `--kernel legacy|arena`
+//! can be passed around scripts unchanged), `--kernel legacy|arena`
 //! (which epoch kernel drives the simulated systems — identical results
-//! either way; `arena` is the scale path e13 benchmarks).
+//! either way; `arena` is the scale path e13 benchmarks), and
+//! `--runtime sync|actor` (which epoch runtime advances them —
+//! identical results over the actor runtime's default perfect
+//! transport; e14 is the faulty-transport sweep).
 
+use tg_core::runtime::RuntimeChoice;
 use tg_core::scenario::KernelChoice;
 
 /// Parsed command-line options.
@@ -23,7 +27,7 @@ pub struct Options {
     pub out_dir: String,
     /// Suppress stdout tables.
     pub quiet: bool,
-    /// Restrict `run_all` to the named experiments (`e1`…`e12`,
+    /// Restrict `run_all` to the named experiments (`e1`…`e14`,
     /// `figure1`). `None` runs everything.
     pub only: Option<Vec<String>>,
     /// Print the experiment registry (name + one-line description) and
@@ -31,6 +35,9 @@ pub struct Options {
     pub list: bool,
     /// Which epoch kernel drives the simulated systems.
     pub kernel: KernelChoice,
+    /// Which epoch runtime advances them (synchronous in-process vs
+    /// actor message passing).
+    pub runtime: RuntimeChoice,
 }
 
 impl Default for Options {
@@ -43,6 +50,7 @@ impl Default for Options {
             only: None,
             list: false,
             kernel: KernelChoice::default(),
+            runtime: RuntimeChoice::default(),
         }
     }
 }
@@ -85,6 +93,11 @@ impl Options {
                     opts.kernel = KernelChoice::parse(&v)
                         .unwrap_or_else(|| usage("--kernel must be legacy or arena"));
                 }
+                "--runtime" => {
+                    let v = it.next().unwrap_or_else(|| usage("--runtime needs a value"));
+                    opts.runtime = RuntimeChoice::parse(&v)
+                        .unwrap_or_else(|| usage("--runtime must be sync or actor"));
+                }
                 "--help" | "-h" => usage(""),
                 other => usage(&format!("unknown flag {other}")),
             }
@@ -111,7 +124,7 @@ fn usage(msg: &str) -> ! {
     }
     eprintln!(
         "usage: <experiment> [--seed N] [--full] [--out DIR] [--quiet] [--only e10,e11,e12] \
-         [--list] [--kernel legacy|arena]"
+         [--list] [--kernel legacy|arena] [--runtime sync|actor]"
     );
     std::process::exit(if msg.is_empty() { 0 } else { 2 });
 }
@@ -153,6 +166,13 @@ mod tests {
         assert_eq!(parse(&[]).kernel, KernelChoice::Legacy);
         assert_eq!(parse(&["--kernel", "arena"]).kernel, KernelChoice::Arena);
         assert_eq!(parse(&["--kernel", "legacy"]).kernel, KernelChoice::Legacy);
+    }
+
+    #[test]
+    fn runtime_flag_parses() {
+        assert_eq!(parse(&[]).runtime, RuntimeChoice::Sync);
+        assert_eq!(parse(&["--runtime", "actor"]).runtime, RuntimeChoice::Actor);
+        assert_eq!(parse(&["--runtime", "sync"]).runtime, RuntimeChoice::Sync);
     }
 
     #[test]

@@ -1,0 +1,12 @@
+//! CLI wrapper for the `e14_async` experiment; see the library module
+//! docs. Sweeps the actor-runtime fault grid (drop rate × partition
+//! length at fixed β) and emits the degradation table. Quick mode is
+//! the CI smoke grid; `--full` densifies both axes.
+use tg_experiments::exp::e14_async;
+use tg_experiments::Options;
+
+fn main() {
+    let opts = Options::from_env();
+    e14_async::run(&opts).emit(&opts);
+    eprintln!("[e14] fault sweep done ({} cells)", e14_async::grid(&opts).len());
+}

@@ -29,6 +29,7 @@ use crate::table::{f, Table};
 use rand::rngs::StdRng;
 use rand::Rng;
 use tg_core::routing::dual_search;
+use tg_core::runtime::RuntimeChoice;
 use tg_core::scenario::{Defense, KernelChoice, ScenarioSpec, StrategySpec, StringMode};
 use tg_core::{GraphsView, GroupGraphView, Params};
 use tg_idspace::{Id, RingDistance};
@@ -91,6 +92,7 @@ fn cell_spec(
     searches: usize,
     cell_seed: u64,
     kernel: KernelChoice,
+    runtime: RuntimeChoice,
 ) -> ScenarioSpec {
     ScenarioSpec::new(n_good, cell_seed)
         .params(sweep_params())
@@ -98,6 +100,7 @@ fn cell_spec(
         .strings(StringMode::Synthesized)
         .searches(searches)
         .kernel(kernel)
+        .runtime(runtime)
 }
 
 /// Dual-search success for keys u.a.r. in the victim arc.
@@ -135,10 +138,11 @@ fn run_cell(
     searches: usize,
     seed: u64,
     kernel: KernelChoice,
+    runtime: RuntimeChoice,
 ) -> Vec<Vec<String>> {
     let pipeline_idx = PIPELINES.iter().position(|&p| p == pipeline).unwrap() as u64;
     let cell_seed = tg_sim::derive_seed(seed, strategy, pipeline_idx);
-    let spec = cell_spec(n_good, n_bad, searches, cell_seed, kernel)
+    let spec = cell_spec(n_good, n_bad, searches, cell_seed, kernel, runtime)
         .strategy(cell_strategy(strategy, cell_seed ^ 0xE10, n_bad))
         .defense(cell_defense(pipeline));
     let mut sys = tg_pow::scenario::build(&spec).expect("E10 scenarios are buildable");
@@ -192,8 +196,9 @@ pub fn run(opts: &Options) -> Vec<Table> {
     }
     let seed = opts.seed;
     let kernel = opts.kernel;
+    let runtime = opts.runtime;
     let results = tg_sim::parallel_map(cells, move |(strategy, pipeline)| {
-        run_cell(strategy, pipeline, n_good, n_bad, epochs, searches, seed, kernel)
+        run_cell(strategy, pipeline, n_good, n_bad, epochs, searches, seed, kernel, runtime)
     });
     for rows in results {
         for row in rows {
@@ -216,7 +221,7 @@ pub fn run(opts: &Options) -> Vec<Table> {
     );
     let hoard_rows = tg_sim::parallel_map(vec![true, false], move |fresh| {
         let cell_seed = tg_sim::derive_seed(seed, "e10-hoard", fresh as u64);
-        let spec = cell_spec(n_good, n_bad, searches, cell_seed, kernel)
+        let spec = cell_spec(n_good, n_bad, searches, cell_seed, kernel, runtime)
             .strategy(cell_strategy("precompute-hoarder", cell_seed ^ 0xB0A, n_bad))
             .defense(Defense::Pow { scheme: MintScheme::TwoHash, fresh_strings: fresh });
         let mut sys = tg_pow::scenario::build(&spec).expect("E10 scenarios are buildable");
@@ -252,6 +257,7 @@ mod tests {
     fn opts() -> Options {
         Options {
             kernel: Default::default(),
+            runtime: Default::default(),
             seed: 42,
             full: false,
             out_dir: "/tmp".into(),
@@ -271,8 +277,8 @@ mod tests {
     /// Cumulative captured groups per (strategy, pipeline) cell.
     fn captured_by_cell(sweep: &Table) -> std::collections::BTreeMap<(String, String), usize> {
         let mut out = std::collections::BTreeMap::new();
-        for row in &sweep.rows {
-            let captured: usize = row[5].parse().unwrap();
+        for (i, row) in sweep.rows.iter().enumerate() {
+            let captured: usize = sweep.cell(i, 5);
             *out.entry((row[0].clone(), row[1].clone())).or_insert(0) += captured;
         }
         out
@@ -322,13 +328,11 @@ mod tests {
         let tables = shared_run();
         let hoard = &tables[1];
         let last_bad = |fresh: &str| -> usize {
-            hoard
-                .rows
-                .iter()
-                .filter(|r| r[0] == fresh)
-                .map(|r| r[2].parse::<usize>().unwrap())
+            (0..hoard.rows.len())
+                .filter(|&i| hoard.rows[i][0] == fresh)
+                .map(|i| hoard.cell::<usize>(i, 2))
                 .next_back()
-                .unwrap()
+                .expect("hoard table has rows for both fresh-string settings")
         };
         assert!(
             last_bad("false") > 2 * last_bad("true"),

@@ -67,6 +67,7 @@ pub fn config(opts: &Options) -> FrontierConfig {
             searches: 400,
             seed: opts.seed,
             kernel: opts.kernel,
+            runtime: opts.runtime,
         }
     } else {
         FrontierConfig {
@@ -82,6 +83,7 @@ pub fn config(opts: &Options) -> FrontierConfig {
             searches: 100,
             seed: opts.seed,
             kernel: opts.kernel,
+            runtime: opts.runtime,
         }
     }
 }
@@ -101,6 +103,7 @@ mod tests {
         Options {
             seed: 42,
             kernel: Default::default(),
+            runtime: Default::default(),
             full: false,
             out_dir: "/tmp".into(),
             quiet: true,
@@ -224,6 +227,7 @@ mod tests {
             searches: 60,
             seed: 42,
             kernel: Default::default(),
+            runtime: Default::default(),
         };
         let a = run_frontier(&cfg);
         let b = run_frontier(&cfg);

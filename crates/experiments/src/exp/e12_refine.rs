@@ -80,6 +80,7 @@ pub fn config(opts: &Options) -> RefineConfig {
             searches: 300,
             seed: opts.seed,
             kernel: opts.kernel,
+            runtime: opts.runtime,
         }
     } else {
         FrontierConfig {
@@ -95,6 +96,7 @@ pub fn config(opts: &Options) -> RefineConfig {
             searches: 60,
             seed: opts.seed,
             kernel: opts.kernel,
+            runtime: opts.runtime,
         }
     };
     RefineConfig { grid, z: 1.645, max_extra_rounds: 2 }
@@ -116,6 +118,7 @@ mod tests {
         Options {
             seed: 42,
             kernel: Default::default(),
+            runtime: Default::default(),
             full: false,
             out_dir: "/tmp".into(),
             quiet: true,
@@ -152,6 +155,7 @@ mod tests {
             searches: 50,
             seed: 42,
             kernel: Default::default(),
+            runtime: Default::default(),
         }
     }
 
@@ -274,6 +278,7 @@ mod tests {
                 searches: 60,
                 seed: 42,
                 kernel: Default::default(),
+                runtime: Default::default(),
             },
             z: 1.645,
             max_extra_rounds: 1,

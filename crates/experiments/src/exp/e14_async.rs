@@ -1,0 +1,219 @@
+//! **E14 — protocol degradation under an unreliable network** (the
+//! actor-runtime fault sweep).
+//!
+//! Every other experiment drives the synchronous epoch drivers, where
+//! each epoch's messages all arrive. This one runs the same dynamic
+//! scenario through the **actor runtime** ([`tg_core::runtime`]): the
+//! epoch step decomposed into per-node actors exchanging typed protocol
+//! messages over an in-memory transport with seeded fault injection.
+//! The sweep crosses **drop rate × partition length** at a fixed β and
+//! measures what an unreliable network does to the paper's guarantees:
+//!
+//! * dropped *membership announcements* silently shrink the delivered
+//!   good population — the adversary's insiders bypass the overlay
+//!   (worst case), so the *effective* β each epoch rises with the drop
+//!   rate and captured groups rise with it,
+//! * dropped or partition-cut *routing probes* lose search responses,
+//!   so dual-search success degrades even where the graphs are healthy,
+//! * transient partitions cut cross-partition traffic for the first
+//!   ticks of each phase window, compounding both effects.
+//!
+//! Faults are pure hash derivations per (epoch, phase, link, seq) — no
+//! RNG stream is consumed — so every cell of the sweep shares the same
+//! kernel randomness and the dropped-message set grows monotonically
+//! with the drop rate. The `drop = 0, part = 0` row doubles as a live
+//! conformance check: it must match the synchronous driver byte for
+//! byte (pinned separately by the equivalence suites).
+//!
+//! Quick mode runs a 4 × 2 grid in CI; `--full` densifies the drop axis
+//! and extends the partition axis.
+
+use crate::args::Options;
+use crate::table::{f, Table};
+use tg_core::runtime::RuntimeChoice;
+use tg_core::scenario::{budget_for, ScenarioSpec, StrategySpec};
+use tg_sim::parallel_map;
+
+/// β of every cell: the paper default — low enough that the
+/// perfect-transport row stays mostly healthy, so the capture axis has
+/// headroom to rise as drops inflate the effective adversary share.
+pub const ASYNC_BETA: f64 = 0.08;
+
+/// Good population per cell (quick mode). Small enough for CI smoke,
+/// large enough that capture fractions are not single-group noise.
+const QUICK_N_GOOD: usize = 260;
+
+/// Good population per cell under `--full`.
+const FULL_N_GOOD: usize = 400;
+
+/// One cell of the fault grid: a drop rate and a partition length
+/// (ticks of each phase window during which a seeded bisection of the
+/// node space cuts cross-partition traffic).
+#[derive(Clone, Copy, Debug)]
+pub struct FaultCell {
+    /// Per-message drop probability on the injected transport.
+    pub drop: f64,
+    /// Partition window length in transport ticks (0 = never).
+    pub part: u64,
+}
+
+/// The sweep grid for the given options: drop rate × partition length.
+pub fn grid(opts: &Options) -> Vec<FaultCell> {
+    let (drops, parts): (Vec<f64>, Vec<u64>) = if opts.full {
+        ((0..=7).map(|i| i as f64 / 10.0).collect(), vec![0, 16, 32, 48])
+    } else {
+        (vec![0.0, 0.2, 0.4, 0.6], vec![0, 24])
+    };
+    let mut cells = Vec::new();
+    for &part in &parts {
+        for &drop in &drops {
+            cells.push(FaultCell { drop, part });
+        }
+    }
+    cells
+}
+
+/// The scenario behind one cell. Every cell shares the same master
+/// seed — the kernel streams and the per-message fault hashes are
+/// identical across the grid, so the only thing that varies is the
+/// drop threshold and the partition window, and the capture column is
+/// monotone in the drop rate by construction.
+pub fn cell_spec(cell: FaultCell, opts: &Options, seed: u64) -> ScenarioSpec {
+    let n_good = if opts.full { FULL_N_GOOD } else { QUICK_N_GOOD };
+    ScenarioSpec::new(n_good, seed)
+        .budget(budget_for(ASYNC_BETA, n_good))
+        .churn(0.15)
+        .strategy(StrategySpec::Uniform)
+        .searches(if opts.full { 300 } else { 120 })
+        .runtime(RuntimeChoice::Actor)
+        .drop_rate(cell.drop)
+        .partition(cell.part)
+}
+
+/// Mean observables of one cell over its epoch run.
+#[derive(Clone, Copy, Debug)]
+pub struct CellResult {
+    /// The fault knobs that produced the row.
+    pub cell: FaultCell,
+    /// Mean captured-group fraction (groups without a good majority).
+    pub capture: f64,
+    /// Mean red fraction on side 0.
+    pub frac_red: f64,
+    /// Mean dual-search success.
+    pub success_dual: f64,
+    /// Final-epoch key-space share of delivered adversarial IDs.
+    pub bad_share: f64,
+}
+
+/// Run one cell: `trials` independent populations (trial seeds derived
+/// from the master seed), `epochs` actor-runtime epochs each,
+/// observables averaged over every epoch of every trial. Within one
+/// trial the per-message fault hashes are fixed, so the dropped set
+/// grows with the drop rate; averaging over trials smooths the
+/// feedback noise of *which* identities survive.
+pub fn run_cell(cell: FaultCell, opts: &Options, epochs: usize, trials: u64) -> CellResult {
+    let (mut capture, mut red, mut dual, mut bad_share) = (0.0, 0.0, 0.0, 0.0);
+    for trial in 0..trials {
+        let seed = tg_sim::derive_seed(opts.seed, "e14-trial", trial);
+        let spec = cell_spec(cell, opts, seed);
+        let mut sys = tg_pow::scenario::build(&spec).expect("E14 scenarios are buildable");
+        for _ in 0..epochs {
+            let r = sys.step();
+            capture += r.captured_groups as f64 / r.total_groups.max(1) as f64;
+            red += r.frac_red[0];
+            dual += r.search_success_dual;
+            bad_share += r.bad_share;
+        }
+    }
+    let m = (epochs.max(1) as u64 * trials.max(1)) as f64;
+    CellResult {
+        cell,
+        capture: capture / m,
+        frac_red: red / m,
+        success_dual: dual / m,
+        bad_share: bad_share / m,
+    }
+}
+
+/// The full sweep: one row per (partition, drop) cell, cells in grid
+/// order, runs fanned out over [`parallel_map`] (each cell is driven
+/// entirely by the shared master seed, so parallelism cannot perturb
+/// the rows).
+pub fn run(opts: &Options) -> Table {
+    let (epochs, trials) = if opts.full { (8, 4) } else { (6, 3) };
+    let cells = grid(opts);
+    let o = opts.clone();
+    let results = parallel_map(cells, move |cell| run_cell(cell, &o, epochs, trials));
+    let mut table = Table::new(
+        "e14_async",
+        &["drop", "part", "epochs", "capture", "frac_red_s0", "success_dual", "bad_share"],
+    );
+    for r in results {
+        table.push(vec![
+            f(r.cell.drop),
+            r.cell.part.to_string(),
+            epochs.to_string(),
+            f(r.capture),
+            f(r.frac_red),
+            f(r.success_dual),
+            f(r.bad_share),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_opts() -> Options {
+        Options { quiet: true, ..Default::default() }
+    }
+
+    /// The acceptance property: at fixed β, capture rises monotonically
+    /// with the drop rate along each partition row of the quick grid,
+    /// and the lossy end is strictly worse than the perfect end.
+    #[test]
+    fn capture_rises_monotonically_with_drop_rate() {
+        let opts = quick_opts();
+        let epochs = 6;
+        for &part in &[0u64, 24] {
+            let row: Vec<CellResult> = [0.0, 0.2, 0.4, 0.6]
+                .iter()
+                .map(|&drop| run_cell(FaultCell { drop, part }, &opts, epochs, 3))
+                .collect();
+            for w in row.windows(2) {
+                assert!(
+                    w[1].capture >= w[0].capture - 1e-12,
+                    "capture not monotone at part={part}: drop {} -> {} gave {} -> {}",
+                    w[0].cell.drop,
+                    w[1].cell.drop,
+                    w[0].capture,
+                    w[1].capture,
+                );
+            }
+            assert!(
+                row.last().unwrap().capture > row[0].capture,
+                "lossy end should strictly exceed the perfect end at part={part}",
+            );
+        }
+    }
+
+    /// Drops hurt search success: the heavily lossy cell answers fewer
+    /// dual searches than the perfect-transport cell.
+    #[test]
+    fn drops_degrade_dual_search_success() {
+        let opts = quick_opts();
+        let perfect = run_cell(FaultCell { drop: 0.0, part: 0 }, &opts, 4, 2);
+        let lossy = run_cell(FaultCell { drop: 0.6, part: 0 }, &opts, 4, 2);
+        assert!(lossy.success_dual < perfect.success_dual);
+    }
+
+    /// The grid is deterministic: the same options produce the same
+    /// table twice, including under the parallel fan-out.
+    #[test]
+    fn sweep_is_deterministic() {
+        let opts = quick_opts();
+        assert_eq!(run(&opts).to_csv(), run(&opts).to_csv());
+    }
+}

@@ -103,6 +103,7 @@ mod tests {
     fn e1_smoke() {
         let opts = Options {
             kernel: Default::default(),
+            runtime: Default::default(),
             seed: 1,
             full: false,
             out_dir: "/tmp".into(),
@@ -117,8 +118,8 @@ mod tests {
         assert_eq!(t.headers.len(), 10);
         assert!(!t.rows.is_empty());
         // success column is a probability.
-        for row in &t.rows {
-            let s: f64 = row[7].parse().unwrap();
+        for i in 0..t.rows.len() {
+            let s: f64 = t.cell(i, 7);
             assert!((0.0..=1.0).contains(&s));
         }
     }

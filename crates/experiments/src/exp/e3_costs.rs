@@ -154,6 +154,7 @@ mod tests {
     fn tiny_groups_cost_less_and_route_as_well() {
         let opts = Options {
             kernel: Default::default(),
+            runtime: Default::default(),
             seed: 5,
             full: false,
             out_dir: "/tmp".into(),

@@ -65,7 +65,8 @@ pub fn run(opts: &Options) -> Table {
             .link_retries(retries)
             .build_mode(mode)
             .searches(if opts.full { 800 } else { 400 })
-            .kernel(opts.kernel);
+            .kernel(opts.kernel)
+            .runtime(opts.runtime);
         let mut sys = tg_pow::scenario::build(&spec).expect("honest no-PoW scenario");
         for _ in 0..epochs {
             let r = sys.step();

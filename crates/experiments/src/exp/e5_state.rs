@@ -40,7 +40,8 @@ pub fn run(opts: &Options) -> Table {
             .attack_requests(attack)
             .topology(GraphKind::D2B)
             .searches(200)
-            .kernel(opts.kernel);
+            .kernel(opts.kernel)
+            .runtime(opts.runtime);
         let mut sys = tg_pow::scenario::build(&spec).expect("honest no-PoW scenario");
         for _ in 0..epochs {
             let r = sys.step();
@@ -74,6 +75,7 @@ mod tests {
     fn attack_barely_moves_state() {
         let opts = Options {
             kernel: Default::default(),
+            runtime: Default::default(),
             seed: 7,
             full: false,
             out_dir: "/tmp".into(),
@@ -83,9 +85,12 @@ mod tests {
         };
         let t = run(&opts);
         // Partition rows by attack level; compare mean memberships.
+        let rows_for = |attack: &str| -> Vec<usize> {
+            (0..t.rows.len()).filter(|&i| t.rows[i][0] == attack).collect()
+        };
         let mean_for = |attack: &str| -> f64 {
-            let rows: Vec<&Vec<String>> = t.rows.iter().filter(|r| r[0] == attack).collect();
-            rows.iter().map(|r| r[2].parse::<f64>().unwrap()).sum::<f64>() / rows.len() as f64
+            let rows = rows_for(attack);
+            rows.iter().map(|&i| t.cell::<f64>(i, 2)).sum::<f64>() / rows.len() as f64
         };
         let none = mean_for("0");
         let heavy = mean_for("16");
@@ -94,8 +99,8 @@ mod tests {
             "state must stay flat under attack: {none:.1} vs {heavy:.1}"
         );
         // And acceptance of spurious requests is rare.
-        for row in t.rows.iter().filter(|r| r[0] == "16") {
-            let rate: f64 = row[6].parse().unwrap();
+        for i in rows_for("16") {
+            let rate: f64 = t.cell(i, 6);
             assert!(rate < 0.05, "spurious accept rate {rate}");
         }
     }

@@ -114,6 +114,7 @@ mod tests {
     fn minting_rows_have_ratio_near_one_and_attack_contrast() {
         let opts = Options {
             kernel: Default::default(),
+            runtime: Default::default(),
             seed: 42,
             full: false,
             out_dir: "/tmp".into(),
@@ -129,14 +130,14 @@ mod tests {
         // the 30 windows accepts uniformity. No statistical tolerance —
         // any refactor that shifts the stream or the statistic fails
         // this exactly.
-        for row in &minting.rows {
-            let ratio: f64 = row[5].parse().unwrap();
+        for (i, row) in minting.rows.iter().enumerate() {
+            let ratio: f64 = minting.cell(i, 5);
             assert!((0.7..1.3).contains(&ratio), "adversary count ratio {ratio}");
             assert_eq!(row[6], "true", "uniformity must hold at seed 42: row {row:?}");
         }
         // Realistic rows show the 1/e miss rate; idealized rows zero.
-        for row in &minting.rows {
-            let miss: f64 = row[8].parse().unwrap();
+        for (i, row) in minting.rows.iter().enumerate() {
+            let miss: f64 = minting.cell(i, 8);
             if row[1] == "idealized" {
                 assert_eq!(miss, 0.0);
             } else {
@@ -144,8 +145,8 @@ mod tests {
             }
         }
         let attack = &tables[1];
-        let single_bias: f64 = attack.rows[0][4].parse().unwrap();
-        let two_bias: f64 = attack.rows[1][4].parse().unwrap();
+        let single_bias: f64 = attack.cell(0, 4);
+        let two_bias: f64 = attack.cell(1, 4);
         assert!(single_bias > 50.0, "single-hash bias factor {single_bias}");
         assert!(two_bias < 3.0, "two-hash bias factor {two_bias}");
     }

@@ -87,6 +87,7 @@ mod tests {
     fn all_scenarios_agree_and_sets_stay_logarithmic() {
         let opts = Options {
             kernel: Default::default(),
+            runtime: Default::default(),
             seed: 13,
             full: false,
             out_dir: "/tmp".into(),
@@ -102,11 +103,11 @@ mod tests {
         let bins = (2.0 * (n * 4096.0).ln()).ceil();
         let cap = (2.0 * ln_n).ceil();
         let degree = 2.5 * ln_n; // Chord's deduplicated finger count
-        for row in &t.rows {
+        for (i, row) in t.rows.iter().enumerate() {
             assert_eq!(row[1], "true", "agreement must hold for scenario {}", row[0]);
-            let max_r: f64 = row[5].parse().unwrap();
+            let max_r: f64 = t.cell(i, 5);
             assert!(max_r <= (3.0f64 * ln_n).ceil(), "|R| bound violated: {max_r}");
-            let fw: f64 = row[6].parse().unwrap();
+            let fw: f64 = t.cell(i, 6);
             assert!(
                 fw < bins * cap * degree,
                 "forwards per node {fw} vs cap {:.0}",

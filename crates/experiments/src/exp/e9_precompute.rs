@@ -53,6 +53,7 @@ mod tests {
     fn amplification_tracks_hoard_length() {
         let opts = Options {
             kernel: Default::default(),
+            runtime: Default::default(),
             seed: 17,
             full: false,
             out_dir: "/tmp".into(),
@@ -61,9 +62,9 @@ mod tests {
             list: false,
         };
         let t = run(&opts);
-        for row in &t.rows {
-            let h: f64 = row[0].parse().unwrap();
-            let amp: f64 = row[4].parse().unwrap();
+        for i in 0..t.rows.len() {
+            let h: f64 = t.cell(i, 0);
+            let amp: f64 = t.cell(i, 4);
             assert!(
                 (amp - h).abs() < 0.35 * h,
                 "hoarding {h} epochs must amplify ≈{h}×, got {amp:.2}×"

@@ -51,6 +51,7 @@ mod tests {
         let dir = std::env::temp_dir().join("tg-figure1-test");
         let opts = Options {
             kernel: Default::default(),
+            runtime: Default::default(),
             seed: 21,
             full: false,
             out_dir: dir.to_str().unwrap().to_string(),

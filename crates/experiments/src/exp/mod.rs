@@ -5,6 +5,7 @@ pub mod e10_adversaries;
 pub mod e11_frontier;
 pub mod e12_refine;
 pub mod e13_scale;
+pub mod e14_async;
 pub mod e1_robustness;
 pub mod e2_groupsize;
 pub mod e3_costs;
@@ -34,7 +35,7 @@ pub struct Experiment {
 /// Every experiment, in run order — the single source of truth behind
 /// `run_all`'s execution loop, its `--list` output, and its `--only`
 /// validation (no hand-maintained name list to drift).
-pub const REGISTRY: [Experiment; 14] = [
+pub const REGISTRY: [Experiment; 15] = [
     Experiment {
         name: "e1",
         description: "Theorem 3 / Lemma 4: ε-robustness vs n, β",
@@ -117,6 +118,11 @@ pub const REGISTRY: [Experiment; 14] = [
         run: |o| e13_scale::run(o).emit(o),
     },
     Experiment {
+        name: "e14",
+        description: "Actor runtime under faults: capture/search vs drop rate × partition length",
+        run: |o| e14_async::run(o).emit(o),
+    },
+    Experiment {
         name: "figure1",
         description: "Figure 1: the input graph and group graph panels",
         run: |o| figure1::run(o).emit(o),
@@ -138,10 +144,10 @@ mod registry_tests {
     }
 
     #[test]
-    fn registry_covers_e1_through_e13_in_order() {
+    fn registry_covers_e1_through_e14_in_order() {
         let names: Vec<&str> = REGISTRY.iter().map(|e| e.name).collect();
-        let expected: Vec<String> = (1..=13).map(|i| format!("e{i}")).collect();
-        assert_eq!(&names[..13], &expected.iter().map(String::as_str).collect::<Vec<_>>()[..]);
-        assert_eq!(names[13], "figure1");
+        let expected: Vec<String> = (1..=14).map(|i| format!("e{i}")).collect();
+        assert_eq!(&names[..14], &expected.iter().map(String::as_str).collect::<Vec<_>>()[..]);
+        assert_eq!(names[14], "figure1");
     }
 }

@@ -60,7 +60,7 @@
 //! lost system).
 
 use crate::table::{f, Table};
-use tg_core::scenario::{budget_for, KernelChoice, ScenarioSpec, StrategySpec};
+use tg_core::scenario::{budget_for, KernelChoice, RuntimeChoice, ScenarioSpec, StrategySpec};
 use tg_overlay::GraphKind;
 use tg_sim::{derive_seed_grid, parallel_map};
 
@@ -139,6 +139,7 @@ impl RowKey {
             .strategy(strategy_spec(self.strategy, trial_seed, budget))
             .searches(cfg.searches)
             .kernel(cfg.kernel)
+            .runtime(cfg.runtime)
     }
 }
 
@@ -171,6 +172,10 @@ pub struct FrontierConfig {
     /// — byte-identical observations, so the choice never moves a
     /// frontier; it is swept by the throughput experiment, not here).
     pub kernel: KernelChoice,
+    /// Which epoch runtime advances each cell. Over the actor runtime's
+    /// default perfect transport this is byte-identical to `Sync`; the
+    /// fault-injection sweep (e14) owns the faulty-transport axes.
+    pub runtime: RuntimeChoice,
 }
 
 impl FrontierConfig {

@@ -78,6 +78,40 @@ impl Table {
         out
     }
 
+    /// Parse one cell, naming the table, row, and column on failure.
+    ///
+    /// The re-read paths of several experiments fold their own CSV
+    /// back into summary statistics; a bare `row[i].parse().unwrap()`
+    /// there dies with an anonymous `ParseFloatError` that says
+    /// nothing about *which* table or cell was malformed. This
+    /// accessor is the checked replacement.
+    ///
+    /// # Panics
+    /// Panics with the table name, row index, column header, and raw
+    /// cell text if the row or column is out of bounds or the cell
+    /// does not parse as `T`.
+    pub fn cell<T: std::str::FromStr>(&self, row: usize, col: usize) -> T {
+        let header = self
+            .headers
+            .get(col)
+            .unwrap_or_else(|| panic!("table {}: no column {col} (row {row})", self.name));
+        let raw = self
+            .rows
+            .get(row)
+            .unwrap_or_else(|| panic!("table {}: no row {row} (column {header})", self.name))
+            .get(col)
+            .unwrap_or_else(|| {
+                panic!("table {}: row {row} has no column {col} ({header})", self.name)
+            });
+        raw.parse().unwrap_or_else(|_| {
+            panic!(
+                "table {}: row {row}, column {col} ({header}): cell {raw:?} does not parse as {}",
+                self.name,
+                std::any::type_name::<T>(),
+            )
+        })
+    }
+
     /// Write the CSV under `dir/<name>.csv`, creating `dir` if needed.
     pub fn write_csv(&self, dir: &str) -> std::io::Result<std::path::PathBuf> {
         std::fs::create_dir_all(dir)?;
@@ -157,6 +191,32 @@ mod tests {
         let path = t.write_csv(dir.to_str().unwrap()).unwrap();
         let data = std::fs::read_to_string(path).unwrap();
         assert_eq!(data, t.to_csv());
+    }
+
+    #[test]
+    fn cell_parses_in_place() {
+        let t = sample();
+        assert_eq!(t.cell::<u64>(1, 0), 22);
+        assert_eq!(t.cell::<f64>(0, 0), 1.0);
+        assert_eq!(t.cell::<String>(0, 1), "x,y");
+    }
+
+    #[test]
+    #[should_panic(expected = "table demo: row 0, column 1 (b): cell \"x,y\" does not parse")]
+    fn cell_names_the_bad_cell() {
+        sample().cell::<f64>(0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "table demo: no row 9")]
+    fn cell_names_the_missing_row() {
+        sample().cell::<f64>(9, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "table demo: no column 7")]
+    fn cell_names_the_missing_column() {
+        sample().cell::<f64>(0, 7);
     }
 
     #[test]

@@ -51,6 +51,7 @@ fn opts() -> Options {
         only: None,
         list: false,
         kernel: Default::default(),
+        runtime: Default::default(),
     }
 }
 

@@ -48,6 +48,7 @@ fn arena_opts() -> Options {
         only: None,
         list: false,
         kernel: KernelChoice::Arena,
+        runtime: Default::default(),
     }
 }
 

@@ -13,6 +13,7 @@ fn smoke_opts(name: &str) -> Options {
     Options {
         seed: 42,
         kernel: Default::default(),
+        runtime: Default::default(),
         full: false,
         out_dir: out.to_str().expect("utf-8 temp path").to_string(),
         quiet: true,

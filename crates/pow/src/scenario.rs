@@ -35,8 +35,9 @@ use crate::strings::StringParams;
 use crate::system::FullSystem;
 use tg_core::dynamic::adversary::AdversaryStrategy;
 use tg_core::dynamic::{BuildMode, IdentityProvider, StrategicProvider};
+use tg_core::runtime::{EpochNet, RuntimeChoice};
 use tg_core::scenario::{
-    Defense, DynamicDriver, EpochDriver, EpochObservation, ObservationBatch, ScenarioError,
+    driver_with_provider, Defense, EpochDriver, EpochObservation, ObservationBatch, ScenarioError,
     ScenarioSpec, StrategySpec, StringMode,
 };
 use tg_core::GraphsView;
@@ -72,7 +73,7 @@ pub fn build(spec: &ScenarioSpec) -> Result<Box<dyn EpochDriver>, ScenarioError>
             StrategySpec::PrecomputeHoarder { .. } => {
                 let strategy = build_strategy(&spec.strategy).expect("hoarder is a strategy");
                 let inner = Box::new(StrategicProvider::boxed(spec.n_good, spec.n_bad, strategy));
-                Ok(Box::new(DynamicDriver::with_provider(spec, inner)))
+                Ok(driver_with_provider(spec, inner))
             }
             _ => spec.build(),
         },
@@ -121,8 +122,16 @@ fn build_protocol(
         sys = sys.with_frozen_strings();
     }
     sys.dynamics.set_searches_per_epoch(spec.searches);
+    // Under the actor runtime the protocol phases (string dissemination,
+    // membership announcement, routing probes) go over the spec's
+    // network; the genesis build stays trusted bootstrap.
+    let net = match spec.runtime {
+        RuntimeChoice::Sync => None,
+        RuntimeChoice::Actor => Some(EpochNet::for_spec(spec)),
+    };
     Ok(Box::new(FullDriver {
         sys,
+        net,
         obs: EpochObservation::default(),
         batch: ObservationBatch::new(),
     }))
@@ -151,15 +160,18 @@ fn build_synthesized(
             },
         }),
     };
-    Ok(Box::new(DynamicDriver::with_provider(spec, inner)))
+    Ok(driver_with_provider(spec, inner))
 }
 
 /// The [`EpochDriver`] over the composed §IV [`FullSystem`]
-/// (strings → minting → dynamics).
+/// (strings → minting → dynamics), with the protocol phases optionally
+/// routed over an actor-runtime network.
 pub struct FullDriver {
     /// The composed system (public so integration tests can reach the
     /// layers the observation aggregates away).
     sys: FullSystem,
+    /// The actor-runtime network; `None` under [`RuntimeChoice::Sync`].
+    net: Option<EpochNet>,
     obs: EpochObservation,
     batch: ObservationBatch,
 }
@@ -173,7 +185,7 @@ impl FullDriver {
 
 impl EpochDriver for FullDriver {
     fn step(&mut self) -> &EpochObservation {
-        let r = self.sys.run_epoch();
+        let r = self.sys.run_epoch_net(self.net.as_mut());
         self.obs.fill_dynamic(&r.dynamics, self.sys.dynamics.graphs());
         self.obs.bad_ids = r.minted_bad;
         self.obs.bad_share = r.bad_share;
@@ -327,6 +339,63 @@ mod tests {
             assert_eq!(o.epoch, 2, "spec {}", spec.label());
             assert!(o.total_groups > 0);
         }
+    }
+
+    /// The tentpole equivalence at the PoW layer: the actor runtime over
+    /// a perfect transport reproduces the synchronous driver's
+    /// observations byte-identically, on every builder arm.
+    #[test]
+    fn actor_runtime_over_perfect_transport_matches_sync() {
+        let specs = [
+            base().defense(Defense::Pow { scheme: MintScheme::TwoHash, fresh_strings: true }),
+            base()
+                .strategy(StrategySpec::GapFilling)
+                .defense(Defense::Pow { scheme: MintScheme::SingleHash, fresh_strings: true }),
+            base()
+                .strategy(StrategySpec::GapFilling)
+                .defense(Defense::Pow { scheme: MintScheme::SingleHash, fresh_strings: false })
+                .strings(StringMode::Synthesized),
+            base().strategy(StrategySpec::PrecomputeHoarder { fam_seed: 9, attempts: 200 }),
+        ];
+        for spec in specs {
+            let mut sync = build(&spec).unwrap();
+            let mut actor = build(&spec.clone().runtime(RuntimeChoice::Actor)).unwrap();
+            for _ in 0..2 {
+                assert_eq!(
+                    format!("{:?}", sync.step()),
+                    format!("{:?}", actor.step()),
+                    "spec {}",
+                    spec.label()
+                );
+            }
+        }
+    }
+
+    /// Faults reach the PoW pipeline: drops lose announcements (fewer
+    /// delivered good IDs) and fail probe chains (lower success).
+    #[test]
+    fn lossy_transport_degrades_the_full_protocol() {
+        let spec = base()
+            .defense(Defense::Pow { scheme: MintScheme::TwoHash, fresh_strings: true })
+            .runtime(RuntimeChoice::Actor);
+        let mut perfect = build(&spec).unwrap();
+        let mut lossy = build(&spec.clone().drop_rate(0.4)).unwrap();
+        let (mut fewer_good, mut lower_success) = (false, false);
+        for _ in 0..2 {
+            let (lg, ls) = {
+                let o = lossy.step();
+                (o.minted_good.unwrap(), o.search_success_dual)
+            };
+            let p = perfect.step();
+            if lg < p.minted_good.unwrap() {
+                fewer_good = true;
+            }
+            if ls < p.search_success_dual {
+                lower_success = true;
+            }
+        }
+        assert!(fewer_good, "drops must lose good announcements");
+        assert!(lower_success, "drops must fail probe chains");
     }
 
     #[test]

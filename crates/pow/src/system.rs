@@ -35,6 +35,7 @@ use tg_core::dynamic::{
     AdversaryView, BuildMode, EpochIds, EpochKernel, EpochReport, IdentityProvider, KernelChoice,
     WithEpochString,
 };
+use tg_core::runtime::{EpochNet, NetFilter};
 use tg_core::Params;
 use tg_overlay::GraphKind;
 use tg_sim::stream_rng;
@@ -61,13 +62,15 @@ impl IdentityProvider for PreMinted {
 /// [`AdversaryView`] through the composed
 /// [`tg_core::dynamic::WithEpochString`] — the dynamic layer itself
 /// hands providers a string-free view, so the composed system injects
-/// the string it agreed on at this layer.
-struct Counting<'a> {
-    inner: WithEpochString<&'a mut StrategicPowProvider>,
+/// the string it agreed on at this layer. Generic over the inner chain
+/// so the actor runtime can slot its network filter inside: the counter
+/// then measures what the network *delivered*, not what was minted.
+struct Counting<P> {
+    inner: P,
     minted: Option<(usize, usize, f64)>,
 }
 
-impl IdentityProvider for Counting<'_> {
+impl<P: IdentityProvider> IdentityProvider for Counting<P> {
     fn ids_for_epoch(
         &mut self,
         epoch: u64,
@@ -241,7 +244,30 @@ impl FullSystem {
     }
 
     /// Run one full epoch: strings → minting → dynamics.
+    ///
+    /// Equivalent to [`FullSystem::run_epoch_net`] with no network — one
+    /// synchronous in-process step.
     pub fn run_epoch(&mut self) -> FullEpochReport {
+        self.run_epoch_net(None)
+    }
+
+    /// Run one full epoch with the protocol phases routed over a
+    /// network (the actor-runtime decomposition):
+    ///
+    /// 1. **strings** — after agreement, the string is broadcast; nodes
+    ///    the broadcast misses cannot verify peers, so
+    ///    `verification_coverage` is scaled by the reach fraction,
+    /// 2. **minting** — every minted good ID announces itself over the
+    ///    transport; announcements the network loses never enter the
+    ///    epoch's ring (the adversary bypasses the network — the
+    ///    worst-case insider), and `minted_good`/`bad_share` measure the
+    ///    *delivered* population,
+    /// 3. **dynamics** — unchanged, then measured search success is
+    ///    scaled by the fraction of completed routing-probe chains.
+    ///
+    /// `net: None` (or a perfect transport) reproduces the synchronous
+    /// [`FullSystem::run_epoch`] byte-identically.
+    pub fn run_epoch_net(&mut self, mut net: Option<&mut EpochNet>) -> FullEpochReport {
         let epoch = self.dynamics.epoch();
 
         // 1. Agree on the next epoch string over the operational graph.
@@ -251,7 +277,7 @@ impl FullSystem {
             run_string_protocol(&side0, &self.string_params, self.string_adversary, &mut srng)
         };
         let pairs = (strings.giant_size as u64).pow(2);
-        let verification_coverage =
+        let mut verification_coverage =
             if pairs == 0 { 0.0 } else { 1.0 - strings.missing_pairs as f64 / pairs as f64 };
         // Fold the agreed minimum into the epoch string (a fresh string
         // per epoch is what defeats pre-computation, §IV-B).
@@ -264,21 +290,44 @@ impl FullSystem {
         // §IV-B defense, the genesis constant when the defense is off.
         let mint_string = if self.fresh_strings { next_string } else { GENESIS_STRING };
 
+        // Disseminate the agreed string over the network; unreached
+        // nodes cannot verify peers. The `< 1.0` guard keeps the
+        // perfect-transport path bit-exact.
+        if let Some(n) = net.as_deref_mut() {
+            let reach = n.string_phase(epoch, mint_string);
+            if reach < 1.0 {
+                verification_coverage *= reach;
+            }
+        }
+
         // 2 + 3. Mint against that string and advance the dynamic layer.
-        let (minted_good, minted_bad, good_misses, bad_share, dynamics) =
+        let (minted_good, minted_bad, good_misses, bad_share, mut dynamics) =
             if let Some(adv) = self.adversary.as_mut() {
                 // Strategic pipeline: minting happens inside the epoch
                 // advance, where the provider's view carries the churned
                 // operational graphs and the string in force — hoarders
                 // grind against the real string, and stale solutions die
                 // (or compound, under frozen strings) at verification.
-                let mut counting = Counting {
-                    inner: WithEpochString { inner: adv, epoch_string: Some(mint_string) },
-                    minted: None,
-                };
-                let dynamics = self.dynamics.advance_epoch(&mut counting);
-                let (good, bad, share) = counting.minted.expect("provider runs once per advance");
-                (good, bad, 0, share, dynamics)
+                let mut ws = WithEpochString { inner: adv, epoch_string: Some(mint_string) };
+                match net.as_deref_mut() {
+                    Some(n) => {
+                        // Network inside the counter: minted counts
+                        // measure what the announcement phase delivered.
+                        let mut counting =
+                            Counting { inner: NetFilter { inner: &mut ws, net: n }, minted: None };
+                        let dynamics = self.dynamics.advance_epoch(&mut counting);
+                        let (good, bad, share) =
+                            counting.minted.expect("provider runs once per advance");
+                        (good, bad, 0, share, dynamics)
+                    }
+                    None => {
+                        let mut counting = Counting { inner: &mut ws, minted: None };
+                        let dynamics = self.dynamics.advance_epoch(&mut counting);
+                        let (good, bad, share) =
+                            counting.minted.expect("provider runs once per advance");
+                        (good, bad, 0, share, dynamics)
+                    }
+                }
             } else {
                 // Statistical pipeline (Lemma 11's counts, uniform values).
                 let sim = MintingSim {
@@ -289,13 +338,26 @@ impl FullSystem {
                 };
                 let mut mrng = stream_rng(self.master_seed ^ mint_string, "full-mint", epoch);
                 let minted = sim.run_window(&mut mrng);
-                let ids = EpochIds { good: minted.good_ids, bad: minted.bad_ids };
+                let mut ids = EpochIds { good: minted.good_ids, bad: minted.bad_ids };
+                if let Some(n) = net.as_deref_mut() {
+                    n.announce_phase(epoch, &mut ids);
+                }
                 let share = ids.bad_ring_share();
                 let counts = (ids.good.len(), ids.bad.len(), minted.good_misses, share);
                 let mut provider = PreMinted { ids: Some(ids) };
                 let dynamics = self.dynamics.advance_epoch(&mut provider);
                 (counts.0, counts.1, counts.2, counts.3, dynamics)
             };
+
+        // Routing probes: scale measured search success by the fraction
+        // of probe chains the network completed.
+        if let Some(n) = net {
+            let f = n.probe_phase(dynamics.epoch, self.dynamics.searches_per_epoch());
+            if f < 1.0 {
+                dynamics.search_success_single *= f;
+                dynamics.search_success_dual *= f;
+            }
+        }
 
         self.epoch_string = next_string;
         FullEpochReport {

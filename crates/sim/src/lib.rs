@@ -19,16 +19,22 @@
 //!   experiment harness,
 //! * [`parallel`] — a scoped-thread deterministic parallel map for
 //!   parameter sweeps (results are ordered, so parallelism never changes
-//!   output).
+//!   output),
+//! * [`net`] — an injectable message [`Transport`] with a
+//!   deterministic in-memory implementation supporting seeded fault
+//!   injection (latency, reordering, drops, partitions) for the actor
+//!   epoch runtime.
 
 pub mod clock;
 pub mod metrics;
+pub mod net;
 pub mod parallel;
 pub mod rng;
 pub mod stats;
 
 pub use clock::EpochClock;
 pub use metrics::{CostReport, Metrics};
+pub use net::{Envelope, FaultPlan, InMemoryTransport, NetStats, NodeId, Transport};
 pub use parallel::{parallel_map, parallel_map_chunked};
 pub use rng::{derive_seed, derive_seed_grid, derive_seed_nd, stream_rng, stream_rng_grid};
 pub use stats::{binomial_wilson, Summary};

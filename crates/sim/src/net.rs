@@ -1,0 +1,408 @@
+//! Injectable message transport with deterministic fault injection.
+//!
+//! The actor runtime (`tg_core::runtime`) splits an epoch into per-node
+//! actors that exchange typed protocol messages instead of advancing as
+//! one synchronous in-process step. This module provides the network
+//! those actors talk over:
+//!
+//! * [`Transport`] — the injectable trait (an implementation over real
+//!   sockets would serve real traffic; the in-memory one serves
+//!   simulations),
+//! * [`InMemoryTransport`] — a deterministic in-memory network with
+//!   seeded fault injection: per-link latency, reordering (a consequence
+//!   of unequal latency), drops, and epoch-scoped partitions,
+//! * [`FaultPlan`] — the fault knobs, all derived from a seed via
+//!   [`crate::rng::derive_seed_nd`] so runs are reproducible,
+//! * [`NetStats`] — delivery counters for observability.
+//!
+//! ## Determinism contract
+//!
+//! The transport draws **no RNG state**: every per-message fault
+//! decision (drop, latency, partition side) is a pure hash of
+//! `(seed, epoch, phase, src, dst, link_seq)` through
+//! [`crate::rng::derive_seed_nd`]. Identical seeds therefore yield
+//! identical message schedules regardless of thread count or call
+//! interleaving, and — crucially — the simulation kernels' own RNG
+//! streams (`"epoch"`, `"churn"`, `"measure"`, …) are untouched, which
+//! is what lets the actor runtime over a *perfect* transport reproduce
+//! the synchronous driver's observations byte-identically.
+//!
+//! ## Delivery order
+//!
+//! Messages are delivered in ascending `(deliver_tick, send_seq)`
+//! order. A perfect transport (zero latency, no drops, no partition)
+//! with monotone send ticks therefore delivers in exact send order.
+
+use crate::rng::derive_seed_nd;
+use std::collections::BinaryHeap;
+
+/// A virtual network endpoint. The actor runtime maps protocol
+/// participants (IDs, aggregators) onto a small set of nodes.
+pub type NodeId = u64;
+
+/// Fault knobs for an [`InMemoryTransport`]. All zeros ([`FaultPlan::perfect`],
+/// also `Default`) is the perfect network: zero latency, lossless, never
+/// partitioned.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FaultPlan {
+    /// Per-message independent drop probability in `[0, 1]`.
+    pub drop_rate: f64,
+    /// Per-message latency is hash-drawn uniformly from `0..=latency_max`
+    /// ticks. Unequal latency on different messages reorders them.
+    pub latency_max: u64,
+    /// For the first `partition_ticks` ticks of every phase the node set
+    /// is split into two halves (a hash-derived bisection, re-drawn each
+    /// epoch); messages sent across the cut during the window are
+    /// dropped. The partition heals for the remainder of the phase.
+    pub partition_ticks: u64,
+}
+
+impl FaultPlan {
+    /// The fault-free plan: zero latency, no drops, no partitions.
+    pub fn perfect() -> Self {
+        FaultPlan { drop_rate: 0.0, latency_max: 0, partition_ticks: 0 }
+    }
+
+    /// True iff this plan injects no faults at all.
+    pub fn is_perfect(&self) -> bool {
+        self.drop_rate == 0.0 && self.latency_max == 0 && self.partition_ticks == 0
+    }
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan::perfect()
+    }
+}
+
+/// A delivered message with its envelope metadata.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Envelope<M> {
+    /// Sending node.
+    pub src: NodeId,
+    /// Receiving node.
+    pub dst: NodeId,
+    /// Tick at which the message was sent.
+    pub sent_tick: u64,
+    /// Tick at which the message was delivered (`sent_tick` + latency).
+    pub deliver_tick: u64,
+    /// The payload.
+    pub msg: M,
+}
+
+/// Delivery counters. Monotone over the transport's lifetime.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NetStats {
+    /// Messages handed to [`Transport::send`].
+    pub sent: u64,
+    /// Messages returned from [`Transport::recv`].
+    pub delivered: u64,
+    /// Messages dropped by the random-loss knob.
+    pub dropped: u64,
+    /// Messages dropped because they crossed an active partition cut.
+    pub partition_cut: u64,
+}
+
+impl NetStats {
+    /// Fraction of sent messages that were (or will be) delivered.
+    /// `1.0` when nothing has been sent.
+    pub fn delivery_fraction(&self) -> f64 {
+        if self.sent == 0 {
+            return 1.0;
+        }
+        (self.sent - self.dropped - self.partition_cut) as f64 / self.sent as f64
+    }
+}
+
+/// An injectable message-passing network.
+///
+/// The actor runtime drives one `Transport` per scenario: each protocol
+/// phase calls [`begin_phase`](Transport::begin_phase), enqueues its
+/// sends, then pumps [`recv`](Transport::recv) to quiescence,
+/// dispatching each delivery to the destination actor (which may send
+/// follow-up messages at its delivery tick).
+pub trait Transport<M> {
+    /// Start a new `(epoch, phase)` tick space. Ticks restart at zero;
+    /// undelivered messages from the previous phase are discarded (a
+    /// phase is a synchronization barrier, mirroring the paper's
+    /// round structure).
+    fn begin_phase(&mut self, epoch: u64, phase: u64);
+    /// Enqueue a message sent at `sent_tick` of the current phase.
+    fn send(&mut self, src: NodeId, dst: NodeId, sent_tick: u64, msg: M);
+    /// Deliver the next message in `(deliver_tick, send_seq)` order, or
+    /// `None` when the network is quiescent.
+    fn recv(&mut self) -> Option<Envelope<M>>;
+    /// Lifetime delivery counters.
+    fn stats(&self) -> NetStats;
+}
+
+/// Heap entry ordered by `(deliver_tick, seq)`, smallest first (stored
+/// through `std::cmp::Reverse` in a max-heap). The payload does not
+/// participate in the ordering, so `M` needs no `Ord`.
+struct Queued<M> {
+    deliver_tick: u64,
+    seq: u64,
+    env: Envelope<M>,
+}
+
+impl<M> PartialEq for Queued<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.deliver_tick == other.deliver_tick && self.seq == other.seq
+    }
+}
+impl<M> Eq for Queued<M> {}
+impl<M> PartialOrd for Queued<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for Queued<M> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.deliver_tick, self.seq).cmp(&(other.deliver_tick, other.seq))
+    }
+}
+
+/// Deterministic in-memory transport with seeded fault injection.
+///
+/// See the [module docs](self) for the determinism contract. All fault
+/// decisions derive from `seed` and the message coordinates; the
+/// transport holds no RNG.
+pub struct InMemoryTransport<M> {
+    plan: FaultPlan,
+    seed: u64,
+    epoch: u64,
+    phase: u64,
+    /// Per-phase send sequence number; the total-order tiebreak.
+    seq: u64,
+    queue: BinaryHeap<std::cmp::Reverse<Queued<M>>>,
+    stats: NetStats,
+}
+
+/// Map a derived 64-bit hash onto `[0, 1)` with 53 bits of precision.
+fn unit_f64(h: u64) -> f64 {
+    (h >> 11) as f64 / (1u64 << 53) as f64
+}
+
+impl<M> InMemoryTransport<M> {
+    /// A transport with the given fault plan, all faults derived from
+    /// `seed`.
+    pub fn new(plan: FaultPlan, seed: u64) -> Self {
+        InMemoryTransport {
+            plan,
+            seed,
+            epoch: 0,
+            phase: 0,
+            seq: 0,
+            queue: BinaryHeap::new(),
+            stats: NetStats::default(),
+        }
+    }
+
+    /// A perfect (fault-free) transport; the seed is irrelevant but kept
+    /// for uniform construction.
+    pub fn perfect(seed: u64) -> Self {
+        InMemoryTransport::new(FaultPlan::perfect(), seed)
+    }
+
+    /// The fault plan in force.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Which side of this epoch's partition bisection `node` is on.
+    fn partition_side(&self, node: NodeId) -> u64 {
+        derive_seed_nd(self.seed, "net-part", &[self.epoch, node]) & 1
+    }
+}
+
+impl<M> Transport<M> for InMemoryTransport<M> {
+    fn begin_phase(&mut self, epoch: u64, phase: u64) {
+        self.epoch = epoch;
+        self.phase = phase;
+        self.seq = 0;
+        self.queue.clear();
+    }
+
+    fn send(&mut self, src: NodeId, dst: NodeId, sent_tick: u64, msg: M) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.stats.sent += 1;
+
+        // Partition: during the first `partition_ticks` ticks of the
+        // phase, messages crossing the hash-derived bisection are lost.
+        if self.plan.partition_ticks > 0
+            && sent_tick < self.plan.partition_ticks
+            && src != dst
+            && self.partition_side(src) != self.partition_side(dst)
+        {
+            self.stats.partition_cut += 1;
+            return;
+        }
+
+        // Random loss: a pure hash of the message coordinates.
+        if self.plan.drop_rate > 0.0 {
+            let h = derive_seed_nd(self.seed, "net-drop", &[self.epoch, self.phase, src, dst, seq]);
+            if unit_f64(h) < self.plan.drop_rate {
+                self.stats.dropped += 1;
+                return;
+            }
+        }
+
+        // Latency: uniform in 0..=latency_max, again hash-derived.
+        let latency = if self.plan.latency_max > 0 {
+            let h = derive_seed_nd(self.seed, "net-lat", &[self.epoch, self.phase, src, dst, seq]);
+            h % (self.plan.latency_max + 1)
+        } else {
+            0
+        };
+        let deliver_tick = sent_tick.saturating_add(latency);
+
+        self.queue.push(std::cmp::Reverse(Queued {
+            deliver_tick,
+            seq,
+            env: Envelope { src, dst, sent_tick, deliver_tick, msg },
+        }));
+    }
+
+    fn recv(&mut self) -> Option<Envelope<M>> {
+        let q = self.queue.pop()?.0;
+        self.stats.delivered += 1;
+        Some(q.env)
+    }
+
+    fn stats(&self) -> NetStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain(t: &mut InMemoryTransport<u32>) -> Vec<Envelope<u32>> {
+        let mut out = Vec::new();
+        while let Some(env) = t.recv() {
+            out.push(env);
+        }
+        out
+    }
+
+    #[test]
+    fn perfect_transport_delivers_all_in_send_order() {
+        let mut t = InMemoryTransport::perfect(42);
+        t.begin_phase(3, 1);
+        for i in 0..100u32 {
+            // Monotone non-decreasing send ticks, as the runtime uses.
+            t.send(i as u64 % 7, 0, i as u64 / 10, i);
+        }
+        let got: Vec<u32> = drain(&mut t).into_iter().map(|e| e.msg).collect();
+        assert_eq!(got, (0..100).collect::<Vec<u32>>());
+        let s = t.stats();
+        assert_eq!((s.sent, s.delivered, s.dropped, s.partition_cut), (100, 100, 0, 0));
+        assert_eq!(s.delivery_fraction(), 1.0);
+    }
+
+    #[test]
+    fn drops_are_deterministic_and_seed_sensitive() {
+        let run = |seed: u64| {
+            let mut t =
+                InMemoryTransport::new(FaultPlan { drop_rate: 0.5, ..FaultPlan::perfect() }, seed);
+            t.begin_phase(0, 0);
+            for i in 0..200u32 {
+                t.send(1, 2, i as u64, i);
+            }
+            drain(&mut t).into_iter().map(|e| e.msg).collect::<Vec<u32>>()
+        };
+        let a = run(7);
+        let b = run(7);
+        assert_eq!(a, b, "identical seeds give identical schedules");
+        assert!(!a.is_empty() && a.len() < 200, "rate 0.5 drops some but not all");
+        let c = run(8);
+        assert_ne!(a, c, "different seeds give different drop patterns");
+    }
+
+    #[test]
+    fn drop_rate_one_drops_everything() {
+        let mut t = InMemoryTransport::new(FaultPlan { drop_rate: 1.0, ..FaultPlan::perfect() }, 1);
+        t.begin_phase(0, 0);
+        for i in 0..50u32 {
+            t.send(0, 1, 0, i);
+        }
+        assert!(drain(&mut t).is_empty());
+        assert_eq!(t.stats().dropped, 50);
+    }
+
+    #[test]
+    fn partition_cuts_cross_messages_only_during_window() {
+        let plan = FaultPlan { partition_ticks: 10, ..FaultPlan::perfect() };
+        let mut t = InMemoryTransport::<u32>::new(plan, 42);
+        t.begin_phase(0, 0);
+        // Find two nodes on opposite sides of the epoch-0 bisection.
+        let side0 = t.partition_side(0);
+        let other = (1..64).find(|&n| t.partition_side(n) != side0).expect("both sides inhabited");
+        // Same-side traffic always goes through.
+        t.send(0, 0, 0, 1);
+        // Cross-cut during the window: lost.
+        t.send(0, other, 5, 2);
+        // Cross-cut after the partition heals: delivered.
+        t.send(0, other, 10, 3);
+        let got: Vec<u32> = drain(&mut t).into_iter().map(|e| e.msg).collect();
+        assert_eq!(got, vec![1, 3]);
+        assert_eq!(t.stats().partition_cut, 1);
+    }
+
+    #[test]
+    fn latency_reorders_but_keeps_total_order_deterministic() {
+        let plan = FaultPlan { latency_max: 16, ..FaultPlan::perfect() };
+        let run = || {
+            let mut t = InMemoryTransport::new(plan, 99);
+            t.begin_phase(2, 1);
+            for i in 0..64u32 {
+                t.send(i as u64 % 5, 0, 0, i);
+            }
+            drain(&mut t)
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b, "schedule is a pure function of the seed");
+        let order: Vec<u32> = a.iter().map(|e| e.msg).collect();
+        assert_ne!(order, (0..64).collect::<Vec<u32>>(), "latency reorders");
+        // Delivery ticks are non-decreasing and all messages arrive.
+        assert!(a.windows(2).all(|w| w[0].deliver_tick <= w[1].deliver_tick));
+        assert_eq!(a.len(), 64);
+    }
+
+    #[test]
+    fn begin_phase_resets_tick_space_and_discards_stragglers() {
+        let mut t = InMemoryTransport::perfect(0);
+        t.begin_phase(0, 0);
+        t.send(1, 2, 0, 10u32);
+        t.begin_phase(0, 1);
+        assert!(t.recv().is_none(), "phase barrier discards undelivered messages");
+        t.send(1, 2, 0, 11);
+        assert_eq!(t.recv().expect("delivered").msg, 11);
+    }
+
+    #[test]
+    fn fault_decisions_are_coordinate_local() {
+        // Dropping message k does not change the fate of message k+1:
+        // decisions depend on (epoch, phase, src, dst, seq) only, not on
+        // queue state. Send the same stream twice with one extra prefix
+        // message the second time — suffix fates must coincide once seqs
+        // align.
+        let plan = FaultPlan { drop_rate: 0.4, ..FaultPlan::perfect() };
+        let fate = |seq: u64| {
+            let mut t = InMemoryTransport::<u32>::new(plan, 5);
+            t.begin_phase(1, 0);
+            for _ in 0..seq {
+                t.send(3, 4, 0, 0);
+            }
+            let before = t.stats().dropped;
+            t.send(3, 4, 0, 1);
+            t.stats().dropped == before
+        };
+        for seq in 0..32 {
+            assert_eq!(fate(seq), fate(seq), "fate of seq {seq} is stable");
+        }
+    }
+}

@@ -71,6 +71,7 @@ fn frontier_cells_round_trip_through_the_label() {
         searches: 40,
         seed: 42,
         kernel: Default::default(),
+        runtime: Default::default(),
     };
     for key in cfg.rows() {
         let spec = key.scenario(&cfg, cfg.betas[0], 0xDEAD_BEEF);

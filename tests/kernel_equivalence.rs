@@ -12,29 +12,45 @@
 //! kernel — lives in `crates/experiments/tests/golden_arena.rs`.)
 
 use proptest::prelude::*;
+use tiny_groups::core::runtime::RuntimeChoice;
 use tiny_groups::core::scenario::{
     Defense, KernelChoice, MintScheme, ScenarioSpec, StrategySpec, StringMode,
 };
 use tiny_groups::overlay::GraphKind;
 use tiny_groups::pow::scenario::build;
 
-/// Step both kernels over the same spec and require Debug-identical
-/// observations every epoch (the full report: fractions, search rates,
-/// build stats, minting counters — everything the systems can observe).
+/// Step every kernel × runtime combination over the same spec and
+/// require Debug-identical observations every epoch (the full report:
+/// fractions, search rates, build stats, minting counters — everything
+/// the systems can observe). The legacy synchronous driver is the
+/// oracle; the arena kernel and the actor runtime over its (perfect by
+/// default) transport must both reproduce it byte for byte.
 fn assert_kernels_agree(spec: &ScenarioSpec, epochs: usize) {
-    let legacy = spec.clone().kernel(KernelChoice::Legacy);
-    let arena = spec.clone().kernel(KernelChoice::Arena);
-    let mut a = build(&legacy).expect("legacy spec builds");
-    let mut b = build(&arena).expect("arena spec builds");
+    let arms = [
+        ("legacy/sync", KernelChoice::Legacy, RuntimeChoice::Sync),
+        ("arena/sync", KernelChoice::Arena, RuntimeChoice::Sync),
+        ("legacy/actor", KernelChoice::Legacy, RuntimeChoice::Actor),
+        ("arena/actor", KernelChoice::Arena, RuntimeChoice::Actor),
+    ];
+    let mut drivers: Vec<_> = arms
+        .iter()
+        .map(|&(name, kernel, runtime)| {
+            let arm = spec.clone().kernel(kernel).runtime(runtime);
+            (name, build(&arm).unwrap_or_else(|e| panic!("{name} spec builds: {e:?}")))
+        })
+        .collect();
     for e in 0..epochs {
-        let oa = a.step();
-        let ob = b.step();
-        assert_eq!(
-            format!("{oa:?}"),
-            format!("{ob:?}"),
-            "kernels diverged at epoch {e} of {}",
-            spec.label()
-        );
+        let (oracle, rest) = drivers.split_first_mut().expect("at least the oracle arm");
+        let want = format!("{:?}", oracle.1.step());
+        for (name, driver) in rest {
+            assert_eq!(
+                format!("{:?}", driver.step()),
+                want,
+                "{name} diverged from {} at epoch {e} of {}",
+                oracle.0,
+                spec.label()
+            );
+        }
     }
 }
 
@@ -124,4 +140,40 @@ proptest! {
         }
         assert_kernels_agree(&spec, 2);
     }
+}
+
+/// Fault injection is deterministic and schedule-free: every per-link
+/// drop/latency/partition decision is a pure hash of the master seed
+/// and the message coordinates, never a draw from a shared RNG or a
+/// read of wall clock. The same faulty spec therefore produces the
+/// identical observation stream whether it runs alone or raced by many
+/// sibling copies on other threads.
+#[test]
+fn faulty_actor_runs_are_identical_at_any_thread_count() {
+    let spec = ScenarioSpec::new(240, 42)
+        .beta(0.1)
+        .churn(0.15)
+        .attack_requests(0)
+        .searches(40)
+        .strategy(StrategySpec::GapFilling)
+        .runtime(RuntimeChoice::Actor)
+        .drop_rate(0.3)
+        .latency(5)
+        .partition(16);
+    let run = |spec: &ScenarioSpec| -> Vec<String> {
+        let mut sys = build(spec).expect("faulty actor spec builds");
+        (0..3).map(|_| format!("{:?}", sys.step())).collect()
+    };
+    let serial = run(&spec);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..8).map(|_| scope.spawn(|| run(&spec))).collect();
+        for h in handles {
+            assert_eq!(h.join().expect("runner thread"), serial, "a raced run diverged");
+        }
+    });
+    // And the faults actually bite: the lossy stream is not the
+    // perfect-transport stream (this test would pass vacuously if the
+    // knobs were ignored).
+    let perfect = run(&spec.clone().drop_rate(0.0).latency(0).partition(0));
+    assert_ne!(serial, perfect, "fault knobs must change the observation stream");
 }
