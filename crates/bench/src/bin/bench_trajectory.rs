@@ -28,7 +28,8 @@ use std::time::{Instant, SystemTime, UNIX_EPOCH};
 use tg_bench::{regression_warning, BenchRecord, REGRESSION_THRESHOLD};
 
 /// The record files the trajectory tracks.
-const RECORDS: [&str; 3] = ["BENCH_e11.json", "BENCH_e12.json", "BENCH_kernel.json"];
+const RECORDS: [&str; 4] =
+    ["BENCH_e11.json", "BENCH_e12.json", "BENCH_kernel.json", "BENCH_store.json"];
 
 /// Compare mode: read each record from both directories and warn on
 /// regressions. Missing baseline files are reported and skipped (the
@@ -93,6 +94,7 @@ fn quick_grid() -> FrontierConfig {
         seed: 42,
         kernel: Default::default(),
         runtime: Default::default(),
+        store: None,
     }
 }
 
@@ -162,6 +164,33 @@ fn main() {
         unix_time: now_unix(),
     };
     write(&out_dir, "BENCH_e12.json", &e12);
+
+    // Store: warm-replay throughput of the content-addressed result
+    // store. A cold pass over the same quick grid fills a temp store;
+    // the timed pass then replays every cell from its hash-chained
+    // streams — the number says what a fully warm resume costs per
+    // cell-run (decode + chain verification, no simulation).
+    let store_dir = std::env::temp_dir().join(format!("tg-bench-store-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&store_dir);
+    let mut stored_grid = quick_grid();
+    stored_grid.store = tg_sim::ResultStore::open(&store_dir).ok();
+    run_frontier(&stored_grid); // cold fill
+    let t0 = Instant::now();
+    let warm = run_frontier(&stored_grid);
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let cells = warm.cells.rows.iter().filter(|r| r[6] == "run").count();
+    let trials = cells * stored_grid.trials;
+    let store_rec = BenchRecord {
+        bench: "store_warm_replay",
+        mode: "quick",
+        cells_swept: cells,
+        trial_runs: trials,
+        epochs_total: trials * stored_grid.epochs,
+        wall_ms,
+        unix_time: now_unix(),
+    };
+    write(&out_dir, "BENCH_store.json", &store_rec);
+    let _ = std::fs::remove_dir_all(&store_dir);
 
     // E13: the arena epoch kernel's throughput record, serialized by
     // the experiment's own writer so this probe and the tier-1

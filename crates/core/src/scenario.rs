@@ -1039,6 +1039,68 @@ impl ObsRow {
             good_misses: o.good_misses.map(|v| v as f64).unwrap_or(f64::NAN),
         }
     }
+
+    /// Version tag leading every encoded row line.
+    pub const LINE_VERSION: &'static str = "o1";
+
+    /// Encode the row as one versioned, comma-separated text line, the
+    /// record payload the result store keeps per epoch. Floats are
+    /// rendered with `Display`, whose shortest-round-trip guarantee
+    /// makes [`ObsRow::decode_line`] bit-exact — a warm sweep recomputes
+    /// the same statistics as the live run that wrote the stream.
+    pub fn encode_line(&self) -> String {
+        format!(
+            "{};{},{},{},{},{},{},{},{},{},{},{}",
+            Self::LINE_VERSION,
+            self.epoch,
+            self.search_success_single,
+            self.search_success_dual,
+            self.frac_red_s0,
+            self.captured_groups,
+            self.total_groups,
+            self.bad_ids,
+            self.bad_share,
+            self.mean_memberships,
+            self.minted_good,
+            self.good_misses,
+        )
+    }
+
+    /// Decode one [`ObsRow::encode_line`] line; rejects unknown
+    /// versions and malformed fields with a description.
+    pub fn decode_line(line: &str) -> Result<ObsRow, String> {
+        let (version, body) =
+            line.split_once(';').ok_or_else(|| format!("missing version tag in `{line}`"))?;
+        if version != Self::LINE_VERSION {
+            return Err(format!(
+                "unsupported row version `{version}` (want {})",
+                Self::LINE_VERSION
+            ));
+        }
+        let fields: Vec<&str> = body.split(',').collect();
+        if fields.len() != 11 {
+            return Err(format!("expected 11 fields, found {} in `{line}`", fields.len()));
+        }
+        let f = |i: usize| -> Result<f64, String> {
+            fields[i].parse().map_err(|e| format!("field {i} `{}`: {e}", fields[i]))
+        };
+        let u = |i: usize| -> Result<u32, String> {
+            fields[i].parse().map_err(|e| format!("field {i} `{}`: {e}", fields[i]))
+        };
+        Ok(ObsRow {
+            epoch: fields[0].parse().map_err(|e| format!("field 0 `{}`: {e}", fields[0]))?,
+            search_success_single: f(1)?,
+            search_success_dual: f(2)?,
+            frac_red_s0: f(3)?,
+            captured_groups: u(4)?,
+            total_groups: u(5)?,
+            bad_ids: u(6)?,
+            bad_share: f(7)?,
+            mean_memberships: f(8)?,
+            minted_good: f(9)?,
+            good_misses: f(10)?,
+        })
+    }
 }
 
 /// Driver-owned SoA columns over a batched run: one entry per stepped
@@ -1161,6 +1223,24 @@ impl ObservationBatch {
     /// statistical pipeline).
     pub fn good_misses(&self) -> &[f64] {
         &self.good_misses
+    }
+
+    /// Re-extract row `i` (the inverse of [`ObservationBatch::push`]),
+    /// used to encode a finished batch into store records.
+    pub fn row_at(&self, i: usize) -> ObsRow {
+        ObsRow {
+            epoch: self.epoch[i],
+            search_success_single: self.search_success_single[i],
+            search_success_dual: self.search_success_dual[i],
+            frac_red_s0: self.frac_red_s0[i],
+            captured_groups: self.captured_groups[i],
+            total_groups: self.total_groups[i],
+            bad_ids: self.bad_ids[i],
+            bad_share: self.bad_share[i],
+            mean_memberships: self.mean_memberships[i],
+            minted_good: self.minted_good[i],
+            good_misses: self.good_misses[i],
+        }
     }
 
     /// Captured fraction at epoch `i`.

@@ -222,3 +222,78 @@ proptest! {
         }
     }
 }
+
+/// One shared store for the observation round-trip cases (a fresh
+/// directory per test process; keys are unique per case).
+fn prop_store() -> &'static tg_sim::ResultStore {
+    use std::sync::OnceLock;
+    static STORE: OnceLock<tg_sim::ResultStore> = OnceLock::new();
+    STORE.get_or_init(|| {
+        let dir = std::env::temp_dir().join(format!("tg-core-props-store-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        tg_sim::ResultStore::open(dir).expect("open proptest store")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Random `EpochObservation`s survive the full persistence path —
+    /// projection to `ObsRow`, the versioned line codec, and a real
+    /// store round trip through the hash-chained stream — bit-for-bit
+    /// (floats compared as raw bits, so NaN/−0.0/∞ all count).
+    #[test]
+    fn observation_round_trips_through_the_store(
+        case in 0u64..u64::MAX,
+        epoch in any::<u64>(),
+        frac_red in any::<f64>(),
+        sss in any::<f64>(),
+        ssd in any::<f64>(),
+        mean_memberships in any::<f64>(),
+        bad_ids in any::<u32>(),
+        bad_share in any::<f64>(),
+        captured in any::<u32>(),
+        total in any::<u32>(),
+        has_pow in any::<bool>(),
+        minted_good in any::<u16>(),
+        good_misses in any::<u16>(),
+    ) {
+        use tg_core::scenario::{EpochObservation, ObsRow};
+        let obs = EpochObservation {
+            epoch,
+            frac_red: vec![frac_red],
+            search_success_single: sss,
+            search_success_dual: ssd,
+            mean_memberships,
+            bad_ids: bad_ids as usize,
+            bad_share,
+            captured_groups: captured as usize,
+            total_groups: total as usize,
+            minted_good: has_pow.then_some(minted_good as usize),
+            good_misses: has_pow.then_some(good_misses as usize),
+            ..Default::default()
+        };
+        let row = ObsRow::of(&obs);
+        let store = prop_store();
+        let key = format!("prop;case={case};epoch={epoch}");
+        store.put(&key, &[row.encode_line()]).expect("store put");
+        let records = store.get(&key).expect("store get").expect("stream present");
+        prop_assert_eq!(records.len(), 1);
+        let back = ObsRow::decode_line(&records[0]).expect("decode");
+        prop_assert_eq!(back.epoch, row.epoch);
+        prop_assert_eq!(back.search_success_single.to_bits(), row.search_success_single.to_bits());
+        prop_assert_eq!(back.search_success_dual.to_bits(), row.search_success_dual.to_bits());
+        prop_assert_eq!(back.frac_red_s0.to_bits(), row.frac_red_s0.to_bits());
+        prop_assert_eq!(back.captured_groups, row.captured_groups);
+        prop_assert_eq!(back.total_groups, row.total_groups);
+        prop_assert_eq!(back.bad_ids, row.bad_ids);
+        prop_assert_eq!(back.bad_share.to_bits(), row.bad_share.to_bits());
+        prop_assert_eq!(back.mean_memberships.to_bits(), row.mean_memberships.to_bits());
+        prop_assert_eq!(back.minted_good.to_bits(), row.minted_good.to_bits());
+        prop_assert_eq!(back.good_misses.to_bits(), row.good_misses.to_bits());
+        // The SoA batch preserves the same row (`push` ∘ `row_at` = id).
+        let mut batch = tg_core::scenario::ObservationBatch::new();
+        batch.push(back);
+        prop_assert_eq!(batch.row_at(0).encode_line(), row.encode_line());
+    }
+}

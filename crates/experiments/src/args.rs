@@ -11,7 +11,10 @@
 //! either way; `arena` is the scale path e13 benchmarks), and
 //! `--runtime sync|actor` (which epoch runtime advances them —
 //! identical results over the actor runtime's default perfect
-//! transport; e14 is the faulty-transport sweep).
+//! transport; e14 is the faulty-transport sweep), and `--store <dir>`
+//! (a content-addressed result store: sweeps replay cells whose
+//! observation streams are already stored and publish the ones they
+//! simulate, making warm re-runs cheap and long ladders resumable).
 
 use tg_core::runtime::RuntimeChoice;
 use tg_core::scenario::KernelChoice;
@@ -38,6 +41,12 @@ pub struct Options {
     /// Which epoch runtime advances them (synchronous in-process vs
     /// actor message passing).
     pub runtime: RuntimeChoice,
+    /// Directory of the content-addressed result store
+    /// ([`tg_sim::store`]). When set, sweeps replay any cell whose
+    /// observation stream is already stored and publish the streams of
+    /// cells they simulate — warm re-runs and resumed ladders skip the
+    /// work already on disk. `None` (the default) runs everything live.
+    pub store: Option<String>,
 }
 
 impl Default for Options {
@@ -51,6 +60,7 @@ impl Default for Options {
             list: false,
             kernel: KernelChoice::default(),
             runtime: RuntimeChoice::default(),
+            store: None,
         }
     }
 }
@@ -98,6 +108,9 @@ impl Options {
                     opts.runtime = RuntimeChoice::parse(&v)
                         .unwrap_or_else(|| usage("--runtime must be sync or actor"));
                 }
+                "--store" => {
+                    opts.store = Some(it.next().unwrap_or_else(|| usage("--store needs a value")));
+                }
                 "--help" | "-h" => usage(""),
                 other => usage(&format!("unknown flag {other}")),
             }
@@ -108,6 +121,20 @@ impl Options {
     /// Parse from the process arguments.
     pub fn from_env() -> Options {
         Options::parse(std::env::args().skip(1))
+    }
+
+    /// Open the result store named by `--store`, if any. A store
+    /// directory that cannot be created degrades to a live run with a
+    /// warning — caching is an accelerator, never a prerequisite.
+    pub fn open_store(&self) -> Option<tg_sim::ResultStore> {
+        let dir = self.store.as_ref()?;
+        match tg_sim::ResultStore::open(dir) {
+            Ok(store) => Some(store),
+            Err(e) => {
+                eprintln!("warning: could not open result store at {dir}: {e}");
+                None
+            }
+        }
     }
 
     /// Whether `run_all` should run the experiment with this stem name
@@ -124,7 +151,7 @@ fn usage(msg: &str) -> ! {
     }
     eprintln!(
         "usage: <experiment> [--seed N] [--full] [--out DIR] [--quiet] [--only e10,e11,e12] \
-         [--list] [--kernel legacy|arena] [--runtime sync|actor]"
+         [--list] [--kernel legacy|arena] [--runtime sync|actor] [--store DIR]"
     );
     std::process::exit(if msg.is_empty() { 0 } else { 2 });
 }
@@ -173,6 +200,19 @@ mod tests {
         assert_eq!(parse(&[]).runtime, RuntimeChoice::Sync);
         assert_eq!(parse(&["--runtime", "actor"]).runtime, RuntimeChoice::Actor);
         assert_eq!(parse(&["--runtime", "sync"]).runtime, RuntimeChoice::Sync);
+    }
+
+    #[test]
+    fn store_flag_parses_and_opens() {
+        assert_eq!(parse(&[]).store, None);
+        let dir = std::env::temp_dir()
+            .join(format!("tg-args-store-{}", std::process::id()))
+            .display()
+            .to_string();
+        let o = parse(&["--store", &dir]);
+        assert_eq!(o.store.as_deref(), Some(dir.as_str()));
+        assert!(o.open_store().is_some(), "a creatable directory opens");
+        assert!(parse(&[]).open_store().is_none(), "no flag, no store");
     }
 
     #[test]

@@ -46,4 +46,9 @@ fn main() {
         std::process::exit(2);
     }
     eprintln!("[run_all] {ran} experiment(s) done in {:.1?}", t0.elapsed());
+    let dropped = tg_experiments::artifacts::dropped_count();
+    if dropped > 0 {
+        eprintln!("[run_all] {dropped} requested artifact(s) could not be written (see warnings)");
+        std::process::exit(1);
+    }
 }

@@ -264,6 +264,7 @@ mod tests {
             quiet: true,
             only: None,
             list: false,
+            store: None,
         }
     }
 

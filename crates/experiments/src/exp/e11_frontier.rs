@@ -68,6 +68,7 @@ pub fn config(opts: &Options) -> FrontierConfig {
             seed: opts.seed,
             kernel: opts.kernel,
             runtime: opts.runtime,
+            store: opts.open_store(),
         }
     } else {
         FrontierConfig {
@@ -84,6 +85,7 @@ pub fn config(opts: &Options) -> FrontierConfig {
             seed: opts.seed,
             kernel: opts.kernel,
             runtime: opts.runtime,
+            store: opts.open_store(),
         }
     }
 }
@@ -91,7 +93,14 @@ pub fn config(opts: &Options) -> FrontierConfig {
 /// Run E11 and return the full outcome (cell table, frontier map, text
 /// heatmaps).
 pub fn run(opts: &Options) -> FrontierOutcome {
-    run_frontier(&config(opts))
+    let cfg = config(opts);
+    let out = run_frontier(&cfg);
+    if let Some(store) = &cfg.store {
+        if let Err(e) = store.write_index() {
+            eprintln!("warning: could not write store index: {e}");
+        }
+    }
+    out
 }
 
 #[cfg(test)]
@@ -109,6 +118,7 @@ mod tests {
             quiet: true,
             only: None,
             list: false,
+            store: None,
         }
     }
 
@@ -228,6 +238,7 @@ mod tests {
             seed: 42,
             kernel: Default::default(),
             runtime: Default::default(),
+            store: None,
         };
         let a = run_frontier(&cfg);
         let b = run_frontier(&cfg);

@@ -81,6 +81,7 @@ pub fn config(opts: &Options) -> RefineConfig {
             seed: opts.seed,
             kernel: opts.kernel,
             runtime: opts.runtime,
+            store: opts.open_store(),
         }
     } else {
         FrontierConfig {
@@ -97,6 +98,7 @@ pub fn config(opts: &Options) -> RefineConfig {
             seed: opts.seed,
             kernel: opts.kernel,
             runtime: opts.runtime,
+            store: opts.open_store(),
         }
     };
     RefineConfig { grid, z: 1.645, max_extra_rounds: 2 }
@@ -105,7 +107,14 @@ pub fn config(opts: &Options) -> RefineConfig {
 /// Run E12 and return the full outcome (evaluated cells, refined
 /// frontier map with confidence bands, cost ledger).
 pub fn run(opts: &Options) -> RefineOutcome {
-    run_refine(&config(opts))
+    let cfg = config(opts);
+    let out = run_refine(&cfg);
+    if let Some(store) = &cfg.grid.store {
+        if let Err(e) = store.write_index() {
+            eprintln!("warning: could not write store index: {e}");
+        }
+    }
+    out
 }
 
 #[cfg(test)]
@@ -124,6 +133,7 @@ mod tests {
             quiet: true,
             only: None,
             list: false,
+            store: None,
         }
     }
 
@@ -156,6 +166,7 @@ mod tests {
             seed: 42,
             kernel: Default::default(),
             runtime: Default::default(),
+            store: None,
         }
     }
 
@@ -279,6 +290,7 @@ mod tests {
                 seed: 42,
                 kernel: Default::default(),
                 runtime: Default::default(),
+                store: None,
             },
             z: 1.645,
             max_extra_rounds: 1,

@@ -131,9 +131,48 @@ pub fn rung_spec(rung: &Rung, seed: u64) -> ScenarioSpec {
 /// Time every rung, sequentially (each rung's epoch loop parallelizes
 /// internally; running rungs back to back keeps the clocks honest).
 pub fn measure(rungs: &[Rung], seed: u64) -> Vec<RungResult> {
+    measure_stored(rungs, seed, None).into_iter().map(|(r, _)| r).collect()
+}
+
+/// Store key of one rung's timing record: the rung's scenario label
+/// (which pins kernel, population, seed, capacity) plus its epoch
+/// count, under an `e13` tag so timing records never collide with
+/// observation streams.
+fn rung_store_key(rung: &Rung, seed: u64) -> String {
+    format!("e13;{};epochs={}", rung_spec(rung, seed).label(), rung.epochs)
+}
+
+/// [`measure`], consulting a result store so an interrupted ladder
+/// resumes mid-way: rungs whose timing record is already stored are
+/// replayed (the paired flag is `true`), the rest run live and publish
+/// their record. Timing records use the `t1` line codec
+/// (`t1,<build_ms>,<wall_ms>`, floats via `Display` for exactness).
+pub fn measure_stored(
+    rungs: &[Rung],
+    seed: u64,
+    store: Option<&tg_sim::ResultStore>,
+) -> Vec<(RungResult, bool)> {
     rungs
         .iter()
         .map(|&rung| {
+            let key = store.map(|_| rung_store_key(&rung, seed));
+            if let (Some(store), Some(key)) = (store, key.as_ref()) {
+                match store.get(key) {
+                    Ok(Some(records)) => {
+                        let rec = records.first().map(String::as_str).unwrap_or("");
+                        let parsed: Option<(f64, f64)> = rec.strip_prefix("t1,").and_then(|body| {
+                            let (b, w) = body.split_once(',')?;
+                            Some((b.parse().ok()?, w.parse().ok()?))
+                        });
+                        if let Some((build_ms, wall_ms)) = parsed {
+                            return (RungResult { rung, build_ms, wall_ms }, true);
+                        }
+                        eprintln!("warning: unreadable timing record for `{key}`; re-timing");
+                    }
+                    Ok(None) => {}
+                    Err(e) => panic!("{e}"),
+                }
+            }
             let spec = rung_spec(&rung, seed);
             let t0 = Instant::now();
             let mut driver = tg_pow::scenario::build(&spec).expect("throughput rungs build");
@@ -141,7 +180,12 @@ pub fn measure(rungs: &[Rung], seed: u64) -> Vec<RungResult> {
             let t0 = Instant::now();
             driver.run(rung.epochs);
             let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
-            RungResult { rung, build_ms, wall_ms }
+            if let (Some(store), Some(key)) = (store, key.as_ref()) {
+                if let Err(e) = store.put(key, &[format!("t1,{build_ms},{wall_ms}")]) {
+                    eprintln!("warning: {e}");
+                }
+            }
+            (RungResult { rung, build_ms, wall_ms }, false)
         })
         .collect()
 }
@@ -190,13 +234,15 @@ pub fn record_rung(results: &[RungResult]) -> Option<&RungResult> {
 /// Run E13: time the ladder, write `BENCH_kernel.json` next to the
 /// CSVs, and return the throughput table.
 pub fn run(opts: &Options) -> Table {
-    let results = measure(&rungs(opts), opts.seed);
+    let store = opts.open_store();
+    let timed = measure_stored(&rungs(opts), opts.seed, store.as_ref());
     let mut table = Table::new(
         "e13_scale",
         &[
             "kernel",
             "n_identities",
             "epochs",
+            "source",
             "build_ms",
             "wall_ms",
             "ms_per_epoch",
@@ -204,11 +250,12 @@ pub fn run(opts: &Options) -> Table {
             "identities_per_sec",
         ],
     );
-    for r in &results {
+    for (r, cached) in &timed {
         table.push(vec![
             r.rung.kernel.label().to_string(),
             r.rung.n_total().to_string(),
             r.rung.epochs.to_string(),
+            if *cached { "store" } else { "live" }.to_string(),
             f(r.build_ms),
             f(r.wall_ms),
             f(r.ms_per_epoch()),
@@ -216,6 +263,7 @@ pub fn run(opts: &Options) -> Table {
             f(r.identities_per_sec()),
         ]);
     }
+    let results: Vec<RungResult> = timed.iter().map(|(r, _)| *r).collect();
     if let Some(best) = record_rung(&results) {
         let unix = std::time::SystemTime::now()
             .duration_since(std::time::UNIX_EPOCH)
@@ -223,16 +271,27 @@ pub fn run(opts: &Options) -> Table {
             .unwrap_or(0);
         let mode = if opts.full { "full" } else { "quick" };
         let json = kernel_record_json(mode, best, unix);
-        if std::fs::create_dir_all(&opts.out_dir).is_ok() {
-            let path = std::path::Path::new(&opts.out_dir).join("BENCH_kernel.json");
-            match std::fs::write(&path, &json) {
-                Ok(()) => {
-                    if !opts.quiet {
-                        println!("wrote {}", path.display());
+        match std::fs::create_dir_all(&opts.out_dir) {
+            Ok(()) => {
+                let path = std::path::Path::new(&opts.out_dir).join("BENCH_kernel.json");
+                match tg_sim::store::write_atomic(&path, json.as_bytes()) {
+                    Ok(()) => {
+                        if !opts.quiet {
+                            println!("wrote {}", path.display());
+                        }
                     }
+                    Err(e) => crate::artifacts::note_dropped("BENCH_kernel.json", &e),
                 }
-                Err(e) => eprintln!("warning: could not write BENCH_kernel.json: {e}"),
             }
+            // The old `if create_dir_all(...).is_ok()` silently skipped
+            // the record; a missing out-dir now counts as a dropped
+            // artifact so `run_all` exits non-zero.
+            Err(e) => crate::artifacts::note_dropped("BENCH_kernel.json", &e),
+        }
+    }
+    if let Some(store) = &store {
+        if let Err(e) = store.write_index() {
+            eprintln!("warning: could not write store index: {e}");
         }
     }
     table
@@ -308,6 +367,29 @@ mod tests {
             assert!(json.contains(key), "missing {key} in {json}");
         }
         assert!(json.starts_with('{') && json.ends_with("}\n"), "one flat JSON object");
+    }
+
+    /// A warm ladder replays every stored timing record instead of
+    /// re-timing — the resumable-mid-ladder property: a partial cold
+    /// pass leaves records the next pass skips.
+    #[test]
+    fn stored_ladder_resumes_without_retiming() {
+        let dir = std::env::temp_dir().join(format!("tg-e13-store-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = tg_sim::ResultStore::open(&dir).unwrap();
+        let ladder = [
+            Rung { kernel: KernelChoice::Legacy, n_good: 380, epochs: 2 },
+            Rung { kernel: KernelChoice::Arena, n_good: 380, epochs: 2 },
+        ];
+        // Cold half-ladder: only the first rung gets recorded.
+        let cold = measure_stored(&ladder[..1], 42, Some(&store));
+        assert!(cold.iter().all(|(_, cached)| !cached), "first pass is all live");
+        // Resumed full ladder: rung 0 replays, rung 1 runs live.
+        let warm = measure_stored(&ladder, 42, Some(&store));
+        assert!(warm[0].1, "recorded rung is replayed");
+        assert!(!warm[1].1, "new rung runs live");
+        assert_eq!(warm[0].0.build_ms, cold[0].0.build_ms);
+        assert_eq!(warm[0].0.wall_ms, cold[0].0.wall_ms);
     }
 
     /// A miniature rung actually runs through the measurement path and

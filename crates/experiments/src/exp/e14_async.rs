@@ -112,27 +112,82 @@ pub struct CellResult {
 /// grows with the drop rate; averaging over trials smooths the
 /// feedback noise of *which* identities survive.
 pub fn run_cell(cell: FaultCell, opts: &Options, epochs: usize, trials: u64) -> CellResult {
+    run_cell_stored(cell, opts, epochs, trials, None).0
+}
+
+/// [`run_cell`], consulting a result store: each trial's observation
+/// stream is keyed by its scenario label (which carries the fault
+/// knobs, population, and seed) plus the epoch count — stored trials
+/// replay, missing trials simulate and publish. The paired count says
+/// how many trials ran live, so an interrupted full sweep resumes
+/// mid-grid paying only for the cells it never finished.
+pub fn run_cell_stored(
+    cell: FaultCell,
+    opts: &Options,
+    epochs: usize,
+    trials: u64,
+    store: Option<&tg_sim::ResultStore>,
+) -> (CellResult, usize) {
+    use tg_core::scenario::ObsRow;
     let (mut capture, mut red, mut dual, mut bad_share) = (0.0, 0.0, 0.0, 0.0);
+    let mut live = 0usize;
     for trial in 0..trials {
         let seed = tg_sim::derive_seed(opts.seed, "e14-trial", trial);
         let spec = cell_spec(cell, opts, seed);
-        let mut sys = tg_pow::scenario::build(&spec).expect("E14 scenarios are buildable");
-        for _ in 0..epochs {
-            let r = sys.step();
+        let key = store.map(|_| crate::frontier::trial_store_key(&spec, epochs));
+        let mut rows: Option<Vec<ObsRow>> = None;
+        if let (Some(store), Some(key)) = (store, key.as_ref()) {
+            match store.get(key) {
+                Ok(Some(records)) => {
+                    assert_eq!(
+                        records.len(),
+                        epochs,
+                        "stored stream for `{key}` has the wrong epoch count"
+                    );
+                    rows = Some(
+                        records
+                            .iter()
+                            .enumerate()
+                            .map(|(i, rec)| {
+                                ObsRow::decode_line(rec).unwrap_or_else(|e| {
+                                    panic!("store record {i} for `{key}` does not decode: {e}")
+                                })
+                            })
+                            .collect(),
+                    );
+                }
+                Ok(None) => {}
+                Err(e) => panic!("{e}"),
+            }
+        }
+        let rows = rows.unwrap_or_else(|| {
+            live += 1;
+            let mut sys = tg_pow::scenario::build(&spec).expect("E14 scenarios are buildable");
+            let rows: Vec<ObsRow> = (0..epochs).map(|_| ObsRow::of(sys.step())).collect();
+            if let (Some(store), Some(key)) = (store, key.as_ref()) {
+                let records: Vec<String> = rows.iter().map(ObsRow::encode_line).collect();
+                if let Err(e) = store.put(key, &records) {
+                    eprintln!("warning: {e}");
+                }
+            }
+            rows
+        });
+        for r in &rows {
             capture += r.captured_groups as f64 / r.total_groups.max(1) as f64;
-            red += r.frac_red[0];
+            red += r.frac_red_s0;
             dual += r.search_success_dual;
             bad_share += r.bad_share;
         }
     }
     let m = (epochs.max(1) as u64 * trials.max(1)) as f64;
-    CellResult {
+    let result = CellResult {
         cell,
         capture: capture / m,
         frac_red: red / m,
         success_dual: dual / m,
         bad_share: bad_share / m,
-    }
+    };
+    (result, live)
 }
 
 /// The full sweep: one row per (partition, drop) cell, cells in grid
@@ -143,7 +198,15 @@ pub fn run(opts: &Options) -> Table {
     let (epochs, trials) = if opts.full { (8, 4) } else { (6, 3) };
     let cells = grid(opts);
     let o = opts.clone();
-    let results = parallel_map(cells, move |cell| run_cell(cell, &o, epochs, trials));
+    let store = opts.open_store();
+    let s = store.clone();
+    let results =
+        parallel_map(cells, move |cell| run_cell_stored(cell, &o, epochs, trials, s.as_ref()).0);
+    if let Some(store) = &store {
+        if let Err(e) = store.write_index() {
+            eprintln!("warning: could not write store index: {e}");
+        }
+    }
     let mut table = Table::new(
         "e14_async",
         &["drop", "part", "epochs", "capture", "frac_red_s0", "success_dual", "bad_share"],
@@ -215,5 +278,33 @@ mod tests {
     fn sweep_is_deterministic() {
         let opts = quick_opts();
         assert_eq!(run(&opts).to_csv(), run(&opts).to_csv());
+    }
+
+    /// Store round trip: a warm cell replays every trial from its
+    /// stored stream (zero live trials) and reproduces the live
+    /// result bit for bit — stored sweeps are resumable without any
+    /// numeric drift.
+    #[test]
+    fn warm_cell_replays_bit_identically() {
+        let dir = std::env::temp_dir().join(format!("tg-e14-store-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = tg_sim::ResultStore::open(&dir).unwrap();
+        let opts = quick_opts();
+        let cell = FaultCell { drop: 0.4, part: 24 };
+        let bare = run_cell(cell, &opts, 3, 2);
+        let (cold, cold_live) = run_cell_stored(cell, &opts, 3, 2, Some(&store));
+        assert_eq!(cold_live, 2, "cold pass simulates every trial");
+        let (warm, warm_live) = run_cell_stored(cell, &opts, 3, 2, Some(&store));
+        assert_eq!(warm_live, 0, "warm pass replays every trial");
+        for (got, want) in [
+            (warm.capture, cold.capture),
+            (warm.frac_red, cold.frac_red),
+            (warm.success_dual, cold.success_dual),
+            (warm.bad_share, cold.bad_share),
+            (cold.capture, bare.capture),
+            (cold.bad_share, bare.bad_share),
+        ] {
+            assert_eq!(got.to_bits(), want.to_bits());
+        }
     }
 }

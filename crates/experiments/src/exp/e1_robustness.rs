@@ -110,6 +110,7 @@ mod tests {
             quiet: true,
             only: None,
             list: false,
+            store: None,
         };
         // Shrink by running the real function — the quick grid is small
         // enough for CI, but for the unit test we only check shape via a

@@ -161,6 +161,7 @@ mod tests {
             quiet: true,
             only: None,
             list: false,
+            store: None,
         };
         let mut rng = stream_rng(opts.seed, "e3-test", 0);
         let pop = Population::uniform(2000, 100, &mut rng);

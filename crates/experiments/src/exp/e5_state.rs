@@ -82,6 +82,7 @@ mod tests {
             quiet: true,
             only: None,
             list: false,
+            store: None,
         };
         let t = run(&opts);
         // Partition rows by attack level; compare mean memberships.

@@ -121,6 +121,7 @@ mod tests {
             quiet: true,
             only: None,
             list: false,
+            store: None,
         };
         let tables = run(&opts);
         let minting = &tables[0];

@@ -94,6 +94,7 @@ mod tests {
             quiet: true,
             only: None,
             list: false,
+            store: None,
         };
         let t = run(&opts);
         assert_eq!(t.rows.len(), 6);

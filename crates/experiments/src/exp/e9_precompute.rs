@@ -60,6 +60,7 @@ mod tests {
             quiet: true,
             only: None,
             list: false,
+            store: None,
         };
         let t = run(&opts);
         for i in 0..t.rows.len() {

@@ -31,11 +31,16 @@ pub fn run(opts: &Options) -> Table {
 
     let mut table = Table::new("figure1", &["panel", "path", "nodes", "red_groups"]);
     let red = (0..gg.len()).filter(|&i| gg.is_red(i)).count();
-    std::fs::create_dir_all(&opts.out_dir).ok();
+    // A failed out-dir creation used to be swallowed with `.ok()`,
+    // silently skipping both panels; now it is counted so `run_all`
+    // exits non-zero when requested artifacts were dropped.
+    if let Err(e) = std::fs::create_dir_all(&opts.out_dir) {
+        crate::artifacts::note_dropped(&format!("figure1 panels under {}", opts.out_dir), &e);
+    }
     for (panel, dot) in [("H", &h_dot), ("G", &g_dot)] {
         let path = format!("{}/figure1_{}.dot", opts.out_dir, panel.to_lowercase());
-        if let Err(e) = std::fs::write(&path, dot) {
-            eprintln!("warning: could not write {path}: {e}");
+        if let Err(e) = tg_sim::store::write_atomic(std::path::Path::new(&path), dot.as_bytes()) {
+            crate::artifacts::note_dropped(&path, &e);
         }
         table.push(vec![panel.to_string(), path, gg.len().to_string(), red.to_string()]);
     }
@@ -58,6 +63,7 @@ mod tests {
             quiet: true,
             only: None,
             list: false,
+            store: None,
         };
         let t = run(&opts);
         assert_eq!(t.rows.len(), 2);

@@ -60,9 +60,11 @@
 //! lost system).
 
 use crate::table::{f, Table};
-use tg_core::scenario::{budget_for, KernelChoice, RuntimeChoice, ScenarioSpec, StrategySpec};
+use tg_core::scenario::{
+    budget_for, KernelChoice, ObsRow, ObservationBatch, RuntimeChoice, ScenarioSpec, StrategySpec,
+};
 use tg_overlay::GraphKind;
-use tg_sim::{derive_seed_grid, parallel_map};
+use tg_sim::{derive_seed_grid, parallel_map, ResultStore};
 
 pub use tg_core::scenario::Defense;
 
@@ -176,6 +178,12 @@ pub struct FrontierConfig {
     /// default perfect transport this is byte-identical to `Sync`; the
     /// fault-injection sweep (e14) owns the faulty-transport axes.
     pub runtime: RuntimeChoice,
+    /// Optional content-addressed result store. When set, every trial's
+    /// observation stream is looked up by its [`ScenarioSpec::label`]
+    /// (plus epoch count) before simulating and published after — a
+    /// warm sweep replays stored streams through the identical
+    /// statistics path, so its tables are byte-for-byte the live run's.
+    pub store: Option<ResultStore>,
 }
 
 impl FrontierConfig {
@@ -234,18 +242,10 @@ pub struct TrialStats {
     pub success_dual: f64,
 }
 
-/// One seeded simulation of one cell: build the cell's scenario, drive
-/// it through the unified [`tg_core::scenario::EpochDriver`], and
-/// average the per-epoch observations. Which system runs (the bare
-/// dynamic layer or the full epoch-string protocol) is the spec's
-/// business, not this loop's.
-fn run_trial(cfg: &FrontierConfig, key: &RowKey, beta: f64, trial_seed: u64) -> TrialStats {
-    let spec = key.scenario(cfg, beta, trial_seed);
-    let mut driver = tg_pow::scenario::build(&spec).expect("frontier scenarios are buildable");
-    // One batched run fills the driver's columnar `ObservationBatch`;
-    // the mean helpers reduce each column in epoch order, so the stats
-    // are bit-identical to the old step-and-accumulate loop.
-    let batch = driver.run(cfg.epochs.max(1));
+/// Reduce a trial's observation columns to its mean statistics. Both
+/// the live path and the store-warm path funnel through here, so a
+/// replayed stream yields bit-identical stats to the run that wrote it.
+fn batch_stats(batch: &ObservationBatch) -> TrialStats {
     TrialStats {
         captured_frac: batch.mean_captured_frac(),
         bad_ids: batch.mean_bad_ids(),
@@ -253,6 +253,64 @@ fn run_trial(cfg: &FrontierConfig, key: &RowKey, beta: f64, trial_seed: u64) -> 
         frac_red: batch.mean_frac_red_s0(),
         success_dual: batch.mean_success_dual(),
     }
+}
+
+/// The store key of one trial's observation stream: the trial's full
+/// scenario label (which already carries seed, axes, kernel, runtime)
+/// plus the epoch count the stream covers.
+pub fn trial_store_key(spec: &ScenarioSpec, epochs: usize) -> String {
+    format!("{};epochs={epochs}", spec.label())
+}
+
+/// One seeded simulation of one cell: build the cell's scenario, drive
+/// it through the unified [`tg_core::scenario::EpochDriver`], and
+/// average the per-epoch observations. Which system runs (the bare
+/// dynamic layer or the full epoch-string protocol) is the spec's
+/// business, not this loop's. With a store configured the trial's
+/// stream is fetched instead of simulated when present, and published
+/// after simulating when absent; the returned flag says whether the
+/// trial ran **live**. A corrupt stream panics — tampered results must
+/// never silently feed a sweep.
+fn run_trial(cfg: &FrontierConfig, key: &RowKey, beta: f64, trial_seed: u64) -> (TrialStats, bool) {
+    let spec = key.scenario(cfg, beta, trial_seed);
+    let epochs = cfg.epochs.max(1);
+    if let Some(store) = &cfg.store {
+        let skey = trial_store_key(&spec, epochs);
+        match store.get(&skey) {
+            Ok(Some(records)) => {
+                assert_eq!(
+                    records.len(),
+                    epochs,
+                    "stored stream for `{skey}` has the wrong epoch count"
+                );
+                let mut batch = ObservationBatch::new();
+                for (i, rec) in records.iter().enumerate() {
+                    let row = ObsRow::decode_line(rec).unwrap_or_else(|e| {
+                        panic!("store record {i} for `{skey}` does not decode: {e}")
+                    });
+                    batch.push(row);
+                }
+                return (batch_stats(&batch), false);
+            }
+            Ok(None) => {}
+            Err(e) => panic!("{e}"),
+        }
+        let mut driver = tg_pow::scenario::build(&spec).expect("frontier scenarios are buildable");
+        let batch = driver.run(epochs);
+        let records: Vec<String> =
+            (0..batch.len()).map(|i| batch.row_at(i).encode_line()).collect();
+        if let Err(e) = store.put(&skey, &records) {
+            // A publish failure degrades the cache, not the sweep.
+            eprintln!("warning: {e}");
+        }
+        return (batch_stats(batch), true);
+    }
+    let mut driver = tg_pow::scenario::build(&spec).expect("frontier scenarios are buildable");
+    // One batched run fills the driver's columnar `ObservationBatch`;
+    // the mean helpers reduce each column in epoch order, so the stats
+    // are bit-identical to the old step-and-accumulate loop.
+    let batch = driver.run(epochs);
+    (batch_stats(batch), true)
 }
 
 /// Evaluate one cell — `trials` seeded simulations of row `key` at β
@@ -273,13 +331,32 @@ pub fn eval_cell(
     t0: usize,
     trials: usize,
 ) -> Vec<TrialStats> {
+    eval_cell_counted(cfg, key, bi, beta, t0, trials).0
+}
+
+/// [`eval_cell`], additionally reporting how many of the trials ran
+/// **live** (were simulated) rather than replayed from the configured
+/// store — the number the refinement cost ledger and the warm-start
+/// acceptance test count. Without a store every trial is live.
+pub fn eval_cell_counted(
+    cfg: &FrontierConfig,
+    key: &RowKey,
+    bi: usize,
+    beta: f64,
+    t0: usize,
+    trials: usize,
+) -> (Vec<TrialStats>, usize) {
     let label = key.label();
-    (t0..t0 + trials)
+    let mut live = 0usize;
+    let stats = (t0..t0 + trials)
         .map(|t| {
             let trial_seed = derive_seed_grid(cfg.seed, &label, bi as u64, t as u64);
-            run_trial(cfg, key, beta, trial_seed)
+            let (stats, was_live) = run_trial(cfg, key, beta, trial_seed);
+            live += usize::from(was_live);
+            stats
         })
-        .collect()
+        .collect();
+    (stats, live)
 }
 
 /// One cell of the grid, aggregated over trials (`None` when skipped by

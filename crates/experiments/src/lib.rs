@@ -32,6 +32,7 @@
 //! `DynamicSystem`/`FullSystem` constructor calls in this crate.
 
 pub mod args;
+pub mod artifacts;
 pub mod exp;
 pub mod frontier;
 pub mod refine;

@@ -38,7 +38,9 @@
 //! (and the golden snapshot): evaluated cell-runs and trial-runs
 //! against the full-grid equivalents, with the saving as a fraction.
 
-use crate::frontier::{eval_cell, key_cells, CellStats, FrontierConfig, RowKey, CAPTURE_EPS};
+use crate::frontier::{
+    eval_cell_counted, key_cells, CellStats, FrontierConfig, RowKey, CAPTURE_EPS,
+};
 use crate::table::{f, Table};
 use std::collections::BTreeMap;
 use tg_sim::{binomial_wilson, parallel_map};
@@ -104,6 +106,9 @@ struct RowCell {
     bi: usize,
     phase: &'static str,
     trials: Vec<crate::frontier::TrialStats>,
+    /// How many of `trials` were simulated live rather than replayed
+    /// from the grid's result store (all of them without a store).
+    live_trials: usize,
 }
 
 impl RowCell {
@@ -146,7 +151,8 @@ fn refine_row(cfg: &RefineConfig, key: RowKey) -> RowOutcome {
     let mut eval = |bi: usize| -> bool {
         let cell = memo.entry(bi).or_insert_with(|| {
             let phase = phase_of(bi, k, order);
-            RowCell { bi, phase, trials: eval_cell(grid, &key, bi, grid.betas[bi], 0, base) }
+            let (trials, live_trials) = eval_cell_counted(grid, &key, bi, grid.betas[bi], 0, base);
+            RowCell { bi, phase, trials, live_trials }
         });
         order += 1;
         CellStats::of(&cell.trials[..base]).captured_frac > CAPTURE_EPS
@@ -177,7 +183,9 @@ fn refine_row(cfg: &RefineConfig, key: RowKey) -> RowOutcome {
                 for &bi in &[bl, fi] {
                     let cell = memo.get_mut(&bi).expect("bracket cells evaluated");
                     let t0 = cell.trials.len();
-                    cell.trials.extend(eval_cell(grid, &key, bi, grid.betas[bi], t0, base));
+                    let (extra, live) = eval_cell_counted(grid, &key, bi, grid.betas[bi], t0, base);
+                    cell.trials.extend(extra);
+                    cell.live_trials += live;
                     extra_trials += base;
                 }
                 rounds += 1;
@@ -206,6 +214,13 @@ pub struct RefineOutcome {
     pub cell_runs: usize,
     /// Seeded trials actually simulated, confidence extras included.
     pub trial_runs: usize,
+    /// Cells with at least one **live** (not store-replayed) trial.
+    /// Equals `cell_runs` without a store; a fully warm run reports 0 —
+    /// the strictly-fewer-live-cell-runs acceptance number.
+    pub live_cell_runs: usize,
+    /// Trials simulated live; the remaining `trial_runs` were replayed
+    /// from the grid's result store.
+    pub live_trial_runs: usize,
 }
 
 impl RefineOutcome {
@@ -234,12 +249,17 @@ pub fn run_refine(cfg: &RefineConfig) -> RefineOutcome {
 
     let cell_runs: usize = rows.iter().map(|r| r.cells.len()).sum();
     let trial_runs: usize = rows.iter().flat_map(|r| &r.cells).map(|c| c.trials.len()).sum();
+    let live_cell_runs: usize =
+        rows.iter().flat_map(|r| &r.cells).filter(|c| c.live_trials > 0).count();
+    let live_trial_runs: usize = rows.iter().flat_map(|r| &r.cells).map(|c| c.live_trials).sum();
     RefineOutcome {
         cells: cells_table(cfg, &rows),
         frontier: frontier_table(cfg, &rows),
-        cost: cost_table(cfg, &rows, cell_runs, trial_runs),
+        cost: cost_table(cfg, &rows, cell_runs, trial_runs, live_cell_runs, live_trial_runs),
         cell_runs,
         trial_runs,
+        live_cell_runs,
+        live_trial_runs,
     }
 }
 
@@ -342,6 +362,8 @@ fn cost_table(
     rows: &[RowOutcome],
     cell_runs: usize,
     trial_runs: usize,
+    live_cell_runs: usize,
+    live_trial_runs: usize,
 ) -> Table {
     let mut t = Table::new(
         "e12_refine_cost",
@@ -352,6 +374,9 @@ fn cost_table(
             "cell_runs",
             "trial_runs",
             "extra_trials",
+            "live_cell_runs",
+            "live_trial_runs",
+            "store_trial_hits",
             "grid_cell_runs",
             "grid_trial_runs",
             "cell_saving",
@@ -376,6 +401,9 @@ fn cost_table(
         cell_runs.to_string(),
         trial_runs.to_string(),
         extra.to_string(),
+        live_cell_runs.to_string(),
+        live_trial_runs.to_string(),
+        (trial_runs - live_trial_runs).to_string(),
         grid_cells.to_string(),
         grid_trials.to_string(),
         saving(cell_runs, grid_cells),

@@ -1,7 +1,6 @@
 //! Result tables: aligned stdout rendering plus CSV persistence.
 
 use std::fmt::Write as _;
-use std::io::Write as _;
 use std::path::Path;
 
 /// A rectangular result table with named columns.
@@ -113,15 +112,20 @@ impl Table {
     }
 
     /// Write the CSV under `dir/<name>.csv`, creating `dir` if needed.
+    /// The write is atomic (temp file + rename via
+    /// [`tg_sim::store::write_atomic`]): a crash mid-write leaves the
+    /// previous file intact rather than a truncated CSV the re-read
+    /// paths would parse as valid-but-short data.
     pub fn write_csv(&self, dir: &str) -> std::io::Result<std::path::PathBuf> {
         std::fs::create_dir_all(dir)?;
         let path = Path::new(dir).join(format!("{}.csv", self.name));
-        let mut f = std::fs::File::create(&path)?;
-        f.write_all(self.to_csv().as_bytes())?;
+        tg_sim::store::write_atomic(&path, self.to_csv().as_bytes())?;
         Ok(path)
     }
 
-    /// Print (unless quiet) and persist per the options.
+    /// Print (unless quiet) and persist per the options. A failed write
+    /// is counted by [`crate::artifacts`] so `run_all` can exit
+    /// non-zero when requested artifacts were dropped.
     pub fn emit(&self, opts: &crate::args::Options) {
         if !opts.quiet {
             println!("{}", self.render());
@@ -132,12 +136,16 @@ impl Table {
                     println!("wrote {}", path.display());
                 }
             }
-            Err(e) => eprintln!("warning: could not write CSV for {}: {e}", self.name),
+            Err(e) => crate::artifacts::note_dropped(&format!("CSV for {}", self.name), &e),
         }
     }
 }
 
-/// Format a float with sensible experiment precision.
+/// Format a float with sensible experiment precision. Values too small
+/// for four decimal places fall back to scientific notation: `{:.4}`
+/// would render any |v| < 0.00005 as `"0.0000"`, destroying
+/// small-but-nonzero capture rates on CSV re-read, while `{:e}` keeps
+/// them nonzero (and, being Rust's shortest-round-trip notation, exact).
 pub fn f(v: f64) -> String {
     if v == 0.0 {
         "0".to_string()
@@ -145,6 +153,8 @@ pub fn f(v: f64) -> String {
         format!("{v:.0}")
     } else if v.abs() >= 1.0 {
         format!("{v:.2}")
+    } else if v.abs() < 0.00005 {
+        format!("{v:e}")
     } else {
         format!("{v:.4}")
     }
@@ -225,5 +235,35 @@ mod tests {
         assert_eq!(f(0.12345), "0.1235");
         assert_eq!(f(6.54321), "6.54");
         assert_eq!(f(123456.0), "123456");
+    }
+
+    #[test]
+    fn tiny_values_survive_as_scientific_notation() {
+        // Below the {:.4} resolution the old formatter emitted
+        // "0.0000"; now the exact value survives the CSV round trip.
+        assert_eq!(f(1e-6), "1e-6");
+        assert_eq!(f(-3.2e-9), "-3.2e-9");
+        assert_eq!(f(1e-6).parse::<f64>().unwrap(), 1e-6);
+        // The boundary: 0.00005 still formats positionally…
+        assert_eq!(f(0.00005), "0.0001");
+        // …and nothing nonzero ever renders as a zero string anymore.
+        for v in [1e-5, 4.9e-5, 1e-12, f64::MIN_POSITIVE] {
+            assert_ne!(f(v).parse::<f64>().unwrap(), 0.0, "f({v}) = {}", f(v));
+        }
+    }
+
+    #[test]
+    fn write_csv_is_atomic_leaves_no_temp_files() {
+        let t = sample();
+        let dir = std::env::temp_dir().join(format!("tg-exp-atomic-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let dir_s = dir.to_str().unwrap();
+        t.write_csv(dir_s).unwrap();
+        t.write_csv(dir_s).unwrap();
+        let names: Vec<String> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .collect();
+        assert_eq!(names, vec!["demo.csv".to_string()], "{names:?}");
     }
 }

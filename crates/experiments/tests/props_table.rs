@@ -1,0 +1,51 @@
+//! Property-based pin of the table float formatter: `table::f` must
+//! never render a nonzero value as a string that parses back to zero.
+//! Values in the fixed-point tiers round-trip to within half a cell of
+//! their tier's decimal grid; values below the `{:.4}` threshold fall
+//! back to `{:e}`, whose shortest-round-trip output parses back
+//! bit-exactly.
+
+use proptest::prelude::*;
+use tg_experiments::table::f;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn nonzero_values_never_format_to_zero(
+        mantissa in 1u64..=u64::MAX,
+        scale in 0u32..25,
+        neg in any::<bool>(),
+    ) {
+        // Spread the magnitude over 25 decades straddling the 0.00005
+        // fixed-point threshold, down into the {:e} fallback range.
+        let sign = if neg { -1.0 } else { 1.0 };
+        let v = sign * (mantissa as f64 / u64::MAX as f64) * 10f64.powi(12 - scale as i32);
+        prop_assume!(v != 0.0 && v.is_finite());
+
+        let s = f(v);
+        let parsed: f64 = s.parse().expect("f() output parses as f64");
+        prop_assert!(parsed != 0.0, "f({v}) rendered {s:?}, which parses to zero");
+        prop_assert!((parsed < 0.0) == (v < 0.0), "f({v}) = {s:?} flipped the sign");
+
+        if v.abs() >= 0.00005 {
+            // Fixed-point branches: half a cell of whichever decimal
+            // grid the magnitude tier rounds to ({:.0} / {:.2} / {:.4}).
+            let tol = if v.abs() >= 1000.0 {
+                0.5
+            } else if v.abs() >= 1.0 {
+                0.005
+            } else {
+                0.00005
+            };
+            prop_assert!(
+                (parsed - v).abs() <= tol,
+                "f({v}) = {s:?} parsed back to {parsed}, off by more than {tol}"
+            );
+        } else {
+            // Scientific fallback: Display's shortest-round-trip
+            // contract makes the parse bit-exact.
+            prop_assert_eq!(parsed.to_bits(), v.to_bits(), "f({}) = {:?} is not exact", v, &s);
+        }
+    }
+}

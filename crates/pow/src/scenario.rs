@@ -405,4 +405,37 @@ mod tests {
             .build_mode(BuildMode::SingleGraph);
         assert!(matches!(build(&spec), Err(ScenarioError::Unsupported(_))));
     }
+
+    /// Real PoW observations survive the result-store line codec: every
+    /// row the store would persist for a strategic `FullDriver` run
+    /// decodes back bit-identical (the warm-replay contract at the
+    /// layer that actually produces the numbers).
+    #[test]
+    fn pow_observations_round_trip_through_the_store_codec() {
+        use tg_core::scenario::ObsRow;
+        let spec = base()
+            .strategy(StrategySpec::GapFilling)
+            .defense(Defense::Pow { scheme: MintScheme::TwoHash, fresh_strings: true });
+        let mut driver = build(&spec).unwrap();
+        for _ in 0..3 {
+            let row = ObsRow::of(driver.step());
+            let back = ObsRow::decode_line(&row.encode_line()).unwrap();
+            assert_eq!(back.epoch, row.epoch);
+            for (got, want) in [
+                (back.search_success_single, row.search_success_single),
+                (back.search_success_dual, row.search_success_dual),
+                (back.frac_red_s0, row.frac_red_s0),
+                (back.bad_share, row.bad_share),
+                (back.mean_memberships, row.mean_memberships),
+                (back.minted_good, row.minted_good),
+                (back.good_misses, row.good_misses),
+            ] {
+                assert_eq!(got.to_bits(), want.to_bits());
+            }
+            assert_eq!(
+                (back.captured_groups, back.total_groups, back.bad_ids),
+                (row.captured_groups, row.total_groups, row.bad_ids)
+            );
+        }
+    }
 }

@@ -23,7 +23,10 @@
 //! * [`net`] — an injectable message [`Transport`] with a
 //!   deterministic in-memory implementation supporting seeded fault
 //!   injection (latency, reordering, drops, partitions) for the actor
-//!   epoch runtime.
+//!   epoch runtime,
+//! * [`store`] — a content-addressed, hash-chained result store with
+//!   atomic publish, so sweeps can skip cells whose observation
+//!   streams are already on disk and long runs resume mid-ladder.
 
 pub mod clock;
 pub mod metrics;
@@ -31,6 +34,7 @@ pub mod net;
 pub mod parallel;
 pub mod rng;
 pub mod stats;
+pub mod store;
 
 pub use clock::EpochClock;
 pub use metrics::{CostReport, Metrics};
@@ -38,3 +42,4 @@ pub use net::{Envelope, FaultPlan, InMemoryTransport, NetStats, NodeId, Transpor
 pub use parallel::{parallel_map, parallel_map_chunked};
 pub use rng::{derive_seed, derive_seed_grid, derive_seed_nd, stream_rng, stream_rng_grid};
 pub use stats::{binomial_wilson, Summary};
+pub use store::{write_atomic, ResultStore, StoreError};
