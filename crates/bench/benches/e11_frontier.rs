@@ -48,6 +48,7 @@ fn bench_mini_grid(c: &mut Criterion) {
                 seed: 7,
                 kernel: Default::default(),
                 runtime: Default::default(),
+                transport: Default::default(),
                 store: None,
             })
         });

@@ -27,6 +27,7 @@ fn grid() -> FrontierConfig {
         seed: 7,
         kernel: Default::default(),
         runtime: Default::default(),
+        transport: Default::default(),
         store: None,
     }
 }

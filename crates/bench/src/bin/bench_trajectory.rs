@@ -28,8 +28,13 @@ use std::time::{Instant, SystemTime, UNIX_EPOCH};
 use tg_bench::{regression_warning, BenchRecord, REGRESSION_THRESHOLD};
 
 /// The record files the trajectory tracks.
-const RECORDS: [&str; 4] =
-    ["BENCH_e11.json", "BENCH_e12.json", "BENCH_kernel.json", "BENCH_store.json"];
+const RECORDS: [&str; 5] = [
+    "BENCH_e11.json",
+    "BENCH_e12.json",
+    "BENCH_kernel.json",
+    "BENCH_store.json",
+    "BENCH_net.json",
+];
 
 /// Compare mode: read each record from both directories and warn on
 /// regressions. Missing baseline files are reported and skipped (the
@@ -94,6 +99,7 @@ fn quick_grid() -> FrontierConfig {
         seed: 42,
         kernel: Default::default(),
         runtime: Default::default(),
+        transport: Default::default(),
         store: None,
     }
 }
@@ -191,6 +197,30 @@ fn main() {
     };
     write(&out_dir, "BENCH_store.json", &store_rec);
     let _ = std::fs::remove_dir_all(&store_dir);
+
+    // Net: the same uniform sweep with every protocol phase carried
+    // over loopback TCP through the actor runtime. Compared against
+    // `BENCH_e11.json` this prices the real socket path (framing,
+    // syscalls, lane pumping) relative to the in-memory transport; its
+    // own trajectory catches regressions in the transport itself.
+    let mut net_grid = quick_grid();
+    net_grid.runtime = tg_core::runtime::RuntimeChoice::Actor;
+    net_grid.transport = tg_core::scenario::TransportChoice::Socket;
+    let t0 = Instant::now();
+    let socketed = run_frontier(&net_grid);
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let cells = socketed.cells.rows.iter().filter(|r| r[6] == "run").count();
+    let trials = cells * net_grid.trials;
+    let net_rec = BenchRecord {
+        bench: "net_socket_sweep",
+        mode: "quick",
+        cells_swept: cells,
+        trial_runs: trials,
+        epochs_total: trials * net_grid.epochs,
+        wall_ms,
+        unix_time: now_unix(),
+    };
+    write(&out_dir, "BENCH_net.json", &net_rec);
 
     // E13: the arena epoch kernel's throughput record, serialized by
     // the experiment's own writer so this probe and the tier-1

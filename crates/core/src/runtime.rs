@@ -33,6 +33,22 @@
 //! kernels' seeded streams are untouched whatever the fault plan; see
 //! `tg_sim::net` for the determinism contract.
 //!
+//! ## Transports and phase windows
+//!
+//! The network itself is injectable: `transport=mem` (default) runs the
+//! deterministic in-memory transport, `transport=socket` the real
+//! localhost-TCP [`SocketTransport`].
+//! Both apply the identical hash-derived fault fates, so the choice is
+//! about *how bytes move*, never about what is observed.
+//!
+//! Each phase hands the transport a tick deadline sized by an adaptive
+//! [`PhaseWindow`]: it starts at [`PHASE_WINDOW`]
+//! ticks and tracks the observed per-phase delivery latency up to
+//! [`MAX_PHASE_WINDOW`], with zero latency as a fixpoint — which is why
+//! perfect-transport replays (mem or socket) stay byte-identical to the
+//! fixed-window goldens. A spec-level `window=` knob pins the deadline
+//! for sweeps.
+//!
 //! Select the runtime with [`RuntimeChoice`] on a
 //! [`ScenarioSpec`] (`runtime=actor` in
 //! the codec, emitted only when non-default) and the fault knobs with
@@ -43,7 +59,10 @@ use crate::dynamic::provider::{EpochIds, IdentityProvider};
 use crate::graph::GraphsView;
 use crate::scenario::{EpochDriver, EpochKernel, EpochObservation, ObservationBatch, ScenarioSpec};
 use rand::rngs::StdRng;
-use tg_sim::net::{InMemoryTransport, NetStats, NodeId, Transport};
+use tg_sim::clock::PhaseWindow;
+use tg_sim::net::{
+    InMemoryTransport, NetStats, NodeId, SocketTransport, Transport, TransportChoice, Wire,
+};
 
 /// Which execution model advances a scenario's epochs.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -98,12 +117,57 @@ pub enum ProtocolMsg {
     },
 }
 
+/// Round-trip byte codec for the wire: a one-byte variant tag followed
+/// by the variant's fields, little-endian, fixed width. `decode`
+/// demands the exact length — a truncated or padded frame is malformed
+/// and degrades to a transport drop.
+impl Wire for ProtocolMsg {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match *self {
+            ProtocolMsg::Join { id } => {
+                buf.push(0);
+                buf.extend_from_slice(&id.to_le_bytes());
+            }
+            ProtocolMsg::Probe { search, hop } => {
+                buf.push(1);
+                buf.extend_from_slice(&search.to_le_bytes());
+                buf.push(hop);
+            }
+            ProtocolMsg::StringAnnounce { key } => {
+                buf.push(2);
+                buf.extend_from_slice(&key.to_le_bytes());
+            }
+        }
+    }
+
+    fn decode(bytes: &[u8]) -> Option<Self> {
+        match bytes.split_first()? {
+            (0, rest) if rest.len() == 8 => {
+                Some(ProtocolMsg::Join { id: u64::from_le_bytes(rest.try_into().ok()?) })
+            }
+            (1, rest) if rest.len() == 5 => Some(ProtocolMsg::Probe {
+                search: u32::from_le_bytes(rest[..4].try_into().ok()?),
+                hop: rest[4],
+            }),
+            (2, rest) if rest.len() == 8 => {
+                Some(ProtocolMsg::StringAnnounce { key: u64::from_le_bytes(rest.try_into().ok()?) })
+            }
+            _ => None,
+        }
+    }
+}
+
 /// Virtual network size: protocol participants are mapped onto this
 /// many nodes (node `0` doubles as the aggregator/observer).
 pub const NET_NODES: u64 = 64;
-/// Ticks spanned by one phase's initial sends; fault windows (e.g.
+/// Base (and zero-latency fixpoint) of the adaptive phase window: the
+/// ticks spanned by one phase's initial sends on a quiet network. Fault
+/// windows (e.g.
 /// [`FaultPlan::partition_ticks`](tg_sim::net::FaultPlan::partition_ticks)) are expressed in the same unit.
 pub const PHASE_WINDOW: u64 = 64;
+/// Ceiling of the adaptive phase window: under heavy observed latency
+/// the deadline stretches, but never beyond this.
+pub const MAX_PHASE_WINDOW: u64 = 4096;
 
 const AGGREGATOR: NodeId = 0;
 const PHASE_STRINGS: u64 = 0;
@@ -116,33 +180,74 @@ fn node_of_id(raw: u64) -> NodeId {
 }
 
 /// Send tick of the `i`-th of `m` initial sends: spread monotonically
-/// over the phase window (order-preserving under a perfect transport).
-fn spread_tick(i: u64, m: u64) -> u64 {
-    (i * PHASE_WINDOW).checked_div(m).unwrap_or(0)
+/// over the first `window` ticks of the phase (order-preserving under a
+/// perfect transport).
+fn spread_tick(i: u64, m: u64, window: u64) -> u64 {
+    (i * window).checked_div(m).unwrap_or(0)
 }
 
 /// One scenario's network: the transport plus the per-phase actor
-/// protocols that run over it.
+/// protocols that run over it, under a latency-adaptive
+/// [`PhaseWindow`].
 pub struct EpochNet {
     transport: Box<dyn Transport<ProtocolMsg>>,
+    window: PhaseWindow,
 }
 
 impl EpochNet {
-    /// A network over the given transport.
+    /// A network over the given transport with the default adaptive
+    /// window ([`PHASE_WINDOW`]..=[`MAX_PHASE_WINDOW`]).
     pub fn new(transport: Box<dyn Transport<ProtocolMsg>>) -> EpochNet {
-        EpochNet { transport }
+        EpochNet::with_window(transport, PhaseWindow::adaptive(PHASE_WINDOW, MAX_PHASE_WINDOW))
     }
 
-    /// The in-memory network a spec asks for: the spec's fault plan,
-    /// faults seeded from the spec's master seed (via its own labelled
-    /// derivation — kernel streams are untouched).
+    /// A network over the given transport and an explicit phase window.
+    pub fn with_window(
+        transport: Box<dyn Transport<ProtocolMsg>>,
+        window: PhaseWindow,
+    ) -> EpochNet {
+        EpochNet { transport, window }
+    }
+
+    /// The network a spec asks for: the spec's transport choice and
+    /// fault plan, faults seeded from the spec's master seed (via its
+    /// own labelled derivation — kernel streams are untouched), and the
+    /// spec's `window=` pin if set.
+    ///
+    /// # Panics
+    /// Panics if `transport=socket` cannot establish its loopback lanes
+    /// (no further degradation is possible before a socket exists).
     pub fn for_spec(spec: &ScenarioSpec) -> EpochNet {
-        EpochNet::new(Box::new(InMemoryTransport::new(spec.faults, spec.seed)))
+        let transport: Box<dyn Transport<ProtocolMsg>> = match spec.transport {
+            TransportChoice::Mem => Box::new(InMemoryTransport::new(spec.faults, spec.seed)),
+            TransportChoice::Socket => {
+                Box::new(SocketTransport::connect(spec.faults, spec.seed).unwrap_or_else(|e| {
+                    panic!("transport=socket: cannot establish loopback lanes: {e}")
+                }))
+            }
+        };
+        let window = match spec.window {
+            Some(ticks) => PhaseWindow::pinned(ticks),
+            None => PhaseWindow::adaptive(PHASE_WINDOW, MAX_PHASE_WINDOW),
+        };
+        EpochNet::with_window(transport, window)
     }
 
     /// Lifetime delivery counters of the underlying transport.
     pub fn stats(&self) -> NetStats {
         self.transport.stats()
+    }
+
+    /// The phase window currently in force.
+    pub fn window(&self) -> &PhaseWindow {
+        &self.window
+    }
+
+    /// Feed one finished phase's delivery observation (the counter
+    /// delta since `before`) back into the adaptive window.
+    fn observe_phase(&mut self, before: NetStats) {
+        let after = self.transport.stats();
+        self.window.observe(after.delivered - before.delivered, after.lat_ticks - before.lat_ticks);
     }
 
     /// **Membership announcement phase.** Every good ID in `ids` sends a
@@ -153,14 +258,16 @@ impl EpochNet {
     /// Under a perfect transport delivery order equals send order, so
     /// `ids` comes back bit-identical.
     pub fn announce_phase(&mut self, epoch: u64, ids: &mut EpochIds) {
-        self.transport.begin_phase(epoch, PHASE_ANNOUNCE);
+        let w = self.window.current();
+        let before = self.transport.stats();
+        self.transport.begin_phase(epoch, PHASE_ANNOUNCE, w);
         let m = ids.good.len() as u64;
         for (i, id) in ids.good.iter().enumerate() {
             let raw = id.raw();
             self.transport.send(
                 node_of_id(raw),
                 AGGREGATOR,
-                spread_tick(i as u64, m),
+                spread_tick(i as u64, m, w),
                 ProtocolMsg::Join { id: raw },
             );
         }
@@ -171,6 +278,7 @@ impl EpochNet {
             }
         }
         ids.good = delivered;
+        self.observe_phase(before);
     }
 
     /// **Routing probe phase.** Each of `searches` probes runs a two-hop
@@ -182,7 +290,9 @@ impl EpochNet {
         if searches == 0 {
             return 1.0;
         }
-        self.transport.begin_phase(epoch, PHASE_PROBE);
+        let w = self.window.current();
+        let before = self.transport.stats();
+        self.transport.begin_phase(epoch, PHASE_PROBE, w);
         let m = searches as u64;
         for s in 0..m {
             let src = 1 + s % (NET_NODES - 1);
@@ -190,7 +300,7 @@ impl EpochNet {
             self.transport.send(
                 src,
                 relay,
-                spread_tick(s, m),
+                spread_tick(s, m, w),
                 ProtocolMsg::Probe { search: s as u32, hop: 0 },
             );
         }
@@ -210,6 +320,7 @@ impl EpochNet {
                 _ => {}
             }
         }
+        self.observe_phase(before);
         completed as f64 / searches as f64
     }
 
@@ -217,13 +328,15 @@ impl EpochNet {
     /// agreed epoch string to every other node; returns the fraction of
     /// nodes reached. Exactly `1.0` under a perfect transport.
     pub fn string_phase(&mut self, epoch: u64, key: u64) -> f64 {
-        self.transport.begin_phase(epoch, PHASE_STRINGS);
+        let w = self.window.current();
+        let before = self.transport.stats();
+        self.transport.begin_phase(epoch, PHASE_STRINGS, w);
         let m = NET_NODES - 1;
         for (i, node) in (1..NET_NODES).enumerate() {
             self.transport.send(
                 AGGREGATOR,
                 node,
-                spread_tick(i as u64, m),
+                spread_tick(i as u64, m, w),
                 ProtocolMsg::StringAnnounce { key },
             );
         }
@@ -233,6 +346,7 @@ impl EpochNet {
                 reached += 1;
             }
         }
+        self.observe_phase(before);
         reached as f64 / m as f64
     }
 }
@@ -436,5 +550,79 @@ mod tests {
         assert_eq!(net.probe_phase(1, 33), 1.0);
         assert_eq!(net.string_phase(1, 0xABCD), 1.0);
         assert_eq!(net.probe_phase(2, 0), 1.0);
+    }
+
+    #[test]
+    fn protocol_msg_wire_round_trips() {
+        let msgs = [
+            ProtocolMsg::Join { id: u64::MAX },
+            ProtocolMsg::Join { id: 0 },
+            ProtocolMsg::Probe { search: 12345, hop: 0 },
+            ProtocolMsg::Probe { search: u32::MAX, hop: 1 },
+            ProtocolMsg::StringAnnounce { key: 0xDEAD_BEEF_CAFE_F00D },
+        ];
+        for m in msgs {
+            let mut buf = Vec::new();
+            m.encode(&mut buf);
+            assert_eq!(ProtocolMsg::decode(&buf), Some(m));
+        }
+        // Malformed frames decode to None (degrading to a drop) rather
+        // than panicking: wrong tag, truncation, trailing garbage.
+        assert_eq!(ProtocolMsg::decode(&[]), None);
+        assert_eq!(ProtocolMsg::decode(&[9, 0, 0, 0, 0, 0, 0, 0, 0]), None);
+        assert_eq!(ProtocolMsg::decode(&[0, 1, 2]), None);
+        let mut buf = Vec::new();
+        ProtocolMsg::Join { id: 7 }.encode(&mut buf);
+        buf.push(0);
+        assert_eq!(ProtocolMsg::decode(&buf), None, "padded frame is malformed");
+    }
+
+    /// The adaptive window is a zero-latency fixpoint (golden-replay
+    /// safety) and stretches under observed latency.
+    #[test]
+    fn phase_window_adapts_to_observed_latency() {
+        let mut quiet = EpochNet::new(Box::new(InMemoryTransport::perfect(3)));
+        quiet.string_phase(1, 1);
+        quiet.probe_phase(1, 40);
+        assert_eq!(quiet.window().current(), PHASE_WINDOW, "zero latency never moves the window");
+
+        let plan = tg_sim::net::FaultPlan { latency_max: 24, ..Default::default() };
+        let mut slow = EpochNet::new(Box::new(InMemoryTransport::new(plan, 3)));
+        slow.string_phase(1, 1);
+        let w = slow.window().current();
+        assert!(w > PHASE_WINDOW, "observed latency stretches the deadline (got {w})");
+        assert!(w <= MAX_PHASE_WINDOW);
+    }
+
+    /// `window=` pins the deadline: observations cannot move it.
+    #[test]
+    fn spec_window_knob_pins_the_deadline() {
+        let s = spec().runtime(RuntimeChoice::Actor).latency(24).window(96);
+        let mut net = EpochNet::for_spec(&s);
+        assert!(net.window().is_pinned());
+        net.string_phase(1, 1);
+        net.probe_phase(1, 40);
+        assert_eq!(net.window().current(), 96);
+    }
+
+    /// The socket transport slots in through `for_spec` and reproduces
+    /// the in-memory phase fractions over a perfect loopback.
+    #[test]
+    fn for_spec_socket_matches_mem_phases() {
+        let base = spec().runtime(RuntimeChoice::Actor);
+        let mut mem = EpochNet::for_spec(&base);
+        let mut sock =
+            EpochNet::for_spec(&base.clone().transport(tg_sim::net::TransportChoice::Socket));
+        let mut ids_m = EpochIds {
+            good: (0..40u64).map(|i| tg_idspace::Id(i * 0x0101_0101)).collect(),
+            bad: vec![],
+        };
+        let mut ids_s = EpochIds { good: ids_m.good.clone(), bad: vec![] };
+        mem.announce_phase(2, &mut ids_m);
+        sock.announce_phase(2, &mut ids_s);
+        assert_eq!(ids_m.good, ids_s.good);
+        assert_eq!(mem.probe_phase(2, 50), sock.probe_phase(2, 50));
+        assert_eq!(mem.string_phase(2, 0xF00), sock.string_phase(2, 0xF00));
+        assert_eq!(mem.stats(), sock.stats());
     }
 }

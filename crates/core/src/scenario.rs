@@ -72,7 +72,7 @@ use tg_sim::Metrics;
 
 pub use crate::dynamic::kernel::{EpochKernel, KernelChoice};
 pub use crate::runtime::RuntimeChoice;
-pub use tg_sim::net::FaultPlan;
+pub use tg_sim::net::{FaultPlan, TransportChoice};
 
 /// Which minting scheme a PoW pipeline runs (§IV-A). Lives here (rather
 /// than in `tg-pow`, which re-exports it) so the defense axis of a
@@ -302,6 +302,81 @@ impl StrategySpec {
     }
 }
 
+/// The string-layer adversary of a PoW scenario, as declarative data
+/// (the spec-level mirror of `tg_pow::strings::StringAdversary`, which
+/// `tg_pow::scenario::build` constructs from this). Folding it into the
+/// spec makes the §IV-B hoarding attacks addressable through the codec
+/// — sweepable, storable, and round-trippable like every other axis.
+///
+/// Codec key: `stradv=` (the natural name `strings=` is taken by
+/// [`StringMode`], the string-*source* axis; the two are orthogonal —
+/// source says where epoch strings come from, adversary says who
+/// tampers with their release).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub enum StringAdversarySpec {
+    /// No string-layer interference (the default).
+    #[default]
+    None,
+    /// Withhold a fraction of agreed strings, releasing them late so
+    /// minting windows shrink (§IV-B's delayed-release attack).
+    DelayedRelease {
+        /// How many recent strings the adversary hoards.
+        strings: usize,
+        /// Fraction of each minting window the release is delayed by.
+        release_frac: f64,
+        /// Adversarial compute, in the same units as the minting budget.
+        units: f64,
+    },
+    /// Force stale string records into circulation so verifiers must
+    /// track extra candidates (§IV-B's forced-records attack).
+    ForcedRecords {
+        /// How many stale strings the adversary keeps alive.
+        strings: usize,
+        /// Fraction of verifiers exposed to the stale records.
+        release_frac: f64,
+    },
+}
+
+impl StringAdversarySpec {
+    /// Codec form: `none`, `delayed:{strings}:{release_frac}:{units}`,
+    /// or `records:{strings}:{release_frac}`.
+    pub fn encode(&self) -> String {
+        match *self {
+            StringAdversarySpec::None => "none".to_string(),
+            StringAdversarySpec::DelayedRelease { strings, release_frac, units } => {
+                format!("delayed:{strings}:{release_frac}:{units}")
+            }
+            StringAdversarySpec::ForcedRecords { strings, release_frac } => {
+                format!("records:{strings}:{release_frac}")
+            }
+        }
+    }
+
+    /// Parse the form produced by [`StringAdversarySpec::encode`].
+    pub fn decode(s: &str) -> Option<StringAdversarySpec> {
+        let mut parts = s.split(':');
+        let name = parts.next()?;
+        let mut arg = || parts.next();
+        let spec = match name {
+            "none" => StringAdversarySpec::None,
+            "delayed" => StringAdversarySpec::DelayedRelease {
+                strings: arg()?.parse().ok()?,
+                release_frac: arg()?.parse().ok()?,
+                units: arg()?.parse().ok()?,
+            },
+            "records" => StringAdversarySpec::ForcedRecords {
+                strings: arg()?.parse().ok()?,
+                release_frac: arg()?.parse().ok()?,
+            },
+            _ => return None,
+        };
+        if arg().is_some() {
+            return None;
+        }
+        Some(spec)
+    }
+}
+
 /// Everything that defines one simulated scenario. See the module docs
 /// for the shape of the API; see [`ScenarioSpec::new`] for defaults.
 #[derive(Clone, Debug, PartialEq)]
@@ -353,6 +428,24 @@ pub struct ScenarioSpec {
     /// [`RuntimeChoice::Sync`]. Codec-optional: each knob is emitted
     /// only when non-zero (`drop=`, `lat=`, `part=`).
     pub faults: FaultPlan,
+    /// Which transport implementation carries the actor runtime's
+    /// messages: the deterministic in-memory network or real loopback
+    /// TCP sockets. `transport=socket` requires
+    /// [`RuntimeChoice::Actor`] — the combination with `runtime=sync`
+    /// is rejected at parse/build time
+    /// ([`ScenarioError::NeedsActorRuntime`]). Codec-optional
+    /// (`transport=`, emitted only when non-default).
+    pub transport: TransportChoice,
+    /// Pin the actor runtime's phase-window deadline to exactly this
+    /// many ticks instead of adapting it to observed latency. `None`
+    /// (the default) selects the adaptive window. Codec-optional
+    /// (`window=`).
+    pub window: Option<u64>,
+    /// The string-layer adversary (§IV-B hoarding attacks). Applied by
+    /// `tg_pow::scenario::build` when the spec runs the real string
+    /// protocol; inert under [`Defense::NoPow`]. Codec-optional
+    /// (`stradv=`, emitted only when non-default).
+    pub string_adversary: StringAdversarySpec,
 }
 
 impl ScenarioSpec {
@@ -378,6 +471,9 @@ impl ScenarioSpec {
             capacity: None,
             runtime: RuntimeChoice::default(),
             faults: FaultPlan::default(),
+            transport: TransportChoice::default(),
+            window: None,
+            string_adversary: StringAdversarySpec::default(),
         }
     }
 
@@ -514,6 +610,27 @@ impl ScenarioSpec {
         self
     }
 
+    /// Select the transport implementation (in-memory vs loopback TCP).
+    /// `transport=socket` needs [`RuntimeChoice::Actor`]; the build
+    /// rejects the sync combination.
+    pub fn transport(mut self, transport: TransportChoice) -> Self {
+        self.transport = transport;
+        self
+    }
+
+    /// Pin the actor runtime's phase-window deadline (ticks) instead of
+    /// adapting it to observed latency.
+    pub fn window(mut self, ticks: u64) -> Self {
+        self.window = Some(ticks);
+        self
+    }
+
+    /// Set the string-layer adversary (§IV-B hoarding attacks).
+    pub fn string_adversary(mut self, adversary: StringAdversarySpec) -> Self {
+        self.string_adversary = adversary;
+        self
+    }
+
     /// Build the scenario's driver, for every spec the core layer can
     /// express ([`Defense::NoPow`] with a non-PoW strategy).
     ///
@@ -521,6 +638,7 @@ impl ScenarioSpec {
     /// [`ScenarioError::NeedsPowLayer`]; build those through the total
     /// builder, `tg_pow::scenario::build`.
     pub fn build(&self) -> Result<Box<dyn EpochDriver>, ScenarioError> {
+        self.check_transport()?;
         if self.defense != Defense::NoPow {
             return Err(ScenarioError::NeedsPowLayer("the defense mints through puzzles"));
         }
@@ -537,6 +655,20 @@ impl ScenarioSpec {
             }
         };
         Ok(driver_with_provider(self, inner))
+    }
+
+    /// Reject axis combinations no transport can serve: a socket
+    /// transport without an actor runtime has nobody to move bytes for.
+    /// Called by every builder (core and `tg_pow`) *and* by the codec,
+    /// so the invalid combination is unrepresentable from any entry
+    /// point.
+    pub fn check_transport(&self) -> Result<(), ScenarioError> {
+        if self.transport == TransportChoice::Socket && self.runtime != RuntimeChoice::Actor {
+            return Err(ScenarioError::NeedsActorRuntime(
+                "transport=socket moves actor protocol messages; pair it with runtime=actor",
+            ));
+        }
+        Ok(())
     }
 }
 
@@ -566,6 +698,11 @@ pub fn budget_for(beta: f64, n_good: usize) -> usize {
 pub enum ScenarioError {
     /// The spec needs `tg-pow` (use `tg_pow::scenario::build`).
     NeedsPowLayer(&'static str),
+    /// The spec selects a transport that only the actor runtime can
+    /// drive (`transport=socket` with `runtime=sync`). Caught at
+    /// parse/build time so no run ever starts on an unserviceable
+    /// network.
+    NeedsActorRuntime(&'static str),
     /// The spec combines axes no driver implements (e.g. the real
     /// string protocol over a single-graph construction).
     Unsupported(&'static str),
@@ -578,6 +715,9 @@ impl std::fmt::Display for ScenarioError {
         match self {
             ScenarioError::NeedsPowLayer(why) => {
                 write!(f, "scenario needs the PoW layer ({why}); build it via tg_pow::scenario")
+            }
+            ScenarioError::NeedsActorRuntime(why) => {
+                write!(f, "scenario needs the actor runtime ({why})")
             }
             ScenarioError::Unsupported(why) => write!(f, "unsupported scenario: {why}"),
             ScenarioError::Parse(msg) => write!(f, "scenario parse error: {msg}"),
@@ -665,7 +805,8 @@ const KEYS: [&str; 18] = [
 /// from their defaults, accepted (at most once) whether present or not.
 /// Every label or JSON form written before these keys existed therefore
 /// parses to a spec with the defaults — byte-compatible both ways.
-const OPTIONAL_KEYS: [&str; 6] = ["kernel", "cap", "runtime", "drop", "lat", "part"];
+const OPTIONAL_KEYS: [&str; 9] =
+    ["kernel", "cap", "runtime", "drop", "lat", "part", "transport", "window", "stradv"];
 
 impl ScenarioSpec {
     /// The spec as ordered `(key, value)` codec fields — the single
@@ -711,6 +852,15 @@ impl ScenarioSpec {
         }
         if self.faults.partition_ticks != 0 {
             fields.push(("part", self.faults.partition_ticks.to_string()));
+        }
+        if self.transport != TransportChoice::default() {
+            fields.push(("transport", self.transport.label().to_string()));
+        }
+        if let Some(window) = self.window {
+            fields.push(("window", window.to_string()));
+        }
+        if self.string_adversary != StringAdversarySpec::default() {
+            fields.push(("stradv", self.string_adversary.encode()));
         }
         fields
     }
@@ -775,6 +925,24 @@ impl ScenarioSpec {
             faults.partition_ticks =
                 v.parse().map_err(|_| err("field `part` is not an integer"))?;
         }
+        let transport = match opt("transport")? {
+            None => TransportChoice::default(),
+            Some(v) => TransportChoice::parse(v).ok_or_else(|| err("bad `transport`"))?,
+        };
+        let window = match opt("window")? {
+            None => None,
+            Some(v) => {
+                let ticks: u64 = v.parse().map_err(|_| err("field `window` is not an integer"))?;
+                if ticks == 0 {
+                    return Err(err("field `window` must be positive"));
+                }
+                Some(ticks)
+            }
+        };
+        let string_adversary = match opt("stradv")? {
+            None => StringAdversarySpec::default(),
+            Some(v) => StringAdversarySpec::decode(v).ok_or_else(|| err("bad `stradv`"))?,
+        };
         let mut params = Params::paper_defaults();
         params.beta = num("beta")?;
         params.delta = num("delta")?;
@@ -784,7 +952,7 @@ impl ScenarioSpec {
         params.churn_rate = num("churn")?;
         params.attack_requests_per_id = int("attack")? as usize;
         params.link_retries = int("retries")? as usize;
-        Ok(ScenarioSpec {
+        let spec = ScenarioSpec {
             params,
             kind: GraphKind::parse(get("kind")?).ok_or_else(|| err("bad `kind`"))?,
             mode: decode_mode(get("mode")?).ok_or_else(|| err("bad `mode`"))?,
@@ -803,7 +971,12 @@ impl ScenarioSpec {
             capacity,
             runtime,
             faults,
-        })
+            transport,
+            window,
+            string_adversary,
+        };
+        spec.check_transport()?;
+        Ok(spec)
     }
 
     /// The canonical one-line label: `tg1;key=value;…`. Stable across

@@ -9,7 +9,8 @@ use tg_core::dynamic::BuildMode;
 use tg_core::params::GroupSizeRule;
 use tg_core::runtime::RuntimeChoice;
 use tg_core::scenario::{
-    Defense, KernelChoice, MintScheme, ScenarioSpec, StrategySpec, StringMode,
+    Defense, KernelChoice, MintScheme, ScenarioError, ScenarioSpec, StrategySpec,
+    StringAdversarySpec, StringMode, TransportChoice,
 };
 use tg_overlay::GraphKind;
 
@@ -42,6 +43,18 @@ fn rule(tag: u8, c: f64, k: u64) -> GroupSizeRule {
         0 => GroupSizeRule::TinyLogLog,
         1 => GroupSizeRule::ClassicLog { c },
         _ => GroupSizeRule::Fixed(k as usize),
+    }
+}
+
+fn string_adversary(tag: u8, a: f64, n: u64) -> StringAdversarySpec {
+    match tag % 3 {
+        0 => StringAdversarySpec::None,
+        1 => StringAdversarySpec::DelayedRelease {
+            strings: (n % 17) as usize,
+            release_frac: a,
+            units: a * 3.0,
+        },
+        _ => StringAdversarySpec::ForcedRecords { strings: (n % 17) as usize, release_frac: a },
     }
 }
 
@@ -80,7 +93,21 @@ proptest! {
         drop in 0.0f64..1.0,
         lat in 0u64..1024,
         part in 0u64..1024,
+        transport_tag in 0u8..2,
+        window in proptest::option::of(1u64..8192),
+        stradv_tag in any::<u8>(),
+        stradv_frac in 0.0f64..1.0,
+        stradv_n in any::<u64>(),
     ) {
+        // `transport=socket` is only expressible with the actor
+        // runtime — the codec rejects the sync combination (pinned
+        // separately below), so the generator honors the constraint.
+        let runtime = if runtime_tag == 0 && transport_tag == 0 {
+            RuntimeChoice::Sync
+        } else {
+            RuntimeChoice::Actor
+        };
+        let transport = if transport_tag == 0 { TransportChoice::Mem } else { TransportChoice::Socket };
         let mut spec = ScenarioSpec::new(n_good, seed)
             .beta(beta)
             .budget(n_bad)
@@ -96,12 +123,17 @@ proptest! {
             .searches(searches)
             .idealized(idealized)
             .kernel(if kernel_tag == 0 { KernelChoice::Legacy } else { KernelChoice::Arena })
-            .runtime(if runtime_tag == 0 { RuntimeChoice::Sync } else { RuntimeChoice::Actor })
+            .runtime(runtime)
             .drop_rate(drop)
             .latency(lat)
-            .partition(part);
+            .partition(part)
+            .transport(transport)
+            .string_adversary(string_adversary(stradv_tag, stradv_frac, stradv_n));
         if let Some(c) = cap {
             spec = spec.capacity(c as usize);
+        }
+        if let Some(w) = window {
+            spec = spec.window(w);
         }
         spec.params.delta = delta;
         spec.params.size_rule = rule(rule_tag, rule_c, rule_k);
@@ -155,7 +187,7 @@ proptest! {
         let label = base.label();
         prop_assert!(!label.contains("kernel="), "default kernel is elided: {}", label);
         prop_assert!(!label.contains("cap="), "default capacity is elided: {}", label);
-        for knob in ["runtime=", "drop=", "lat=", "part="] {
+        for knob in ["runtime=", "drop=", "lat=", "part=", "transport=", "window=", "stradv="] {
             prop_assert!(!label.contains(knob), "default {} is elided: {}", knob, label);
         }
 
@@ -165,6 +197,9 @@ proptest! {
         prop_assert_eq!(parsed.capacity, None);
         prop_assert_eq!(parsed.runtime, RuntimeChoice::Sync);
         prop_assert_eq!(parsed.faults, tg_core::scenario::FaultPlan::default());
+        prop_assert_eq!(parsed.transport, TransportChoice::Mem);
+        prop_assert_eq!(parsed.window, None);
+        prop_assert_eq!(parsed.string_adversary, StringAdversarySpec::None);
 
         // And the knobs themselves round-trip through both codecs.
         let scaled = base.kernel(KernelChoice::Arena).capacity(cap as usize);
@@ -188,7 +223,7 @@ proptest! {
         cap in 1u64..1u64 << 24,
         dup_value_from_label in any::<bool>(),
     ) {
-        // Every optional knob is non-default, so all 24 codec keys
+        // Every optional knob is non-default, so all 27 codec keys
         // appear in the label and each one gets a duplication trial.
         let spec = ScenarioSpec::new(n_good, seed)
             .churn(churn)
@@ -197,14 +232,20 @@ proptest! {
             .runtime(RuntimeChoice::Actor)
             .drop_rate(drop)
             .latency(lat)
-            .partition(part);
+            .partition(part)
+            .transport(TransportChoice::Socket)
+            .window(lat + 1)
+            .string_adversary(StringAdversarySpec::ForcedRecords {
+                strings: 3,
+                release_frac: drop,
+            });
         let label = spec.label();
         let fields: Vec<(&str, &str)> = label
             .split(';')
             .skip(1) // the `tg1` version tag
             .map(|f| f.split_once('=').expect("every label field is key=value"))
             .collect();
-        prop_assert_eq!(fields.len(), 24, "label: {}", label);
+        prop_assert_eq!(fields.len(), 27, "label: {}", label);
         for (key, value) in &fields {
             // Duplicating with the same value must fail exactly like a
             // conflicting one — duplicates are rejected, not merged.
@@ -219,6 +260,82 @@ proptest! {
                 key,
                 msg
             );
+        }
+    }
+
+    /// `transport=socket` without `runtime=actor` is rejected at parse
+    /// time — through both codec forms and through `build()` — with the
+    /// typed [`ScenarioError::NeedsActorRuntime`], never at run time.
+    #[test]
+    fn socket_without_actor_runtime_is_rejected(
+        n_good in 1usize..10_000,
+        seed in any::<u64>(),
+        churn in 0.0f64..0.45,
+    ) {
+        let base = ScenarioSpec::new(n_good, seed).churn(churn);
+
+        // A hand-built label naming the socket transport but no (or the
+        // sync) runtime: the codec refuses to produce the spec at all.
+        let sync_label = format!("{};transport=socket", base.label());
+        let parsed = ScenarioSpec::parse(&sync_label);
+        prop_assert!(
+            matches!(parsed, Err(ScenarioError::NeedsActorRuntime(_))),
+            "parse accepted a sync socket spec: {:?}",
+            parsed
+        );
+        let explicit = format!("{};runtime=sync;transport=socket", base.label());
+        prop_assert!(matches!(
+            ScenarioSpec::parse(&explicit),
+            Err(ScenarioError::NeedsActorRuntime(_))
+        ));
+
+        // Same through the JSON form.
+        let json = base.clone()
+            .runtime(RuntimeChoice::Actor)
+            .transport(TransportChoice::Socket)
+            .to_json()
+            .replace("\"runtime\": \"actor\",\n  ", "");
+        prop_assert!(matches!(
+            ScenarioSpec::from_json(&json),
+            Err(ScenarioError::NeedsActorRuntime(_))
+        ));
+
+        // A builder-composed spec fails at build(), before any driver
+        // (or socket) exists.
+        let built = base.clone().transport(TransportChoice::Socket).build();
+        prop_assert!(matches!(built, Err(ScenarioError::NeedsActorRuntime(_))));
+
+        // The valid pairing parses and round-trips.
+        let ok = base.runtime(RuntimeChoice::Actor).transport(TransportChoice::Socket);
+        prop_assert_eq!(&ScenarioSpec::parse(&ok.label()).unwrap(), &ok);
+    }
+
+    /// The `stradv=` codec arm round-trips every variant and rejects
+    /// malformed encodings (wrong arity, unknown name, junk numbers).
+    #[test]
+    fn string_adversary_codec_round_trips_and_rejects(
+        strings in 0usize..1000,
+        frac in 0.0f64..1.0,
+        units in 0.0f64..64.0,
+    ) {
+        for adv in [
+            StringAdversarySpec::None,
+            StringAdversarySpec::DelayedRelease { strings, release_frac: frac, units },
+            StringAdversarySpec::ForcedRecords { strings, release_frac: frac },
+        ] {
+            prop_assert_eq!(StringAdversarySpec::decode(&adv.encode()), Some(adv));
+        }
+        for bad in [
+            "delayed",
+            "delayed:1:0.5",
+            "delayed:1:0.5:2:9",
+            "records:1",
+            "records:1:0.5:9",
+            "hoard:1:0.5",
+            "records:x:0.5",
+            "",
+        ] {
+            prop_assert_eq!(StringAdversarySpec::decode(bad), None, "accepted `{}`", bad);
         }
     }
 }

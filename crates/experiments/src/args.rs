@@ -11,13 +11,17 @@
 //! either way; `arena` is the scale path e13 benchmarks), and
 //! `--runtime sync|actor` (which epoch runtime advances them —
 //! identical results over the actor runtime's default perfect
-//! transport; e14 is the faulty-transport sweep), and `--store <dir>`
+//! transport; e14 is the faulty-transport sweep), `--transport
+//! mem|socket` (which transport carries the actor runtime's protocol
+//! messages — the deterministic in-memory network or real loopback TCP
+//! sockets; identical results either way, by the shared fault-fate
+//! construction), and `--store <dir>`
 //! (a content-addressed result store: sweeps replay cells whose
 //! observation streams are already stored and publish the ones they
 //! simulate, making warm re-runs cheap and long ladders resumable).
 
 use tg_core::runtime::RuntimeChoice;
-use tg_core::scenario::KernelChoice;
+use tg_core::scenario::{KernelChoice, TransportChoice};
 
 /// Parsed command-line options.
 #[derive(Clone, Debug)]
@@ -41,6 +45,11 @@ pub struct Options {
     /// Which epoch runtime advances them (synchronous in-process vs
     /// actor message passing).
     pub runtime: RuntimeChoice,
+    /// Which transport carries the actor runtime's protocol messages
+    /// (in-memory vs loopback TCP sockets). Only meaningful with
+    /// `--runtime actor`; experiments thread it into their specs, where
+    /// the socket/sync combination is rejected at build time.
+    pub transport: TransportChoice,
     /// Directory of the content-addressed result store
     /// ([`tg_sim::store`]). When set, sweeps replay any cell whose
     /// observation stream is already stored and publish the streams of
@@ -60,6 +69,7 @@ impl Default for Options {
             list: false,
             kernel: KernelChoice::default(),
             runtime: RuntimeChoice::default(),
+            transport: TransportChoice::default(),
             store: None,
         }
     }
@@ -108,6 +118,11 @@ impl Options {
                     opts.runtime = RuntimeChoice::parse(&v)
                         .unwrap_or_else(|| usage("--runtime must be sync or actor"));
                 }
+                "--transport" => {
+                    let v = it.next().unwrap_or_else(|| usage("--transport needs a value"));
+                    opts.transport = TransportChoice::parse(&v)
+                        .unwrap_or_else(|| usage("--transport must be mem or socket"));
+                }
                 "--store" => {
                     opts.store = Some(it.next().unwrap_or_else(|| usage("--store needs a value")));
                 }
@@ -151,7 +166,8 @@ fn usage(msg: &str) -> ! {
     }
     eprintln!(
         "usage: <experiment> [--seed N] [--full] [--out DIR] [--quiet] [--only e10,e11,e12] \
-         [--list] [--kernel legacy|arena] [--runtime sync|actor] [--store DIR]"
+         [--list] [--kernel legacy|arena] [--runtime sync|actor] [--transport mem|socket] \
+         [--store DIR]"
     );
     std::process::exit(if msg.is_empty() { 0 } else { 2 });
 }
@@ -200,6 +216,13 @@ mod tests {
         assert_eq!(parse(&[]).runtime, RuntimeChoice::Sync);
         assert_eq!(parse(&["--runtime", "actor"]).runtime, RuntimeChoice::Actor);
         assert_eq!(parse(&["--runtime", "sync"]).runtime, RuntimeChoice::Sync);
+    }
+
+    #[test]
+    fn transport_flag_parses() {
+        assert_eq!(parse(&[]).transport, TransportChoice::Mem);
+        assert_eq!(parse(&["--transport", "socket"]).transport, TransportChoice::Socket);
+        assert_eq!(parse(&["--transport", "mem"]).transport, TransportChoice::Mem);
     }
 
     #[test]

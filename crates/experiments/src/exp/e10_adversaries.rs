@@ -30,7 +30,9 @@ use rand::rngs::StdRng;
 use rand::Rng;
 use tg_core::routing::dual_search;
 use tg_core::runtime::RuntimeChoice;
-use tg_core::scenario::{Defense, KernelChoice, ScenarioSpec, StrategySpec, StringMode};
+use tg_core::scenario::{
+    Defense, KernelChoice, ScenarioSpec, StrategySpec, StringMode, TransportChoice,
+};
 use tg_core::{GraphsView, GroupGraphView, Params};
 use tg_idspace::{Id, RingDistance};
 use tg_pow::MintScheme;
@@ -93,6 +95,7 @@ fn cell_spec(
     cell_seed: u64,
     kernel: KernelChoice,
     runtime: RuntimeChoice,
+    transport: TransportChoice,
 ) -> ScenarioSpec {
     ScenarioSpec::new(n_good, cell_seed)
         .params(sweep_params())
@@ -101,6 +104,7 @@ fn cell_spec(
         .searches(searches)
         .kernel(kernel)
         .runtime(runtime)
+        .transport(transport)
 }
 
 /// Dual-search success for keys u.a.r. in the victim arc.
@@ -139,10 +143,11 @@ fn run_cell(
     seed: u64,
     kernel: KernelChoice,
     runtime: RuntimeChoice,
+    transport: TransportChoice,
 ) -> Vec<Vec<String>> {
     let pipeline_idx = PIPELINES.iter().position(|&p| p == pipeline).unwrap() as u64;
     let cell_seed = tg_sim::derive_seed(seed, strategy, pipeline_idx);
-    let spec = cell_spec(n_good, n_bad, searches, cell_seed, kernel, runtime)
+    let spec = cell_spec(n_good, n_bad, searches, cell_seed, kernel, runtime, transport)
         .strategy(cell_strategy(strategy, cell_seed ^ 0xE10, n_bad))
         .defense(cell_defense(pipeline));
     let mut sys = tg_pow::scenario::build(&spec).expect("E10 scenarios are buildable");
@@ -197,8 +202,11 @@ pub fn run(opts: &Options) -> Vec<Table> {
     let seed = opts.seed;
     let kernel = opts.kernel;
     let runtime = opts.runtime;
+    let transport = opts.transport;
     let results = tg_sim::parallel_map(cells, move |(strategy, pipeline)| {
-        run_cell(strategy, pipeline, n_good, n_bad, epochs, searches, seed, kernel, runtime)
+        run_cell(
+            strategy, pipeline, n_good, n_bad, epochs, searches, seed, kernel, runtime, transport,
+        )
     });
     for rows in results {
         for row in rows {
@@ -221,7 +229,7 @@ pub fn run(opts: &Options) -> Vec<Table> {
     );
     let hoard_rows = tg_sim::parallel_map(vec![true, false], move |fresh| {
         let cell_seed = tg_sim::derive_seed(seed, "e10-hoard", fresh as u64);
-        let spec = cell_spec(n_good, n_bad, searches, cell_seed, kernel, runtime)
+        let spec = cell_spec(n_good, n_bad, searches, cell_seed, kernel, runtime, transport)
             .strategy(cell_strategy("precompute-hoarder", cell_seed ^ 0xB0A, n_bad))
             .defense(Defense::Pow { scheme: MintScheme::TwoHash, fresh_strings: fresh });
         let mut sys = tg_pow::scenario::build(&spec).expect("E10 scenarios are buildable");
@@ -264,6 +272,7 @@ mod tests {
             quiet: true,
             only: None,
             list: false,
+            transport: Default::default(),
             store: None,
         }
     }

@@ -68,6 +68,7 @@ pub fn config(opts: &Options) -> FrontierConfig {
             seed: opts.seed,
             kernel: opts.kernel,
             runtime: opts.runtime,
+            transport: opts.transport,
             store: opts.open_store(),
         }
     } else {
@@ -85,6 +86,7 @@ pub fn config(opts: &Options) -> FrontierConfig {
             seed: opts.seed,
             kernel: opts.kernel,
             runtime: opts.runtime,
+            transport: opts.transport,
             store: opts.open_store(),
         }
     }
@@ -118,6 +120,7 @@ mod tests {
             quiet: true,
             only: None,
             list: false,
+            transport: Default::default(),
             store: None,
         }
     }
@@ -238,6 +241,7 @@ mod tests {
             seed: 42,
             kernel: Default::default(),
             runtime: Default::default(),
+            transport: Default::default(),
             store: None,
         };
         let a = run_frontier(&cfg);

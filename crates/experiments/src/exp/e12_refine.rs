@@ -81,6 +81,7 @@ pub fn config(opts: &Options) -> RefineConfig {
             seed: opts.seed,
             kernel: opts.kernel,
             runtime: opts.runtime,
+            transport: opts.transport,
             store: opts.open_store(),
         }
     } else {
@@ -98,6 +99,7 @@ pub fn config(opts: &Options) -> RefineConfig {
             seed: opts.seed,
             kernel: opts.kernel,
             runtime: opts.runtime,
+            transport: opts.transport,
             store: opts.open_store(),
         }
     };
@@ -133,6 +135,7 @@ mod tests {
             quiet: true,
             only: None,
             list: false,
+            transport: Default::default(),
             store: None,
         }
     }
@@ -166,6 +169,7 @@ mod tests {
             seed: 42,
             kernel: Default::default(),
             runtime: Default::default(),
+            transport: Default::default(),
             store: None,
         }
     }
@@ -290,6 +294,7 @@ mod tests {
                 seed: 42,
                 kernel: Default::default(),
                 runtime: Default::default(),
+                transport: Default::default(),
                 store: None,
             },
             z: 1.645,

@@ -31,7 +31,7 @@
 use crate::args::Options;
 use crate::table::{f, Table};
 use tg_core::runtime::RuntimeChoice;
-use tg_core::scenario::{budget_for, ScenarioSpec, StrategySpec};
+use tg_core::scenario::{budget_for, ScenarioSpec, StrategySpec, TransportChoice};
 use tg_sim::parallel_map;
 
 /// β of every cell: the paper default — low enough that the
@@ -46,28 +46,43 @@ const QUICK_N_GOOD: usize = 260;
 /// Good population per cell under `--full`.
 const FULL_N_GOOD: usize = 400;
 
-/// One cell of the fault grid: a drop rate and a partition length
+/// One cell of the fault grid: a drop rate, a partition length
 /// (ticks of each phase window during which a seeded bisection of the
-/// node space cuts cross-partition traffic).
+/// node space cuts cross-partition traffic), and the transport carrying
+/// the messages.
 #[derive(Clone, Copy, Debug)]
 pub struct FaultCell {
     /// Per-message drop probability on the injected transport.
     pub drop: f64,
     /// Partition window length in transport ticks (0 = never).
     pub part: u64,
+    /// Which transport implementation moves the bytes. Both apply the
+    /// identical hash-derived fault fates, so matching mem/socket rows
+    /// are numerically identical — the socket rows prove the real
+    /// network path, not a different physics.
+    pub transport: TransportChoice,
 }
 
-/// The sweep grid for the given options: drop rate × partition length.
+/// The sweep grid for the given options: drop rate × partition length,
+/// on the `--transport` choice in quick mode and on **both** transports
+/// under `--full` (the socket × drop × partition axes of the nightly
+/// sweep).
 pub fn grid(opts: &Options) -> Vec<FaultCell> {
-    let (drops, parts): (Vec<f64>, Vec<u64>) = if opts.full {
-        ((0..=7).map(|i| i as f64 / 10.0).collect(), vec![0, 16, 32, 48])
+    let (drops, parts, transports): (Vec<f64>, Vec<u64>, Vec<TransportChoice>) = if opts.full {
+        (
+            (0..=7).map(|i| i as f64 / 10.0).collect(),
+            vec![0, 16, 32, 48],
+            vec![TransportChoice::Mem, TransportChoice::Socket],
+        )
     } else {
-        (vec![0.0, 0.2, 0.4, 0.6], vec![0, 24])
+        (vec![0.0, 0.2, 0.4, 0.6], vec![0, 24], vec![opts.transport])
     };
     let mut cells = Vec::new();
-    for &part in &parts {
-        for &drop in &drops {
-            cells.push(FaultCell { drop, part });
+    for &transport in &transports {
+        for &part in &parts {
+            for &drop in &drops {
+                cells.push(FaultCell { drop, part, transport });
+            }
         }
     }
     cells
@@ -86,6 +101,7 @@ pub fn cell_spec(cell: FaultCell, opts: &Options, seed: u64) -> ScenarioSpec {
         .strategy(StrategySpec::Uniform)
         .searches(if opts.full { 300 } else { 120 })
         .runtime(RuntimeChoice::Actor)
+        .transport(cell.transport)
         .drop_rate(cell.drop)
         .partition(cell.part)
 }
@@ -209,12 +225,22 @@ pub fn run(opts: &Options) -> Table {
     }
     let mut table = Table::new(
         "e14_async",
-        &["drop", "part", "epochs", "capture", "frac_red_s0", "success_dual", "bad_share"],
+        &[
+            "drop",
+            "part",
+            "transport",
+            "epochs",
+            "capture",
+            "frac_red_s0",
+            "success_dual",
+            "bad_share",
+        ],
     );
     for r in results {
         table.push(vec![
             f(r.cell.drop),
             r.cell.part.to_string(),
+            r.cell.transport.label().to_string(),
             epochs.to_string(),
             f(r.capture),
             f(r.frac_red),
@@ -233,6 +259,10 @@ mod tests {
         Options { quiet: true, ..Default::default() }
     }
 
+    fn cell(drop: f64, part: u64) -> FaultCell {
+        FaultCell { drop, part, transport: TransportChoice::Mem }
+    }
+
     /// The acceptance property: at fixed β, capture rises monotonically
     /// with the drop rate along each partition row of the quick grid,
     /// and the lossy end is strictly worse than the perfect end.
@@ -243,7 +273,7 @@ mod tests {
         for &part in &[0u64, 24] {
             let row: Vec<CellResult> = [0.0, 0.2, 0.4, 0.6]
                 .iter()
-                .map(|&drop| run_cell(FaultCell { drop, part }, &opts, epochs, 3))
+                .map(|&drop| run_cell(cell(drop, part), &opts, epochs, 3))
                 .collect();
             for w in row.windows(2) {
                 assert!(
@@ -267,9 +297,73 @@ mod tests {
     #[test]
     fn drops_degrade_dual_search_success() {
         let opts = quick_opts();
-        let perfect = run_cell(FaultCell { drop: 0.0, part: 0 }, &opts, 4, 2);
-        let lossy = run_cell(FaultCell { drop: 0.6, part: 0 }, &opts, 4, 2);
+        let perfect = run_cell(cell(0.0, 0), &opts, 4, 2);
+        let lossy = run_cell(cell(0.6, 0), &opts, 4, 2);
         assert!(lossy.success_dual < perfect.success_dual);
+    }
+
+    /// The transport axis is observation-free: a socket cell reproduces
+    /// its in-memory twin bit for bit (shared fault fates + identical
+    /// phase schedules), faults included.
+    #[test]
+    fn socket_cells_match_mem_cells_bit_for_bit() {
+        let opts = quick_opts();
+        for (drop, part) in [(0.0, 0u64), (0.4, 24)] {
+            let mem = run_cell(cell(drop, part), &opts, 3, 2);
+            let sock =
+                run_cell(FaultCell { drop, part, transport: TransportChoice::Socket }, &opts, 3, 2);
+            for (got, want) in [
+                (sock.capture, mem.capture),
+                (sock.frac_red, mem.frac_red),
+                (sock.success_dual, mem.success_dual),
+                (sock.bad_share, mem.bad_share),
+            ] {
+                assert_eq!(got.to_bits(), want.to_bits(), "drop={drop} part={part}");
+            }
+        }
+    }
+
+    /// The acceptance sweep on real sockets: capture stays monotone in
+    /// the drop rate when the cells run over loopback TCP.
+    #[test]
+    fn socket_capture_rises_monotonically_with_drop_rate() {
+        let opts = quick_opts();
+        let row: Vec<CellResult> = [0.0, 0.3, 0.6]
+            .iter()
+            .map(|&drop| {
+                run_cell(
+                    FaultCell { drop, part: 24, transport: TransportChoice::Socket },
+                    &opts,
+                    4,
+                    2,
+                )
+            })
+            .collect();
+        for w in row.windows(2) {
+            assert!(
+                w[1].capture >= w[0].capture - 1e-12,
+                "socket capture not monotone: drop {} -> {} gave {} -> {}",
+                w[0].cell.drop,
+                w[1].cell.drop,
+                w[0].capture,
+                w[1].capture,
+            );
+        }
+        assert!(row.last().unwrap().capture > row[0].capture);
+    }
+
+    /// The quick grid honors `--transport socket`: every cell runs on
+    /// the socket transport and the table carries the axis column.
+    #[test]
+    fn quick_grid_uses_the_transport_option() {
+        let opts = Options { transport: TransportChoice::Socket, ..quick_opts() };
+        let cells = grid(&opts);
+        assert_eq!(cells.len(), 8);
+        assert!(cells.iter().all(|c| c.transport == TransportChoice::Socket));
+        let full = Options { full: true, ..quick_opts() };
+        let cells = grid(&full);
+        assert_eq!(cells.len(), 64, "full grid sweeps both transports");
+        assert_eq!(cells.iter().filter(|c| c.transport == TransportChoice::Socket).count(), 32);
     }
 
     /// The grid is deterministic: the same options produce the same
@@ -290,7 +384,7 @@ mod tests {
         let _ = std::fs::remove_dir_all(&dir);
         let store = tg_sim::ResultStore::open(&dir).unwrap();
         let opts = quick_opts();
-        let cell = FaultCell { drop: 0.4, part: 24 };
+        let cell = cell(0.4, 24);
         let bare = run_cell(cell, &opts, 3, 2);
         let (cold, cold_live) = run_cell_stored(cell, &opts, 3, 2, Some(&store));
         assert_eq!(cold_live, 2, "cold pass simulates every trial");

@@ -110,6 +110,7 @@ mod tests {
             quiet: true,
             only: None,
             list: false,
+            transport: Default::default(),
             store: None,
         };
         // Shrink by running the real function — the quick grid is small

@@ -161,6 +161,7 @@ mod tests {
             quiet: true,
             only: None,
             list: false,
+            transport: Default::default(),
             store: None,
         };
         let mut rng = stream_rng(opts.seed, "e3-test", 0);

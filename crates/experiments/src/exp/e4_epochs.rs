@@ -66,7 +66,8 @@ pub fn run(opts: &Options) -> Table {
             .build_mode(mode)
             .searches(if opts.full { 800 } else { 400 })
             .kernel(opts.kernel)
-            .runtime(opts.runtime);
+            .runtime(opts.runtime)
+            .transport(opts.transport);
         let mut sys = tg_pow::scenario::build(&spec).expect("honest no-PoW scenario");
         for _ in 0..epochs {
             let r = sys.step();

@@ -41,7 +41,8 @@ pub fn run(opts: &Options) -> Table {
             .topology(GraphKind::D2B)
             .searches(200)
             .kernel(opts.kernel)
-            .runtime(opts.runtime);
+            .runtime(opts.runtime)
+            .transport(opts.transport);
         let mut sys = tg_pow::scenario::build(&spec).expect("honest no-PoW scenario");
         for _ in 0..epochs {
             let r = sys.step();
@@ -82,6 +83,7 @@ mod tests {
             quiet: true,
             only: None,
             list: false,
+            transport: Default::default(),
             store: None,
         };
         let t = run(&opts);

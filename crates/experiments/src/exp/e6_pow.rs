@@ -121,6 +121,7 @@ mod tests {
             quiet: true,
             only: None,
             list: false,
+            transport: Default::default(),
             store: None,
         };
         let tables = run(&opts);

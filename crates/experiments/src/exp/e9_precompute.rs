@@ -60,6 +60,7 @@ mod tests {
             quiet: true,
             only: None,
             list: false,
+            transport: Default::default(),
             store: None,
         };
         let t = run(&opts);

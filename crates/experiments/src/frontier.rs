@@ -62,6 +62,7 @@
 use crate::table::{f, Table};
 use tg_core::scenario::{
     budget_for, KernelChoice, ObsRow, ObservationBatch, RuntimeChoice, ScenarioSpec, StrategySpec,
+    TransportChoice,
 };
 use tg_overlay::GraphKind;
 use tg_sim::{derive_seed_grid, parallel_map, ResultStore};
@@ -142,6 +143,7 @@ impl RowKey {
             .searches(cfg.searches)
             .kernel(cfg.kernel)
             .runtime(cfg.runtime)
+            .transport(cfg.transport)
     }
 }
 
@@ -178,6 +180,11 @@ pub struct FrontierConfig {
     /// default perfect transport this is byte-identical to `Sync`; the
     /// fault-injection sweep (e14) owns the faulty-transport axes.
     pub runtime: RuntimeChoice,
+    /// Which transport carries the actor runtime's messages (in-memory
+    /// vs loopback TCP). Byte-identical observations either way — the
+    /// socket choice exercises the real network path. Elided from cell
+    /// labels at the default, so committed store keys stay stable.
+    pub transport: TransportChoice,
     /// Optional content-addressed result store. When set, every trial's
     /// observation stream is looked up by its [`ScenarioSpec::label`]
     /// (plus epoch count) before simulating and published after — a

@@ -52,6 +52,7 @@ fn opts() -> Options {
         list: false,
         kernel: Default::default(),
         runtime: Default::default(),
+        transport: Default::default(),
         store: None,
     }
 }

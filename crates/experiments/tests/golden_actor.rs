@@ -51,6 +51,7 @@ fn actor_opts() -> Options {
         list: false,
         kernel: Default::default(),
         runtime: RuntimeChoice::Actor,
+        transport: Default::default(),
         store: None,
     }
 }

@@ -49,6 +49,7 @@ fn arena_opts() -> Options {
         list: false,
         kernel: KernelChoice::Arena,
         runtime: Default::default(),
+        transport: Default::default(),
         store: None,
     }
 }

@@ -19,6 +19,7 @@ fn smoke_opts(name: &str) -> Options {
         quiet: true,
         only: None,
         list: false,
+        transport: Default::default(),
         store: None,
     }
 }

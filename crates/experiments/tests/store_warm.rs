@@ -28,6 +28,7 @@ fn opts(store_dir: &std::path::Path) -> Options {
         list: false,
         kernel: Default::default(),
         runtime: Default::default(),
+        transport: Default::default(),
         store: Some(store_dir.to_str().expect("utf-8 temp path").to_string()),
     }
 }

@@ -31,14 +31,14 @@ use crate::adversary::{MintScheme, PrecomputeHoarder, StrategicPowProvider};
 use crate::miner::MintingSim;
 use crate::provider::PowProvider;
 use crate::puzzle::PuzzleParams;
-use crate::strings::StringParams;
+use crate::strings::{StringAdversary, StringParams};
 use crate::system::FullSystem;
 use tg_core::dynamic::adversary::AdversaryStrategy;
 use tg_core::dynamic::{BuildMode, IdentityProvider, StrategicProvider};
 use tg_core::runtime::{EpochNet, RuntimeChoice};
 use tg_core::scenario::{
     driver_with_provider, Defense, EpochDriver, EpochObservation, ObservationBatch, ScenarioError,
-    ScenarioSpec, StrategySpec, StringMode,
+    ScenarioSpec, StrategySpec, StringAdversarySpec, StringMode,
 };
 use tg_core::GraphsView;
 use tg_crypto::OracleFamily;
@@ -62,10 +62,25 @@ pub fn build_strategy(spec: &StrategySpec) -> Option<Box<dyn AdversaryStrategy>>
     }
 }
 
+/// The runtime string adversary a spec's declarative
+/// [`StringAdversarySpec`] selects.
+pub fn build_string_adversary(spec: &StringAdversarySpec) -> StringAdversary {
+    match *spec {
+        StringAdversarySpec::None => StringAdversary::None,
+        StringAdversarySpec::DelayedRelease { strings, release_frac, units } => {
+            StringAdversary::DelayedRelease { strings, release_frac, units }
+        }
+        StringAdversarySpec::ForcedRecords { strings, release_frac } => {
+            StringAdversary::ForcedRecords { strings, release_frac }
+        }
+    }
+}
+
 /// Build the driver for **any** scenario — the entry point every
 /// experiment, frontier cell, bench, and example constructs systems
 /// through.
 pub fn build(spec: &ScenarioSpec) -> Result<Box<dyn EpochDriver>, ScenarioError> {
+    spec.check_transport()?;
     match spec.defense {
         Defense::NoPow => match spec.strategy {
             // The hoarder object lives in this crate; on the no-PoW
@@ -121,6 +136,7 @@ fn build_protocol(
     if !fresh_strings {
         sys = sys.with_frozen_strings();
     }
+    sys.string_adversary = build_string_adversary(&spec.string_adversary);
     sys.dynamics.set_searches_per_epoch(spec.searches);
     // Under the actor runtime the protocol phases (string dissemination,
     // membership announcement, routing probes) go over the spec's
@@ -404,6 +420,70 @@ mod tests {
             .defense(Defense::Pow { scheme: MintScheme::TwoHash, fresh_strings: true })
             .build_mode(BuildMode::SingleGraph);
         assert!(matches!(build(&spec), Err(ScenarioError::Unsupported(_))));
+    }
+
+    /// The total builder enforces the transport/runtime pairing too:
+    /// `transport=socket` + `runtime=sync` fails with the typed error
+    /// before any system is constructed, on every defense arm.
+    #[test]
+    fn socket_without_actor_runtime_is_rejected_by_total_builder() {
+        use tg_core::scenario::TransportChoice;
+        for spec in [
+            base(),
+            base().defense(Defense::Pow { scheme: MintScheme::TwoHash, fresh_strings: true }),
+        ] {
+            let bad = spec.transport(TransportChoice::Socket);
+            assert!(
+                matches!(build(&bad), Err(ScenarioError::NeedsActorRuntime(_))),
+                "spec {} must be rejected",
+                bad.label()
+            );
+            let ok = bad.runtime(RuntimeChoice::Actor);
+            assert!(build(&ok).is_ok(), "spec {} must build", ok.label());
+        }
+    }
+
+    /// The spec-level string-adversary axis reaches the composed
+    /// system: a `stradv=` spec behaves exactly like the hand-set
+    /// `FullSystem::string_adversary` field it replaces, and the knob
+    /// measurably perturbs the string layer.
+    #[test]
+    fn spec_string_adversary_matches_hand_built_system() {
+        let adv = StringAdversarySpec::ForcedRecords { strings: 4, release_frac: 0.5 };
+        let spec = base()
+            .defense(Defense::Pow { scheme: MintScheme::TwoHash, fresh_strings: true })
+            .string_adversary(adv);
+        let mut driver = build(&spec).unwrap();
+
+        let mut sys = FullSystem::new(
+            spec.params,
+            spec.kind,
+            PuzzleParams::calibrated(16, 2048),
+            StringParams::default(),
+            spec.n_good,
+            spec.n_bad as f64,
+            true,
+            spec.seed,
+        );
+        sys.string_adversary = StringAdversary::ForcedRecords { strings: 4, release_frac: 0.5 };
+        sys.dynamics.set_searches_per_epoch(spec.searches);
+
+        let mut diverged_from_clean = false;
+        let mut clean = build(
+            &base().defense(Defense::Pow { scheme: MintScheme::TwoHash, fresh_strings: true }),
+        )
+        .unwrap();
+        for _ in 0..2 {
+            let r = sys.run_epoch();
+            let o = driver.step();
+            assert_eq!(o.epoch_string, Some(r.epoch_string));
+            assert_eq!(o.strings_agreement, Some(r.strings.agreement));
+            assert_eq!(o.verification_coverage, Some(r.verification_coverage));
+            if o.epoch_string != clean.step().epoch_string {
+                diverged_from_clean = true;
+            }
+        }
+        assert!(diverged_from_clean, "forced records must perturb the agreed strings");
     }
 
     /// Real PoW observations survive the result-store line codec: every

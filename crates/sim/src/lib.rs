@@ -23,7 +23,8 @@
 //! * [`net`] — an injectable message [`Transport`] with a
 //!   deterministic in-memory implementation supporting seeded fault
 //!   injection (latency, reordering, drops, partitions) for the actor
-//!   epoch runtime,
+//!   epoch runtime, plus a real-TCP loopback implementation
+//!   ([`SocketTransport`]) sharing the same fault fate function,
 //! * [`store`] — a content-addressed, hash-chained result store with
 //!   atomic publish, so sweeps can skip cells whose observation
 //!   streams are already on disk and long runs resume mid-ladder.
@@ -36,9 +37,12 @@ pub mod rng;
 pub mod stats;
 pub mod store;
 
-pub use clock::EpochClock;
+pub use clock::{EpochClock, PhaseWindow};
 pub use metrics::{CostReport, Metrics};
-pub use net::{Envelope, FaultPlan, InMemoryTransport, NetStats, NodeId, Transport};
+pub use net::{
+    Envelope, Fate, FaultPlan, InMemoryTransport, NetStats, NodeId, RetryPolicy, SocketTransport,
+    Transport, TransportChoice, Wire, NO_DEADLINE,
+};
 pub use parallel::{parallel_map, parallel_map_chunked};
 pub use rng::{derive_seed, derive_seed_grid, derive_seed_nd, stream_rng, stream_rng_grid};
 pub use stats::{binomial_wilson, Summary};

@@ -5,12 +5,13 @@
 //! one synchronous in-process step. This module provides the network
 //! those actors talk over:
 //!
-//! * [`Transport`] — the injectable trait (an implementation over real
-//!   sockets would serve real traffic; the in-memory one serves
-//!   simulations),
+//! * [`Transport`] — the injectable trait,
 //! * [`InMemoryTransport`] — a deterministic in-memory network with
 //!   seeded fault injection: per-link latency, reordering (a consequence
 //!   of unequal latency), drops, and epoch-scoped partitions,
+//! * [`SocketTransport`] — the same contract
+//!   served over real localhost TCP sockets with length-prefixed
+//!   framing and retry/backoff (see [`socket`]),
 //! * [`FaultPlan`] — the fault knobs, all derived from a seed via
 //!   [`crate::rng::derive_seed_nd`] so runs are reproducible,
 //! * [`NetStats`] — delivery counters for observability.
@@ -20,27 +21,44 @@
 //! The transport draws **no RNG state**: every per-message fault
 //! decision (drop, latency, partition side) is a pure hash of
 //! `(seed, epoch, phase, src, dst, link_seq)` through
-//! [`crate::rng::derive_seed_nd`]. Identical seeds therefore yield
+//! [`crate::rng::derive_seed_nd`], centralized in [`FaultPlan::fate`]
+//! so every implementation — in-memory or socket — drops, delays, and
+//! cuts exactly the same frames. Identical seeds therefore yield
 //! identical message schedules regardless of thread count or call
 //! interleaving, and — crucially — the simulation kernels' own RNG
 //! streams (`"epoch"`, `"churn"`, `"measure"`, …) are untouched, which
 //! is what lets the actor runtime over a *perfect* transport reproduce
 //! the synchronous driver's observations byte-identically.
 //!
-//! ## Delivery order
+//! ## Delivery order and phase deadlines
 //!
 //! Messages are delivered in ascending `(deliver_tick, send_seq)`
 //! order. A perfect transport (zero latency, no drops, no partition)
 //! with monotone send ticks therefore delivers in exact send order.
+//!
+//! Each phase carries a **tick deadline** (the `window` argument of
+//! [`Transport::begin_phase`]): a message whose hash-drawn delivery
+//! tick lands past the deadline is *late* and surfaces exactly like an
+//! injected fault — never delivered, counted in [`NetStats::late`].
+//! The actor runtime sizes the deadline adaptively from the observed
+//! per-phase delivery latency (see `tg_sim::clock::PhaseWindow`); pass
+//! [`NO_DEADLINE`] to opt out.
 
 use crate::rng::derive_seed_nd;
 use std::collections::BinaryHeap;
+
+pub mod socket;
+
+pub use socket::{RetryPolicy, SocketTransport, Wire};
 
 /// A virtual network endpoint. The actor runtime maps protocol
 /// participants (IDs, aggregators) onto a small set of nodes.
 pub type NodeId = u64;
 
-/// Fault knobs for an [`InMemoryTransport`]. All zeros ([`FaultPlan::perfect`],
+/// A phase deadline that never declares a message late.
+pub const NO_DEADLINE: u64 = u64::MAX;
+
+/// Fault knobs for a transport. All zeros ([`FaultPlan::perfect`],
 /// also `Default`) is the perfect network: zero latency, lossless, never
 /// partitioned.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -57,6 +75,22 @@ pub struct FaultPlan {
     pub partition_ticks: u64,
 }
 
+/// The fate of one message under a [`FaultPlan`] — the pure hash
+/// decision every [`Transport`] implementation shares, so the in-memory
+/// and socket transports lose exactly the same frames.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Fate {
+    /// Delivered at the given tick (`sent_tick` + hash-drawn latency).
+    Deliver {
+        /// The delivery tick.
+        deliver_tick: u64,
+    },
+    /// Lost to the random-loss knob.
+    Dropped,
+    /// Lost crossing the active partition cut.
+    Cut,
+}
+
 impl FaultPlan {
     /// The fault-free plan: zero latency, no drops, no partitions.
     pub fn perfect() -> Self {
@@ -67,11 +101,89 @@ impl FaultPlan {
     pub fn is_perfect(&self) -> bool {
         self.drop_rate == 0.0 && self.latency_max == 0 && self.partition_ticks == 0
     }
+
+    /// Which side of the epoch's partition bisection `node` is on.
+    pub fn partition_side(&self, seed: u64, epoch: u64, node: NodeId) -> u64 {
+        derive_seed_nd(seed, "net-part", &[epoch, node]) & 1
+    }
+
+    /// Decide the fate of the message with the given coordinates: cut by
+    /// the partition, dropped by random loss, or delivered at
+    /// `sent_tick` + hash-drawn latency. Pure — no RNG stream is
+    /// consumed, and the decision depends only on the coordinates.
+    pub fn fate(
+        &self,
+        seed: u64,
+        epoch: u64,
+        phase: u64,
+        src: NodeId,
+        dst: NodeId,
+        seq: u64,
+        sent_tick: u64,
+    ) -> Fate {
+        // Partition: during the first `partition_ticks` ticks of the
+        // phase, messages crossing the hash-derived bisection are lost.
+        if self.partition_ticks > 0
+            && sent_tick < self.partition_ticks
+            && src != dst
+            && self.partition_side(seed, epoch, src) != self.partition_side(seed, epoch, dst)
+        {
+            return Fate::Cut;
+        }
+        // Random loss: a pure hash of the message coordinates.
+        if self.drop_rate > 0.0 {
+            let h = derive_seed_nd(seed, "net-drop", &[epoch, phase, src, dst, seq]);
+            if unit_f64(h) < self.drop_rate {
+                return Fate::Dropped;
+            }
+        }
+        // Latency: uniform in 0..=latency_max, again hash-derived.
+        let latency = if self.latency_max > 0 {
+            let h = derive_seed_nd(seed, "net-lat", &[epoch, phase, src, dst, seq]);
+            h % (self.latency_max + 1)
+        } else {
+            0
+        };
+        Fate::Deliver { deliver_tick: sent_tick.saturating_add(latency) }
+    }
 }
 
 impl Default for FaultPlan {
     fn default() -> Self {
         FaultPlan::perfect()
+    }
+}
+
+/// Which [`Transport`] implementation carries a scenario's protocol
+/// messages. Orthogonal to the fault plan: both transports apply the
+/// same hash-derived [`Fate`]s, so the choice moves bytes differently
+/// but never moves an observation.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum TransportChoice {
+    /// The deterministic in-memory network (the default).
+    #[default]
+    Mem,
+    /// Real localhost TCP sockets with length-prefixed framing
+    /// ([`socket::SocketTransport`]).
+    Socket,
+}
+
+impl TransportChoice {
+    /// Stable codec token (`mem` / `socket`).
+    pub fn label(self) -> &'static str {
+        match self {
+            TransportChoice::Mem => "mem",
+            TransportChoice::Socket => "socket",
+        }
+    }
+
+    /// Parse a codec token.
+    pub fn parse(s: &str) -> Option<TransportChoice> {
+        match s {
+            "mem" => Some(TransportChoice::Mem),
+            "socket" => Some(TransportChoice::Socket),
+            _ => None,
+        }
     }
 }
 
@@ -97,20 +209,42 @@ pub struct NetStats {
     pub sent: u64,
     /// Messages returned from [`Transport::recv`].
     pub delivered: u64,
-    /// Messages dropped by the random-loss knob.
+    /// Messages dropped by the random-loss knob — plus, on a real
+    /// transport, frames lost to the wire itself (write failure after
+    /// retries, an undecodable frame, a receive timeout): graceful
+    /// degradation makes a wire fault surface exactly like an injected
+    /// one.
     pub dropped: u64,
     /// Messages dropped because they crossed an active partition cut.
     pub partition_cut: u64,
+    /// Messages whose delivery tick fell past the phase deadline (the
+    /// `window` argument of [`Transport::begin_phase`]).
+    pub late: u64,
+    /// Sum of per-message delivery latency (`deliver_tick − sent_tick`)
+    /// over all delivered messages — the observation the adaptive phase
+    /// window feeds on.
+    pub lat_ticks: u64,
 }
 
 impl NetStats {
     /// Fraction of sent messages that were (or will be) delivered.
-    /// `1.0` when nothing has been sent.
+    /// `1.0` when nothing has been sent — a zero-message phase must
+    /// never turn into `NaN` downstream.
     pub fn delivery_fraction(&self) -> f64 {
         if self.sent == 0 {
             return 1.0;
         }
-        (self.sent - self.dropped - self.partition_cut) as f64 / self.sent as f64
+        (self.sent - self.dropped - self.partition_cut - self.late) as f64 / self.sent as f64
+    }
+
+    /// Mean delivery latency in ticks over delivered messages. `0.0`
+    /// when nothing has been delivered (same no-`NaN` guard as
+    /// [`NetStats::delivery_fraction`]).
+    pub fn mean_latency_ticks(&self) -> f64 {
+        if self.delivered == 0 {
+            return 0.0;
+        }
+        self.lat_ticks as f64 / self.delivered as f64
     }
 }
 
@@ -122,11 +256,14 @@ impl NetStats {
 /// dispatching each delivery to the destination actor (which may send
 /// follow-up messages at its delivery tick).
 pub trait Transport<M> {
-    /// Start a new `(epoch, phase)` tick space. Ticks restart at zero;
-    /// undelivered messages from the previous phase are discarded (a
-    /// phase is a synchronization barrier, mirroring the paper's
-    /// round structure).
-    fn begin_phase(&mut self, epoch: u64, phase: u64);
+    /// Start a new `(epoch, phase)` tick space with the given tick
+    /// deadline. Ticks restart at zero; undelivered messages from the
+    /// previous phase are discarded (a phase is a synchronization
+    /// barrier, mirroring the paper's round structure). Messages whose
+    /// delivery tick lands past `window` are late — never delivered,
+    /// counted in [`NetStats::late`]. Pass [`NO_DEADLINE`] for an
+    /// unbounded phase.
+    fn begin_phase(&mut self, epoch: u64, phase: u64, window: u64);
     /// Enqueue a message sent at `sent_tick` of the current phase.
     fn send(&mut self, src: NodeId, dst: NodeId, sent_tick: u64, msg: M);
     /// Deliver the next message in `(deliver_tick, send_seq)` order, or
@@ -139,10 +276,10 @@ pub trait Transport<M> {
 /// Heap entry ordered by `(deliver_tick, seq)`, smallest first (stored
 /// through `std::cmp::Reverse` in a max-heap). The payload does not
 /// participate in the ordering, so `M` needs no `Ord`.
-struct Queued<M> {
-    deliver_tick: u64,
-    seq: u64,
-    env: Envelope<M>,
+pub(crate) struct Queued<M> {
+    pub(crate) deliver_tick: u64,
+    pub(crate) seq: u64,
+    pub(crate) env: Envelope<M>,
 }
 
 impl<M> PartialEq for Queued<M> {
@@ -172,6 +309,7 @@ pub struct InMemoryTransport<M> {
     seed: u64,
     epoch: u64,
     phase: u64,
+    window: u64,
     /// Per-phase send sequence number; the total-order tiebreak.
     seq: u64,
     queue: BinaryHeap<std::cmp::Reverse<Queued<M>>>,
@@ -192,6 +330,7 @@ impl<M> InMemoryTransport<M> {
             seed,
             epoch: 0,
             phase: 0,
+            window: NO_DEADLINE,
             seq: 0,
             queue: BinaryHeap::new(),
             stats: NetStats::default(),
@@ -208,17 +347,13 @@ impl<M> InMemoryTransport<M> {
     pub fn plan(&self) -> &FaultPlan {
         &self.plan
     }
-
-    /// Which side of this epoch's partition bisection `node` is on.
-    fn partition_side(&self, node: NodeId) -> u64 {
-        derive_seed_nd(self.seed, "net-part", &[self.epoch, node]) & 1
-    }
 }
 
 impl<M> Transport<M> for InMemoryTransport<M> {
-    fn begin_phase(&mut self, epoch: u64, phase: u64) {
+    fn begin_phase(&mut self, epoch: u64, phase: u64, window: u64) {
         self.epoch = epoch;
         self.phase = phase;
+        self.window = window;
         self.seq = 0;
         self.queue.clear();
     }
@@ -227,46 +362,27 @@ impl<M> Transport<M> for InMemoryTransport<M> {
         let seq = self.seq;
         self.seq += 1;
         self.stats.sent += 1;
-
-        // Partition: during the first `partition_ticks` ticks of the
-        // phase, messages crossing the hash-derived bisection are lost.
-        if self.plan.partition_ticks > 0
-            && sent_tick < self.plan.partition_ticks
-            && src != dst
-            && self.partition_side(src) != self.partition_side(dst)
-        {
-            self.stats.partition_cut += 1;
-            return;
-        }
-
-        // Random loss: a pure hash of the message coordinates.
-        if self.plan.drop_rate > 0.0 {
-            let h = derive_seed_nd(self.seed, "net-drop", &[self.epoch, self.phase, src, dst, seq]);
-            if unit_f64(h) < self.plan.drop_rate {
-                self.stats.dropped += 1;
-                return;
+        match self.plan.fate(self.seed, self.epoch, self.phase, src, dst, seq, sent_tick) {
+            Fate::Cut => self.stats.partition_cut += 1,
+            Fate::Dropped => self.stats.dropped += 1,
+            Fate::Deliver { deliver_tick } => {
+                if deliver_tick > self.window {
+                    self.stats.late += 1;
+                    return;
+                }
+                self.queue.push(std::cmp::Reverse(Queued {
+                    deliver_tick,
+                    seq,
+                    env: Envelope { src, dst, sent_tick, deliver_tick, msg },
+                }));
             }
         }
-
-        // Latency: uniform in 0..=latency_max, again hash-derived.
-        let latency = if self.plan.latency_max > 0 {
-            let h = derive_seed_nd(self.seed, "net-lat", &[self.epoch, self.phase, src, dst, seq]);
-            h % (self.plan.latency_max + 1)
-        } else {
-            0
-        };
-        let deliver_tick = sent_tick.saturating_add(latency);
-
-        self.queue.push(std::cmp::Reverse(Queued {
-            deliver_tick,
-            seq,
-            env: Envelope { src, dst, sent_tick, deliver_tick, msg },
-        }));
     }
 
     fn recv(&mut self) -> Option<Envelope<M>> {
         let q = self.queue.pop()?.0;
         self.stats.delivered += 1;
+        self.stats.lat_ticks += q.env.deliver_tick - q.env.sent_tick;
         Some(q.env)
     }
 
@@ -290,7 +406,7 @@ mod tests {
     #[test]
     fn perfect_transport_delivers_all_in_send_order() {
         let mut t = InMemoryTransport::perfect(42);
-        t.begin_phase(3, 1);
+        t.begin_phase(3, 1, NO_DEADLINE);
         for i in 0..100u32 {
             // Monotone non-decreasing send ticks, as the runtime uses.
             t.send(i as u64 % 7, 0, i as u64 / 10, i);
@@ -299,7 +415,9 @@ mod tests {
         assert_eq!(got, (0..100).collect::<Vec<u32>>());
         let s = t.stats();
         assert_eq!((s.sent, s.delivered, s.dropped, s.partition_cut), (100, 100, 0, 0));
+        assert_eq!((s.late, s.lat_ticks), (0, 0));
         assert_eq!(s.delivery_fraction(), 1.0);
+        assert_eq!(s.mean_latency_ticks(), 0.0);
     }
 
     #[test]
@@ -307,7 +425,7 @@ mod tests {
         let run = |seed: u64| {
             let mut t =
                 InMemoryTransport::new(FaultPlan { drop_rate: 0.5, ..FaultPlan::perfect() }, seed);
-            t.begin_phase(0, 0);
+            t.begin_phase(0, 0, NO_DEADLINE);
             for i in 0..200u32 {
                 t.send(1, 2, i as u64, i);
             }
@@ -324,7 +442,7 @@ mod tests {
     #[test]
     fn drop_rate_one_drops_everything() {
         let mut t = InMemoryTransport::new(FaultPlan { drop_rate: 1.0, ..FaultPlan::perfect() }, 1);
-        t.begin_phase(0, 0);
+        t.begin_phase(0, 0, NO_DEADLINE);
         for i in 0..50u32 {
             t.send(0, 1, 0, i);
         }
@@ -336,10 +454,12 @@ mod tests {
     fn partition_cuts_cross_messages_only_during_window() {
         let plan = FaultPlan { partition_ticks: 10, ..FaultPlan::perfect() };
         let mut t = InMemoryTransport::<u32>::new(plan, 42);
-        t.begin_phase(0, 0);
+        t.begin_phase(0, 0, NO_DEADLINE);
         // Find two nodes on opposite sides of the epoch-0 bisection.
-        let side0 = t.partition_side(0);
-        let other = (1..64).find(|&n| t.partition_side(n) != side0).expect("both sides inhabited");
+        let side0 = plan.partition_side(42, 0, 0);
+        let other = (1..64)
+            .find(|&n| plan.partition_side(42, 0, n) != side0)
+            .expect("both sides inhabited");
         // Same-side traffic always goes through.
         t.send(0, 0, 0, 1);
         // Cross-cut during the window: lost.
@@ -356,7 +476,7 @@ mod tests {
         let plan = FaultPlan { latency_max: 16, ..FaultPlan::perfect() };
         let run = || {
             let mut t = InMemoryTransport::new(plan, 99);
-            t.begin_phase(2, 1);
+            t.begin_phase(2, 1, NO_DEADLINE);
             for i in 0..64u32 {
                 t.send(i as u64 % 5, 0, 0, i);
             }
@@ -372,12 +492,53 @@ mod tests {
         assert_eq!(a.len(), 64);
     }
 
+    /// A finite phase deadline declares exactly the past-deadline
+    /// messages late; tightening the deadline can only grow the late
+    /// set, and the delivery fraction accounts for it.
+    #[test]
+    fn deadline_declares_past_window_messages_late() {
+        let plan = FaultPlan { latency_max: 32, ..FaultPlan::perfect() };
+        let late_at = |window: u64| {
+            let mut t = InMemoryTransport::<u32>::new(plan, 11);
+            t.begin_phase(4, 1, window);
+            for i in 0..128u32 {
+                t.send(i as u64 % 9, 0, 0, i);
+            }
+            let delivered = drain(&mut t);
+            assert!(delivered.iter().all(|e| e.deliver_tick <= window));
+            let s = t.stats();
+            assert_eq!(s.delivered + s.late, s.sent, "every message is delivered or late");
+            let expect = (s.sent - s.late) as f64 / s.sent as f64;
+            assert_eq!(s.delivery_fraction(), expect);
+            s.late
+        };
+        let generous = late_at(NO_DEADLINE);
+        let tight = late_at(8);
+        assert_eq!(generous, 0, "an unbounded phase has no late messages");
+        assert!(tight > 0, "a tick-8 deadline under latency 32 loses messages");
+    }
+
+    /// The NaN/inf bugfix contract: a phase in which nothing was sent
+    /// (or nothing delivered) reports finite, well-defined fractions.
+    #[test]
+    fn zero_message_phase_reports_finite_fractions() {
+        let s = NetStats::default();
+        assert_eq!(s.delivery_fraction(), 1.0);
+        assert_eq!(s.mean_latency_ticks(), 0.0);
+        assert!(s.delivery_fraction().is_finite());
+        assert!(s.mean_latency_ticks().is_finite());
+        // All-dropped phase: delivered == 0 but sent > 0.
+        let s = NetStats { sent: 10, dropped: 10, ..NetStats::default() };
+        assert_eq!(s.delivery_fraction(), 0.0);
+        assert_eq!(s.mean_latency_ticks(), 0.0);
+    }
+
     #[test]
     fn begin_phase_resets_tick_space_and_discards_stragglers() {
         let mut t = InMemoryTransport::perfect(0);
-        t.begin_phase(0, 0);
+        t.begin_phase(0, 0, NO_DEADLINE);
         t.send(1, 2, 0, 10u32);
-        t.begin_phase(0, 1);
+        t.begin_phase(0, 1, NO_DEADLINE);
         assert!(t.recv().is_none(), "phase barrier discards undelivered messages");
         t.send(1, 2, 0, 11);
         assert_eq!(t.recv().expect("delivered").msg, 11);
@@ -393,7 +554,7 @@ mod tests {
         let plan = FaultPlan { drop_rate: 0.4, ..FaultPlan::perfect() };
         let fate = |seq: u64| {
             let mut t = InMemoryTransport::<u32>::new(plan, 5);
-            t.begin_phase(1, 0);
+            t.begin_phase(1, 0, NO_DEADLINE);
             for _ in 0..seq {
                 t.send(3, 4, 0, 0);
             }
@@ -404,5 +565,37 @@ mod tests {
         for seq in 0..32 {
             assert_eq!(fate(seq), fate(seq), "fate of seq {seq} is stable");
         }
+    }
+
+    /// The extracted [`FaultPlan::fate`] is exactly what the transport
+    /// applies: replaying the coordinates through the pure function
+    /// predicts every counter.
+    #[test]
+    fn fate_function_predicts_transport_counters() {
+        let plan = FaultPlan { drop_rate: 0.3, latency_max: 8, partition_ticks: 6 };
+        let mut t = InMemoryTransport::<u32>::new(plan, 77);
+        t.begin_phase(2, 1, NO_DEADLINE);
+        let (mut cut, mut dropped) = (0u64, 0u64);
+        for i in 0..256u64 {
+            let (src, dst, tick) = (i % 11, (i * 7) % 13, i / 4);
+            match plan.fate(77, 2, 1, src, dst, i, tick) {
+                Fate::Cut => cut += 1,
+                Fate::Dropped => dropped += 1,
+                Fate::Deliver { .. } => {}
+            }
+            t.send(src, dst, tick, i as u32);
+        }
+        let s = t.stats();
+        assert_eq!((s.partition_cut, s.dropped), (cut, dropped));
+        assert_eq!(s.sent, 256);
+    }
+
+    #[test]
+    fn transport_choice_round_trips() {
+        for c in [TransportChoice::Mem, TransportChoice::Socket] {
+            assert_eq!(TransportChoice::parse(c.label()), Some(c));
+        }
+        assert_eq!(TransportChoice::parse("tcp"), None);
+        assert_eq!(TransportChoice::default(), TransportChoice::Mem);
     }
 }

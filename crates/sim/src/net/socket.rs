@@ -1,0 +1,504 @@
+//! [`SocketTransport`] — the [`Transport`] contract
+//! served over real localhost TCP sockets.
+//!
+//! ## Wire format
+//!
+//! Every message travels as one length-prefixed frame:
+//!
+//! ```text
+//! [len: u32 LE] [header: 7 × u64 LE = 56 bytes] [payload: len − 56 bytes]
+//!               epoch phase src dst sent_tick deliver_tick seq
+//! ```
+//!
+//! The payload is the typed protocol message serialized through the
+//! [`Wire`] trait. The header carries the full envelope plus the
+//! `(epoch, phase)` the frame belongs to, so a receiver can discard
+//! stragglers from an already-closed phase without any handshake: TCP
+//! preserves per-lane order, so stale frames always precede fresh ones.
+//!
+//! ## Fault semantics — graceful degradation
+//!
+//! The socket transport applies exactly the same hash-derived
+//! [`FaultPlan::fate`](super::FaultPlan::fate) as the in-memory
+//! transport, *before* a frame touches the wire: cut and dropped
+//! messages are counted and never sent, and the delivery tick is
+//! stamped into the header at send time. The wire therefore carries
+//! only deliverable frames, and both transports lose the identical
+//! message set by construction.
+//!
+//! Real wire faults degrade into the same counters instead of erroring:
+//! a write that still fails after [`RetryPolicy::max_retries`] attempts
+//! with capped exponential backoff, an undecodable or oversized frame,
+//! and a receive that exceeds [`RetryPolicy::io_timeout`] all count the
+//! affected messages as `dropped` in [`NetStats`] —
+//! a lost frame surfaces exactly like an injected fault, which is what
+//! keeps the observation layer transport-agnostic.
+//!
+//! ## Ordering
+//!
+//! [`recv`](super::Transport::recv) first pumps the sockets until every
+//! outstanding frame has arrived (or timed out), then pops the same
+//! `(deliver_tick, seq)` heap the in-memory transport uses. Delivery
+//! order over a healthy loopback is therefore byte-identical to
+//! [`InMemoryTransport`](super::InMemoryTransport) — the property the
+//! golden-replay suites pin.
+
+use super::{Envelope, Fate, FaultPlan, NetStats, NodeId, Queued, Transport, NO_DEADLINE};
+use std::collections::BinaryHeap;
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::time::{Duration, Instant};
+
+/// Serialization contract for messages carried by [`SocketTransport`].
+///
+/// Implementations must round-trip: `decode(encode(m)) == Some(m)`.
+/// `decode` returns `None` on malformed bytes — the transport counts
+/// such frames as dropped rather than failing.
+pub trait Wire: Sized {
+    /// Append this message's byte representation to `buf`.
+    fn encode(&self, buf: &mut Vec<u8>);
+    /// Parse a message from exactly `bytes`, or `None` if malformed.
+    fn decode(bytes: &[u8]) -> Option<Self>;
+}
+
+/// Connect/send retry contract for [`SocketTransport`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Attempts beyond the first for connects and frame writes.
+    pub max_retries: u32,
+    /// First backoff between attempts; doubles per attempt.
+    pub backoff_base: Duration,
+    /// Backoff ceiling for the exponential schedule.
+    pub backoff_cap: Duration,
+    /// Socket write timeout, and the receive-pump deadline after which
+    /// still-missing frames are declared lost.
+    pub io_timeout: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 5,
+            backoff_base: Duration::from_millis(1),
+            backoff_cap: Duration::from_millis(64),
+            io_timeout: Duration::from_secs(2),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The backoff before retry attempt `attempt` (0-based): base × 2^attempt,
+    /// capped.
+    pub fn backoff(&self, attempt: u32) -> Duration {
+        let exp = self.backoff_base.saturating_mul(1u32 << attempt.min(16));
+        exp.min(self.backoff_cap)
+    }
+}
+
+/// Plain scalar payloads round-trip as fixed-width LE bytes — handy
+/// for harness tests that push opaque tokens through the wire.
+impl Wire for u32 {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        buf.extend_from_slice(&self.to_le_bytes());
+    }
+    fn decode(bytes: &[u8]) -> Option<Self> {
+        Some(u32::from_le_bytes(bytes.try_into().ok()?))
+    }
+}
+
+impl Wire for u64 {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        buf.extend_from_slice(&self.to_le_bytes());
+    }
+    fn decode(bytes: &[u8]) -> Option<Self> {
+        Some(u64::from_le_bytes(bytes.try_into().ok()?))
+    }
+}
+
+/// Frame header length: epoch, phase, src, dst, sent_tick,
+/// deliver_tick, seq — seven `u64`s.
+const HEADER_LEN: usize = 56;
+
+/// Ceiling on a single frame (header + payload). Anything larger on
+/// the wire is treated as corruption.
+const MAX_FRAME: usize = 1 << 20;
+
+/// Number of TCP connections fanned out; frames for node `dst` travel
+/// lane `dst % LANES`. Per-lane TCP ordering plus the receive-side
+/// heap reconstruct the global `(deliver_tick, seq)` order.
+const LANES: usize = 4;
+
+struct ReadLane {
+    stream: TcpStream,
+    buf: Vec<u8>,
+}
+
+/// TCP (localhost) implementation of [`Transport`].
+///
+/// The transport is self-connected: it binds an ephemeral loopback
+/// listener, dials it over a small fixed number of lane connections
+/// (`LANES`) with
+/// retry/backoff, and accepts the peers — real sockets, real framing,
+/// real backpressure, no external process required. See the [module
+/// docs](self) for wire format and fault semantics.
+pub struct SocketTransport<M: Wire> {
+    plan: FaultPlan,
+    seed: u64,
+    policy: RetryPolicy,
+    epoch: u64,
+    phase: u64,
+    window: u64,
+    seq: u64,
+    writers: Vec<TcpStream>,
+    readers: Vec<ReadLane>,
+    /// Frames written to the wire but not yet parsed back out.
+    outstanding: u64,
+    queue: BinaryHeap<std::cmp::Reverse<Queued<M>>>,
+    stats: NetStats,
+}
+
+impl<M: Wire> SocketTransport<M> {
+    /// Bind a loopback listener and establish the lane connections,
+    /// retrying refused connects per the default [`RetryPolicy`].
+    pub fn connect(plan: FaultPlan, seed: u64) -> std::io::Result<Self> {
+        Self::connect_with(plan, seed, RetryPolicy::default())
+    }
+
+    /// [`SocketTransport::connect`] with an explicit retry policy.
+    pub fn connect_with(plan: FaultPlan, seed: u64, policy: RetryPolicy) -> std::io::Result<Self> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?;
+        let mut writers = Vec::with_capacity(LANES);
+        let mut readers = Vec::with_capacity(LANES);
+        for _ in 0..LANES {
+            let w = connect_with_retry(addr, &policy)?;
+            w.set_nodelay(true)?;
+            w.set_write_timeout(Some(policy.io_timeout))?;
+            writers.push(w);
+            let (r, _) = listener.accept()?;
+            r.set_nonblocking(true)?;
+            readers.push(ReadLane { stream: r, buf: Vec::new() });
+        }
+        Ok(SocketTransport {
+            plan,
+            seed,
+            policy,
+            epoch: 0,
+            phase: 0,
+            window: NO_DEADLINE,
+            seq: 0,
+            writers,
+            readers,
+            outstanding: 0,
+            queue: BinaryHeap::new(),
+            stats: NetStats::default(),
+        })
+    }
+
+    /// The fault plan in force.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// The retry policy in force.
+    pub fn policy(&self) -> &RetryPolicy {
+        &self.policy
+    }
+
+    /// Read every byte currently available on every lane and parse
+    /// complete frames into the delivery heap. Non-blocking; also the
+    /// backpressure valve — called after each write so the kernel
+    /// buffers can never fill while the sender holds unread inbound
+    /// data.
+    fn drain_ready(&mut self) {
+        for lane in 0..self.readers.len() {
+            let mut tmp = [0u8; 4096];
+            loop {
+                match self.readers[lane].stream.read(&mut tmp) {
+                    Ok(0) => break,
+                    Ok(n) => self.readers[lane].buf.extend_from_slice(&tmp[..n]),
+                    Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                    Err(_) => break,
+                }
+            }
+            self.parse_lane(lane);
+        }
+    }
+
+    /// Parse complete frames out of one lane's buffer.
+    fn parse_lane(&mut self, lane: usize) {
+        loop {
+            let buf = &self.readers[lane].buf;
+            if buf.len() < 4 {
+                return;
+            }
+            let len = u32::from_le_bytes([buf[0], buf[1], buf[2], buf[3]]) as usize;
+            if !(HEADER_LEN..=MAX_FRAME).contains(&len) {
+                // Corrupt framing: the stream can no longer be trusted.
+                // Degrade every in-flight frame to dropped and abandon
+                // the buffered bytes.
+                self.stats.dropped += self.outstanding;
+                self.outstanding = 0;
+                self.readers[lane].buf.clear();
+                return;
+            }
+            if buf.len() < 4 + len {
+                return;
+            }
+            let frame: Vec<u8> = self.readers[lane].buf.drain(..4 + len).skip(4).collect();
+            self.accept_frame(&frame);
+        }
+    }
+
+    /// Decode one complete frame (header + payload) into the heap.
+    fn accept_frame(&mut self, frame: &[u8]) {
+        let word = |i: usize| {
+            u64::from_le_bytes(frame[i * 8..i * 8 + 8].try_into().expect("HEADER_LEN checked"))
+        };
+        let (epoch, phase) = (word(0), word(1));
+        if epoch != self.epoch || phase != self.phase {
+            // Straggler from a closed phase: the phase barrier already
+            // discarded it, silently, exactly like the in-memory queue
+            // clear. It does not touch the current phase's accounting.
+            return;
+        }
+        self.outstanding = self.outstanding.saturating_sub(1);
+        let (src, dst) = (word(2), word(3));
+        let (sent_tick, deliver_tick, seq) = (word(4), word(5), word(6));
+        match M::decode(&frame[HEADER_LEN..]) {
+            Some(msg) => self.queue.push(std::cmp::Reverse(Queued {
+                deliver_tick,
+                seq,
+                env: Envelope { src, dst, sent_tick, deliver_tick, msg },
+            })),
+            None => self.stats.dropped += 1,
+        }
+    }
+
+    /// Block until every outstanding frame has been parsed or the
+    /// [`RetryPolicy::io_timeout`] expires; expired frames degrade to
+    /// dropped.
+    fn pump(&mut self) {
+        if self.outstanding == 0 {
+            return;
+        }
+        let start = Instant::now();
+        let mut spins = 0u32;
+        loop {
+            self.drain_ready();
+            if self.outstanding == 0 {
+                return;
+            }
+            if start.elapsed() > self.policy.io_timeout {
+                self.stats.dropped += self.outstanding;
+                self.outstanding = 0;
+                return;
+            }
+            if spins < 256 {
+                spins += 1;
+                std::thread::yield_now();
+            } else {
+                std::thread::sleep(Duration::from_micros(50));
+            }
+        }
+    }
+
+    /// Write one frame with retry/backoff, draining inbound data
+    /// between attempts so backpressure cannot deadlock the
+    /// self-connected pair. Returns whether the frame made it out.
+    fn write_frame(&mut self, lane: usize, frame: &[u8]) -> bool {
+        for attempt in 0..=self.policy.max_retries {
+            match self.writers[lane].write_all(frame) {
+                Ok(()) => {
+                    let _ = self.writers[lane].flush();
+                    return true;
+                }
+                Err(_) if attempt < self.policy.max_retries => {
+                    self.drain_ready();
+                    std::thread::sleep(self.policy.backoff(attempt));
+                }
+                Err(_) => return false,
+            }
+        }
+        false
+    }
+}
+
+/// Dial `addr` with capped exponential backoff per `policy`.
+fn connect_with_retry(addr: SocketAddr, policy: &RetryPolicy) -> std::io::Result<TcpStream> {
+    let mut attempt = 0;
+    loop {
+        match TcpStream::connect_timeout(&addr, policy.io_timeout) {
+            Ok(s) => return Ok(s),
+            Err(e) => {
+                if attempt >= policy.max_retries {
+                    return Err(e);
+                }
+                std::thread::sleep(policy.backoff(attempt));
+                attempt += 1;
+            }
+        }
+    }
+}
+
+impl<M: Wire> Transport<M> for SocketTransport<M> {
+    fn begin_phase(&mut self, epoch: u64, phase: u64, window: u64) {
+        // Stragglers still on the wire carry their old (epoch, phase)
+        // header and will be discarded at parse time; they are no
+        // longer outstanding for anyone.
+        self.epoch = epoch;
+        self.phase = phase;
+        self.window = window;
+        self.seq = 0;
+        self.outstanding = 0;
+        self.queue.clear();
+    }
+
+    fn send(&mut self, src: NodeId, dst: NodeId, sent_tick: u64, msg: M) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.stats.sent += 1;
+        let deliver_tick =
+            match self.plan.fate(self.seed, self.epoch, self.phase, src, dst, seq, sent_tick) {
+                Fate::Cut => {
+                    self.stats.partition_cut += 1;
+                    return;
+                }
+                Fate::Dropped => {
+                    self.stats.dropped += 1;
+                    return;
+                }
+                Fate::Deliver { deliver_tick } => deliver_tick,
+            };
+        if deliver_tick > self.window {
+            self.stats.late += 1;
+            return;
+        }
+        let mut frame = Vec::with_capacity(4 + HEADER_LEN + 16);
+        frame.extend_from_slice(&[0u8; 4]); // length backpatched below
+        for w in [self.epoch, self.phase, src, dst, sent_tick, deliver_tick, seq] {
+            frame.extend_from_slice(&w.to_le_bytes());
+        }
+        msg.encode(&mut frame);
+        let len = (frame.len() - 4) as u32;
+        frame[..4].copy_from_slice(&len.to_le_bytes());
+        if frame.len() - 4 > MAX_FRAME {
+            // Unencodable payload degrades to a drop, like any other
+            // wire fault.
+            self.stats.dropped += 1;
+            return;
+        }
+        let lane = (dst as usize) % self.writers.len();
+        if self.write_frame(lane, &frame) {
+            self.outstanding += 1;
+            self.drain_ready();
+        } else {
+            self.stats.dropped += 1;
+        }
+    }
+
+    fn recv(&mut self) -> Option<Envelope<M>> {
+        // Quiescence barrier: every outstanding frame must land before
+        // the next pop, so the heap's (deliver_tick, seq) order is
+        // total — identical to the in-memory transport's.
+        self.pump();
+        let q = self.queue.pop()?.0;
+        self.stats.delivered += 1;
+        self.stats.lat_ticks += q.env.deliver_tick - q.env.sent_tick;
+        Some(q.env)
+    }
+
+    fn stats(&self) -> NetStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::InMemoryTransport;
+    use super::*;
+
+    fn drain<T: Transport<u32>>(t: &mut T) -> Vec<Envelope<u32>> {
+        let mut out = Vec::new();
+        while let Some(env) = t.recv() {
+            out.push(env);
+        }
+        out
+    }
+
+    #[test]
+    fn loopback_delivers_in_send_order_when_perfect() {
+        let mut t = SocketTransport::<u32>::connect(FaultPlan::perfect(), 42).expect("loopback");
+        t.begin_phase(3, 1, NO_DEADLINE);
+        for i in 0..100u32 {
+            t.send(i as u64 % 7, 0, i as u64 / 10, i);
+        }
+        let got: Vec<u32> = drain(&mut t).into_iter().map(|e| e.msg).collect();
+        assert_eq!(got, (0..100).collect::<Vec<u32>>());
+        let s = t.stats();
+        assert_eq!((s.sent, s.delivered, s.dropped, s.late), (100, 100, 0, 0));
+    }
+
+    /// The core equivalence: over any fault plan, the socket transport
+    /// delivers the exact same envelope sequence as the in-memory
+    /// transport with the same plan and seed.
+    #[test]
+    fn socket_matches_memory_under_faults() {
+        let plans = [
+            FaultPlan::perfect(),
+            FaultPlan { drop_rate: 0.4, ..FaultPlan::perfect() },
+            FaultPlan { drop_rate: 0.2, latency_max: 12, partition_ticks: 8 },
+        ];
+        for plan in plans {
+            let mut mem = InMemoryTransport::<u32>::new(plan, 7);
+            let mut sock = SocketTransport::<u32>::connect(plan, 7).expect("loopback");
+            for phase in 0..3u64 {
+                mem.begin_phase(1, phase, 40);
+                sock.begin_phase(1, phase, 40);
+                for i in 0..64u32 {
+                    mem.send(i as u64 % 9, (i as u64 * 3) % 11, i as u64 / 8, i);
+                    sock.send(i as u64 % 9, (i as u64 * 3) % 11, i as u64 / 8, i);
+                }
+                assert_eq!(drain(&mut mem), drain(&mut sock), "plan {plan:?} phase {phase}");
+            }
+            assert_eq!(mem.stats(), sock.stats(), "stats agree for {plan:?}");
+        }
+    }
+
+    #[test]
+    fn stale_phase_frames_are_discarded() {
+        let mut t = SocketTransport::<u32>::connect(FaultPlan::perfect(), 0).expect("loopback");
+        t.begin_phase(0, 0, NO_DEADLINE);
+        t.send(1, 2, 0, 10);
+        // Abandon the phase while the frame is still on the wire.
+        t.begin_phase(0, 1, NO_DEADLINE);
+        t.send(1, 2, 0, 11);
+        let got: Vec<u32> = drain(&mut t).into_iter().map(|e| e.msg).collect();
+        assert_eq!(got, vec![11], "the straggler from phase 0 never surfaces");
+    }
+
+    #[test]
+    fn backoff_schedule_is_capped_exponential() {
+        let p = RetryPolicy::default();
+        assert_eq!(p.backoff(0), Duration::from_millis(1));
+        assert_eq!(p.backoff(3), Duration::from_millis(8));
+        assert_eq!(p.backoff(20), p.backoff_cap, "schedule saturates at the cap");
+    }
+
+    /// Backpressure: far more traffic than one kernel socket buffer
+    /// holds must not deadlock the self-connected pair, and nothing may
+    /// be lost on a healthy loopback.
+    #[test]
+    fn heavy_traffic_does_not_deadlock_or_lose_frames() {
+        let mut t = SocketTransport::<u32>::connect(FaultPlan::perfect(), 9).expect("loopback");
+        t.begin_phase(0, 0, NO_DEADLINE);
+        let n = 20_000u32;
+        for i in 0..n {
+            t.send(i as u64 % 64, (i as u64 * 5) % 64, 0, i);
+        }
+        assert_eq!(drain(&mut t).len(), n as usize);
+        let s = t.stats();
+        assert_eq!((s.sent, s.delivered, s.dropped), (n as u64, n as u64, 0));
+    }
+}

@@ -72,6 +72,7 @@ fn frontier_cells_round_trip_through_the_label() {
         seed: 42,
         kernel: Default::default(),
         runtime: Default::default(),
+        transport: Default::default(),
         store: None,
     };
     for key in cfg.rows() {
