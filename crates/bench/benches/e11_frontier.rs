@@ -50,6 +50,7 @@ fn bench_mini_grid(c: &mut Criterion) {
                 runtime: Default::default(),
                 transport: Default::default(),
                 store: None,
+                check_invariants: false,
             })
         });
     });

@@ -29,6 +29,7 @@ fn grid() -> FrontierConfig {
         runtime: Default::default(),
         transport: Default::default(),
         store: None,
+        check_invariants: false,
     }
 }
 

@@ -28,12 +28,13 @@ use std::time::{Instant, SystemTime, UNIX_EPOCH};
 use tg_bench::{regression_warning, BenchRecord, REGRESSION_THRESHOLD};
 
 /// The record files the trajectory tracks.
-const RECORDS: [&str; 5] = [
+const RECORDS: [&str; 6] = [
     "BENCH_e11.json",
     "BENCH_e12.json",
     "BENCH_kernel.json",
     "BENCH_store.json",
     "BENCH_net.json",
+    "BENCH_model.json",
 ];
 
 /// Compare mode: read each record from both directories and warn on
@@ -101,6 +102,7 @@ fn quick_grid() -> FrontierConfig {
         runtime: Default::default(),
         transport: Default::default(),
         store: None,
+        check_invariants: false,
     }
 }
 
@@ -221,6 +223,29 @@ fn main() {
         unix_time: now_unix(),
     };
     write(&out_dir, "BENCH_net.json", &net_rec);
+
+    // Model: the tg-verify exhaustive tiny-universe check — every
+    // adversary placement × defense × budget, with exhaustive route
+    // probing per placement. Here a "cell" is one (defense, budget)
+    // enumeration cell, a "trial" one realized placement, and the
+    // epochs column counts the exhaustive route checks (the dominant
+    // per-placement cost). The checker runs on every tier-1 commit via
+    // `e15_model`; this record prices it so a slowdown in the
+    // enumeration or the route prover shows up in the trajectory.
+    let cfg = tg_verify::ModelConfig::tiny();
+    let t0 = Instant::now();
+    let report = tg_verify::run_model(&cfg);
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let model_rec = BenchRecord {
+        bench: "model_check",
+        mode: "quick",
+        cells_swept: report.cells.len(),
+        trial_runs: report.cells.iter().map(|c| c.placements as usize).sum(),
+        epochs_total: report.cells.iter().map(|c| c.route_checks as usize).sum(),
+        wall_ms,
+        unix_time: now_unix(),
+    };
+    write(&out_dir, "BENCH_model.json", &model_rec);
 
     // E13: the arena epoch kernel's throughput record, serialized by
     // the experiment's own writer so this probe and the tier-1

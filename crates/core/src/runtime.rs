@@ -421,6 +421,7 @@ impl ActorDriver {
 
 impl EpochDriver for ActorDriver {
     fn step(&mut self) -> &EpochObservation {
+        let late_before = self.net.stats().late;
         let mut r = {
             let mut filtered = NetFilter { inner: &mut self.provider, net: &mut self.net };
             self.sys.advance_epoch(&mut filtered)
@@ -436,6 +437,10 @@ impl EpochDriver for ActorDriver {
         self.obs.fill_dynamic(&r, self.sys.graphs());
         self.obs.bad_ids = self.provider.last_bad;
         self.obs.bad_share = self.provider.last_share;
+        // The epoch's late-window message count (`NetStats.late` is
+        // cumulative over the transport's lifetime). Zero over a
+        // perfect transport, so the sync-equivalence contract holds.
+        self.obs.late = self.net.stats().late - late_before;
         &self.obs
     }
 

@@ -1118,6 +1118,13 @@ pub struct EpochObservation {
     /// Good participants who missed the minting window (PoW statistical
     /// pipeline only).
     pub good_misses: Option<usize>,
+    /// Protocol messages whose delivery tick fell past the phase-window
+    /// deadline this epoch (`tg_sim::net::NetStats::late`, as a
+    /// per-epoch delta). Always `0` under [`RuntimeChoice::Sync`] — the
+    /// synchronous drivers have no network — and under the actor
+    /// runtime's perfect transport, which keeps the sync/actor
+    /// observation equivalence exact.
+    pub late: u64,
 }
 
 impl EpochObservation {
@@ -1161,6 +1168,7 @@ impl EpochObservation {
         self.verification_coverage = None;
         self.minted_good = None;
         self.good_misses = None;
+        self.late = 0;
     }
 }
 
@@ -1193,6 +1201,9 @@ pub struct ObsRow {
     /// Good minting-window misses (PoW statistical pipeline; `NAN`
     /// otherwise).
     pub good_misses: f64,
+    /// Messages past the phase-window deadline this epoch (`0` outside
+    /// the actor runtime).
+    pub late: u64,
 }
 
 impl ObsRow {
@@ -1210,11 +1221,14 @@ impl ObsRow {
             mean_memberships: o.mean_memberships,
             minted_good: o.minted_good.map(|v| v as f64).unwrap_or(f64::NAN),
             good_misses: o.good_misses.map(|v| v as f64).unwrap_or(f64::NAN),
+            late: o.late,
         }
     }
 
-    /// Version tag leading every encoded row line.
-    pub const LINE_VERSION: &'static str = "o1";
+    /// Version tag leading every encoded row line. `o2` appended the
+    /// `late` column; `o1` streams in old stores no longer decode (the
+    /// store is a local cache, so a stale stream re-simulates).
+    pub const LINE_VERSION: &'static str = "o2";
 
     /// Encode the row as one versioned, comma-separated text line, the
     /// record payload the result store keeps per epoch. Floats are
@@ -1223,7 +1237,7 @@ impl ObsRow {
     /// the same statistics as the live run that wrote the stream.
     pub fn encode_line(&self) -> String {
         format!(
-            "{};{},{},{},{},{},{},{},{},{},{},{}",
+            "{};{},{},{},{},{},{},{},{},{},{},{},{}",
             Self::LINE_VERSION,
             self.epoch,
             self.search_success_single,
@@ -1236,6 +1250,7 @@ impl ObsRow {
             self.mean_memberships,
             self.minted_good,
             self.good_misses,
+            self.late,
         )
     }
 
@@ -1251,8 +1266,8 @@ impl ObsRow {
             ));
         }
         let fields: Vec<&str> = body.split(',').collect();
-        if fields.len() != 11 {
-            return Err(format!("expected 11 fields, found {} in `{line}`", fields.len()));
+        if fields.len() != 12 {
+            return Err(format!("expected 12 fields, found {} in `{line}`", fields.len()));
         }
         let f = |i: usize| -> Result<f64, String> {
             fields[i].parse().map_err(|e| format!("field {i} `{}`: {e}", fields[i]))
@@ -1272,6 +1287,7 @@ impl ObsRow {
             mean_memberships: f(8)?,
             minted_good: f(9)?,
             good_misses: f(10)?,
+            late: fields[11].parse().map_err(|e| format!("field 11 `{}`: {e}", fields[11]))?,
         })
     }
 }
@@ -1294,6 +1310,7 @@ pub struct ObservationBatch {
     mean_memberships: Vec<f64>,
     minted_good: Vec<f64>,
     good_misses: Vec<f64>,
+    late: Vec<u64>,
 }
 
 impl ObservationBatch {
@@ -1325,6 +1342,7 @@ impl ObservationBatch {
         self.mean_memberships.clear();
         self.minted_good.clear();
         self.good_misses.clear();
+        self.late.clear();
     }
 
     /// Append one epoch's row.
@@ -1340,6 +1358,7 @@ impl ObservationBatch {
         self.mean_memberships.push(r.mean_memberships);
         self.minted_good.push(r.minted_good);
         self.good_misses.push(r.good_misses);
+        self.late.push(r.late);
     }
 
     /// Epoch indices.
@@ -1398,6 +1417,11 @@ impl ObservationBatch {
         &self.good_misses
     }
 
+    /// Late-window messages per epoch (`0` outside the actor runtime).
+    pub fn late(&self) -> &[u64] {
+        &self.late
+    }
+
     /// Re-extract row `i` (the inverse of [`ObservationBatch::push`]),
     /// used to encode a finished batch into store records.
     pub fn row_at(&self, i: usize) -> ObsRow {
@@ -1413,6 +1437,7 @@ impl ObservationBatch {
             mean_memberships: self.mean_memberships[i],
             minted_good: self.minted_good[i],
             good_misses: self.good_misses[i],
+            late: self.late[i],
         }
     }
 
@@ -1448,6 +1473,11 @@ impl ObservationBatch {
     /// Mean dual-search success.
     pub fn mean_success_dual(&self) -> f64 {
         Self::mean(&self.search_success_dual)
+    }
+
+    /// Mean late-window messages per epoch.
+    pub fn mean_late(&self) -> f64 {
+        self.late.iter().map(|&l| l as f64).sum::<f64>() / self.len().max(1) as f64
     }
 }
 

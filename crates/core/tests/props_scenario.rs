@@ -374,6 +374,7 @@ proptest! {
         has_pow in any::<bool>(),
         minted_good in any::<u16>(),
         good_misses in any::<u16>(),
+        late in any::<u64>(),
     ) {
         use tg_core::scenario::{EpochObservation, ObsRow};
         let obs = EpochObservation {
@@ -388,6 +389,7 @@ proptest! {
             total_groups: total as usize,
             minted_good: has_pow.then_some(minted_good as usize),
             good_misses: has_pow.then_some(good_misses as usize),
+            late,
             ..Default::default()
         };
         let row = ObsRow::of(&obs);
@@ -408,6 +410,7 @@ proptest! {
         prop_assert_eq!(back.mean_memberships.to_bits(), row.mean_memberships.to_bits());
         prop_assert_eq!(back.minted_good.to_bits(), row.minted_good.to_bits());
         prop_assert_eq!(back.good_misses.to_bits(), row.good_misses.to_bits());
+        prop_assert_eq!(back.late, row.late);
         // The SoA batch preserves the same row (`push` ∘ `row_at` = id).
         let mut batch = tg_core::scenario::ObservationBatch::new();
         batch.push(back);

@@ -71,8 +71,7 @@ fn equivalence_holds_inside_parallel_map() {
         .iter()
         .map(|&(d, l, p)| rows(&spec(d, l, p).transport(TransportChoice::Mem), 2))
         .collect();
-    let got = parallel_map(cells, |(d, l, p)| {
-        rows(&spec(d, l, p).transport(TransportChoice::Socket), 2)
-    });
+    let got =
+        parallel_map(cells, |(d, l, p)| rows(&spec(d, l, p).transport(TransportChoice::Socket), 2));
     assert_eq!(got, expected, "socket scenarios diverged under concurrency");
 }

@@ -18,7 +18,11 @@
 //! construction), and `--store <dir>`
 //! (a content-addressed result store: sweeps replay cells whose
 //! observation streams are already stored and publish the ones they
-//! simulate, making warm re-runs cheap and long ladders resumable).
+//! simulate, making warm re-runs cheap and long ladders resumable), and
+//! `--check-invariants` (wrap every driver the experiment builds in
+//! `tg_verify::CheckedDriver`, evaluating the named paper invariants
+//! after every epoch and panicking with a reproduction line on the
+//! first violation — observations are unchanged, only checked).
 
 use tg_core::runtime::RuntimeChoice;
 use tg_core::scenario::{KernelChoice, TransportChoice};
@@ -56,6 +60,13 @@ pub struct Options {
     /// cells they simulate — warm re-runs and resumed ladders skip the
     /// work already on disk. `None` (the default) runs everything live.
     pub store: Option<String>,
+    /// Evaluate the `tg_verify` invariant registry after every epoch of
+    /// every driver the experiment builds, panicking with a full
+    /// reproduction line (invariant ID + scenario label + epoch) on the
+    /// first violation. Checks draw from their own RNG streams, so the
+    /// observations — and every CSV and golden — are byte-identical
+    /// with or without the flag.
+    pub check_invariants: bool,
 }
 
 impl Default for Options {
@@ -71,6 +82,7 @@ impl Default for Options {
             runtime: RuntimeChoice::default(),
             transport: TransportChoice::default(),
             store: None,
+            check_invariants: false,
         }
     }
 }
@@ -126,6 +138,7 @@ impl Options {
                 "--store" => {
                     opts.store = Some(it.next().unwrap_or_else(|| usage("--store needs a value")));
                 }
+                "--check-invariants" => opts.check_invariants = true,
                 "--help" | "-h" => usage(""),
                 other => usage(&format!("unknown flag {other}")),
             }
@@ -167,7 +180,7 @@ fn usage(msg: &str) -> ! {
     eprintln!(
         "usage: <experiment> [--seed N] [--full] [--out DIR] [--quiet] [--only e10,e11,e12] \
          [--list] [--kernel legacy|arena] [--runtime sync|actor] [--transport mem|socket] \
-         [--store DIR]"
+         [--store DIR] [--check-invariants]"
     );
     std::process::exit(if msg.is_empty() { 0 } else { 2 });
 }
@@ -236,6 +249,12 @@ mod tests {
         assert_eq!(o.store.as_deref(), Some(dir.as_str()));
         assert!(o.open_store().is_some(), "a creatable directory opens");
         assert!(parse(&[]).open_store().is_none(), "no flag, no store");
+    }
+
+    #[test]
+    fn check_invariants_flag_parses() {
+        assert!(!parse(&[]).check_invariants);
+        assert!(parse(&["--check-invariants"]).check_invariants);
     }
 
     #[test]

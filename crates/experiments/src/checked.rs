@@ -1,0 +1,52 @@
+//! The one place experiment code builds scenario drivers.
+//!
+//! Every harness routes through [`build_driver`] so the
+//! `--check-invariants` flag reaches every simulated system uniformly:
+//! unchecked, it is exactly `tg_pow::scenario::build`; checked, the
+//! driver is wrapped in a strict [`tg_verify::CheckedDriver`] that
+//! panics with a full reproduction line (invariant ID, scenario label,
+//! epoch) on the first violated paper invariant. The wrapper draws
+//! its sampling randomness from its own labelled streams, so checked
+//! and unchecked runs produce byte-identical observations, CSVs, and
+//! goldens.
+
+use tg_core::scenario::{EpochDriver, ScenarioSpec};
+use tg_verify::CheckedDriver;
+
+/// Build `spec`'s driver, optionally wrapped in a strict invariant
+/// checker.
+///
+/// # Panics
+/// Panics if the spec is unbuildable (experiment specs are
+/// constructed, not parsed, so that is a harness bug), or — when
+/// `check_invariants` is set — on the first invariant violation.
+pub fn build_driver(spec: &ScenarioSpec, check_invariants: bool) -> Box<dyn EpochDriver> {
+    if check_invariants {
+        let checked = CheckedDriver::build(spec)
+            .unwrap_or_else(|e| panic!("scenario `{}` must build: {e:?}", spec.label()))
+            .strict();
+        Box::new(checked)
+    } else {
+        tg_pow::scenario::build(spec)
+            .unwrap_or_else(|e| panic!("scenario `{}` must build: {e:?}", spec.label()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn checked_and_unchecked_drivers_agree() {
+        let spec = ScenarioSpec::new(60, 42).searches(40);
+        let mut plain = build_driver(&spec, false);
+        let mut checked = build_driver(&spec, true);
+        for _ in 0..3 {
+            assert_eq!(
+                format!("{:?}", plain.step()),
+                format!("{:?}", checked.step()),
+                "the checked wrapper must not perturb observations"
+            );
+        }
+    }
+}

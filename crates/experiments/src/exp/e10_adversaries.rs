@@ -144,13 +144,14 @@ fn run_cell(
     kernel: KernelChoice,
     runtime: RuntimeChoice,
     transport: TransportChoice,
+    check_invariants: bool,
 ) -> Vec<Vec<String>> {
     let pipeline_idx = PIPELINES.iter().position(|&p| p == pipeline).unwrap() as u64;
     let cell_seed = tg_sim::derive_seed(seed, strategy, pipeline_idx);
     let spec = cell_spec(n_good, n_bad, searches, cell_seed, kernel, runtime, transport)
         .strategy(cell_strategy(strategy, cell_seed ^ 0xE10, n_bad))
         .defense(cell_defense(pipeline));
-    let mut sys = tg_pow::scenario::build(&spec).expect("E10 scenarios are buildable");
+    let mut sys = crate::checked::build_driver(&spec, check_invariants);
     (0..epochs)
         .map(|e| {
             let r = sys.step();
@@ -203,9 +204,11 @@ pub fn run(opts: &Options) -> Vec<Table> {
     let kernel = opts.kernel;
     let runtime = opts.runtime;
     let transport = opts.transport;
+    let check = opts.check_invariants;
     let results = tg_sim::parallel_map(cells, move |(strategy, pipeline)| {
         run_cell(
             strategy, pipeline, n_good, n_bad, epochs, searches, seed, kernel, runtime, transport,
+            check,
         )
     });
     for rows in results {
@@ -232,7 +235,7 @@ pub fn run(opts: &Options) -> Vec<Table> {
         let spec = cell_spec(n_good, n_bad, searches, cell_seed, kernel, runtime, transport)
             .strategy(cell_strategy("precompute-hoarder", cell_seed ^ 0xB0A, n_bad))
             .defense(Defense::Pow { scheme: MintScheme::TwoHash, fresh_strings: fresh });
-        let mut sys = tg_pow::scenario::build(&spec).expect("E10 scenarios are buildable");
+        let mut sys = crate::checked::build_driver(&spec, check);
         (0..epochs)
             .map(|_| {
                 let r = sys.step();
@@ -274,6 +277,7 @@ mod tests {
             list: false,
             transport: Default::default(),
             store: None,
+            check_invariants: false,
         }
     }
 

@@ -70,6 +70,7 @@ pub fn config(opts: &Options) -> FrontierConfig {
             runtime: opts.runtime,
             transport: opts.transport,
             store: opts.open_store(),
+            check_invariants: opts.check_invariants,
         }
     } else {
         FrontierConfig {
@@ -88,6 +89,7 @@ pub fn config(opts: &Options) -> FrontierConfig {
             runtime: opts.runtime,
             transport: opts.transport,
             store: opts.open_store(),
+            check_invariants: opts.check_invariants,
         }
     }
 }
@@ -122,6 +124,7 @@ mod tests {
             list: false,
             transport: Default::default(),
             store: None,
+            check_invariants: false,
         }
     }
 
@@ -243,6 +246,7 @@ mod tests {
             runtime: Default::default(),
             transport: Default::default(),
             store: None,
+            check_invariants: false,
         };
         let a = run_frontier(&cfg);
         let b = run_frontier(&cfg);

@@ -83,6 +83,7 @@ pub fn config(opts: &Options) -> RefineConfig {
             runtime: opts.runtime,
             transport: opts.transport,
             store: opts.open_store(),
+            check_invariants: opts.check_invariants,
         }
     } else {
         FrontierConfig {
@@ -101,6 +102,7 @@ pub fn config(opts: &Options) -> RefineConfig {
             runtime: opts.runtime,
             transport: opts.transport,
             store: opts.open_store(),
+            check_invariants: opts.check_invariants,
         }
     };
     RefineConfig { grid, z: 1.645, max_extra_rounds: 2 }
@@ -137,6 +139,7 @@ mod tests {
             list: false,
             transport: Default::default(),
             store: None,
+            check_invariants: false,
         }
     }
 
@@ -171,6 +174,7 @@ mod tests {
             runtime: Default::default(),
             transport: Default::default(),
             store: None,
+            check_invariants: false,
         }
     }
 
@@ -296,6 +300,7 @@ mod tests {
                 runtime: Default::default(),
                 transport: Default::default(),
                 store: None,
+                check_invariants: false,
             },
             z: 1.645,
             max_extra_rounds: 1,

@@ -131,7 +131,7 @@ pub fn rung_spec(rung: &Rung, seed: u64) -> ScenarioSpec {
 /// Time every rung, sequentially (each rung's epoch loop parallelizes
 /// internally; running rungs back to back keeps the clocks honest).
 pub fn measure(rungs: &[Rung], seed: u64) -> Vec<RungResult> {
-    measure_stored(rungs, seed, None).into_iter().map(|(r, _)| r).collect()
+    measure_stored(rungs, seed, None, false).into_iter().map(|(r, _)| r).collect()
 }
 
 /// Store key of one rung's timing record: the rung's scenario label
@@ -151,6 +151,7 @@ pub fn measure_stored(
     rungs: &[Rung],
     seed: u64,
     store: Option<&tg_sim::ResultStore>,
+    check_invariants: bool,
 ) -> Vec<(RungResult, bool)> {
     rungs
         .iter()
@@ -175,7 +176,7 @@ pub fn measure_stored(
             }
             let spec = rung_spec(&rung, seed);
             let t0 = Instant::now();
-            let mut driver = tg_pow::scenario::build(&spec).expect("throughput rungs build");
+            let mut driver = crate::checked::build_driver(&spec, check_invariants);
             let build_ms = t0.elapsed().as_secs_f64() * 1e3;
             let t0 = Instant::now();
             driver.run(rung.epochs);
@@ -235,7 +236,7 @@ pub fn record_rung(results: &[RungResult]) -> Option<&RungResult> {
 /// CSVs, and return the throughput table.
 pub fn run(opts: &Options) -> Table {
     let store = opts.open_store();
-    let timed = measure_stored(&rungs(opts), opts.seed, store.as_ref());
+    let timed = measure_stored(&rungs(opts), opts.seed, store.as_ref(), opts.check_invariants);
     let mut table = Table::new(
         "e13_scale",
         &[
@@ -382,10 +383,10 @@ mod tests {
             Rung { kernel: KernelChoice::Arena, n_good: 380, epochs: 2 },
         ];
         // Cold half-ladder: only the first rung gets recorded.
-        let cold = measure_stored(&ladder[..1], 42, Some(&store));
+        let cold = measure_stored(&ladder[..1], 42, Some(&store), false);
         assert!(cold.iter().all(|(_, cached)| !cached), "first pass is all live");
         // Resumed full ladder: rung 0 replays, rung 1 runs live.
-        let warm = measure_stored(&ladder, 42, Some(&store));
+        let warm = measure_stored(&ladder, 42, Some(&store), false);
         assert!(warm[0].1, "recorded rung is replayed");
         assert!(!warm[1].1, "new rung runs live");
         assert_eq!(warm[0].0.build_ms, cold[0].0.build_ms);

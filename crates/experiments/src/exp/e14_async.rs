@@ -119,6 +119,9 @@ pub struct CellResult {
     pub success_dual: f64,
     /// Final-epoch key-space share of delivered adversarial IDs.
     pub bad_share: f64,
+    /// Mean late deliveries per epoch (messages that arrived after
+    /// their phase-window deadline — `NetStats.late`, per-epoch delta).
+    pub late: f64,
 }
 
 /// Run one cell: `trials` independent populations (trial seeds derived
@@ -145,7 +148,7 @@ pub fn run_cell_stored(
     store: Option<&tg_sim::ResultStore>,
 ) -> (CellResult, usize) {
     use tg_core::scenario::ObsRow;
-    let (mut capture, mut red, mut dual, mut bad_share) = (0.0, 0.0, 0.0, 0.0);
+    let (mut capture, mut red, mut dual, mut bad_share, mut late) = (0.0, 0.0, 0.0, 0.0, 0.0);
     let mut live = 0usize;
     for trial in 0..trials {
         let seed = tg_sim::derive_seed(opts.seed, "e14-trial", trial);
@@ -178,7 +181,7 @@ pub fn run_cell_stored(
         }
         let rows = rows.unwrap_or_else(|| {
             live += 1;
-            let mut sys = tg_pow::scenario::build(&spec).expect("E14 scenarios are buildable");
+            let mut sys = crate::checked::build_driver(&spec, opts.check_invariants);
             let rows: Vec<ObsRow> = (0..epochs).map(|_| ObsRow::of(sys.step())).collect();
             if let (Some(store), Some(key)) = (store, key.as_ref()) {
                 let records: Vec<String> = rows.iter().map(ObsRow::encode_line).collect();
@@ -193,6 +196,7 @@ pub fn run_cell_stored(
             red += r.frac_red_s0;
             dual += r.search_success_dual;
             bad_share += r.bad_share;
+            late += r.late as f64;
         }
     }
     let m = (epochs.max(1) as u64 * trials.max(1)) as f64;
@@ -202,6 +206,7 @@ pub fn run_cell_stored(
         frac_red: red / m,
         success_dual: dual / m,
         bad_share: bad_share / m,
+        late: late / m,
     };
     (result, live)
 }
@@ -234,6 +239,7 @@ pub fn run(opts: &Options) -> Table {
             "frac_red_s0",
             "success_dual",
             "bad_share",
+            "late",
         ],
     );
     for r in results {
@@ -246,6 +252,7 @@ pub fn run(opts: &Options) -> Table {
             f(r.frac_red),
             f(r.success_dual),
             f(r.bad_share),
+            f(r.late),
         ]);
     }
     table
@@ -290,6 +297,19 @@ mod tests {
                 "lossy end should strictly exceed the perfect end at part={part}",
             );
         }
+    }
+
+    /// The late column reports the per-epoch mean of the transport's
+    /// late-delivery counter: exactly zero over a perfect transport
+    /// (nothing misses its phase deadline), and finite — not NaN — on
+    /// every cell of the quick grid.
+    #[test]
+    fn late_column_is_zero_on_the_perfect_transport() {
+        let opts = quick_opts();
+        let perfect = run_cell(cell(0.0, 0), &opts, 3, 2);
+        assert_eq!(perfect.late, 0.0, "no faults, no late deliveries");
+        let lossy = run_cell(cell(0.4, 24), &opts, 3, 2);
+        assert!(lossy.late.is_finite() && lossy.late >= 0.0);
     }
 
     /// Drops hurt search success: the heavily lossy cell answers fewer

@@ -112,6 +112,7 @@ mod tests {
             list: false,
             transport: Default::default(),
             store: None,
+            check_invariants: false,
         };
         // Shrink by running the real function — the quick grid is small
         // enough for CI, but for the unit test we only check shape via a

@@ -163,6 +163,7 @@ mod tests {
             list: false,
             transport: Default::default(),
             store: None,
+            check_invariants: false,
         };
         let mut rng = stream_rng(opts.seed, "e3-test", 0);
         let pop = Population::uniform(2000, 100, &mut rng);

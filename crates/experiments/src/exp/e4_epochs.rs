@@ -68,7 +68,7 @@ pub fn run(opts: &Options) -> Table {
             .kernel(opts.kernel)
             .runtime(opts.runtime)
             .transport(opts.transport);
-        let mut sys = tg_pow::scenario::build(&spec).expect("honest no-PoW scenario");
+        let mut sys = crate::checked::build_driver(&spec, opts.check_invariants);
         for _ in 0..epochs {
             let r = sys.step();
             table.push(vec![

@@ -43,7 +43,7 @@ pub fn run(opts: &Options) -> Table {
             .kernel(opts.kernel)
             .runtime(opts.runtime)
             .transport(opts.transport);
-        let mut sys = tg_pow::scenario::build(&spec).expect("honest no-PoW scenario");
+        let mut sys = crate::checked::build_driver(&spec, opts.check_invariants);
         for _ in 0..epochs {
             let r = sys.step();
             let accept_rate = if r.build.spurious_issued > 0 {
@@ -85,6 +85,7 @@ mod tests {
             list: false,
             transport: Default::default(),
             store: None,
+            check_invariants: false,
         };
         let t = run(&opts);
         // Partition rows by attack level; compare mean memberships.

@@ -123,6 +123,7 @@ mod tests {
             list: false,
             transport: Default::default(),
             store: None,
+            check_invariants: false,
         };
         let tables = run(&opts);
         let minting = &tables[0];

@@ -96,6 +96,7 @@ mod tests {
             list: false,
             transport: Default::default(),
             store: None,
+            check_invariants: false,
         };
         let t = run(&opts);
         assert_eq!(t.rows.len(), 6);

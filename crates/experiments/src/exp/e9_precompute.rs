@@ -62,6 +62,7 @@ mod tests {
             list: false,
             transport: Default::default(),
             store: None,
+            check_invariants: false,
         };
         let t = run(&opts);
         for i in 0..t.rows.len() {

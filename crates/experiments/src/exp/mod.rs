@@ -6,6 +6,7 @@ pub mod e11_frontier;
 pub mod e12_refine;
 pub mod e13_scale;
 pub mod e14_async;
+pub mod e15_model;
 pub mod e1_robustness;
 pub mod e2_groupsize;
 pub mod e3_costs;
@@ -35,7 +36,7 @@ pub struct Experiment {
 /// Every experiment, in run order — the single source of truth behind
 /// `run_all`'s execution loop, its `--list` output, and its `--only`
 /// validation (no hand-maintained name list to drift).
-pub const REGISTRY: [Experiment; 15] = [
+pub const REGISTRY: [Experiment; 16] = [
     Experiment {
         name: "e1",
         description: "Theorem 3 / Lemma 4: ε-robustness vs n, β",
@@ -123,6 +124,15 @@ pub const REGISTRY: [Experiment; 15] = [
         run: |o| e14_async::run(o).emit(o),
     },
     Experiment {
+        name: "e15",
+        description: "Exhaustive tiny-model check: every adversary placement × defense, verdicts",
+        run: |o| {
+            for t in e15_model::run(o) {
+                t.emit(o);
+            }
+        },
+    },
+    Experiment {
         name: "figure1",
         description: "Figure 1: the input graph and group graph panels",
         run: |o| figure1::run(o).emit(o),
@@ -144,10 +154,10 @@ mod registry_tests {
     }
 
     #[test]
-    fn registry_covers_e1_through_e14_in_order() {
+    fn registry_covers_e1_through_e15_in_order() {
         let names: Vec<&str> = REGISTRY.iter().map(|e| e.name).collect();
-        let expected: Vec<String> = (1..=14).map(|i| format!("e{i}")).collect();
-        assert_eq!(&names[..14], &expected.iter().map(String::as_str).collect::<Vec<_>>()[..]);
-        assert_eq!(names[14], "figure1");
+        let expected: Vec<String> = (1..=15).map(|i| format!("e{i}")).collect();
+        assert_eq!(&names[..15], &expected.iter().map(String::as_str).collect::<Vec<_>>()[..]);
+        assert_eq!(names[15], "figure1");
     }
 }

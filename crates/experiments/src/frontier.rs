@@ -191,6 +191,11 @@ pub struct FrontierConfig {
     /// warm sweep replays stored streams through the identical
     /// statistics path, so its tables are byte-for-byte the live run's.
     pub store: Option<ResultStore>,
+    /// Evaluate the `tg_verify` invariant registry after every epoch of
+    /// every simulated trial (panicking with a reproduction line on the
+    /// first violation). Byte-identical observations either way, so a
+    /// checked sweep's tables match an unchecked run's exactly.
+    pub check_invariants: bool,
 }
 
 impl FrontierConfig {
@@ -302,7 +307,7 @@ fn run_trial(cfg: &FrontierConfig, key: &RowKey, beta: f64, trial_seed: u64) -> 
             Ok(None) => {}
             Err(e) => panic!("{e}"),
         }
-        let mut driver = tg_pow::scenario::build(&spec).expect("frontier scenarios are buildable");
+        let mut driver = crate::checked::build_driver(&spec, cfg.check_invariants);
         let batch = driver.run(epochs);
         let records: Vec<String> =
             (0..batch.len()).map(|i| batch.row_at(i).encode_line()).collect();
@@ -312,7 +317,7 @@ fn run_trial(cfg: &FrontierConfig, key: &RowKey, beta: f64, trial_seed: u64) -> 
         }
         return (batch_stats(batch), true);
     }
-    let mut driver = tg_pow::scenario::build(&spec).expect("frontier scenarios are buildable");
+    let mut driver = crate::checked::build_driver(&spec, cfg.check_invariants);
     // One batched run fills the driver's columnar `ObservationBatch`;
     // the mean helpers reduce each column in epoch order, so the stats
     // are bit-identical to the old step-and-accumulate loop.

@@ -33,12 +33,14 @@
 
 pub mod args;
 pub mod artifacts;
+pub mod checked;
 pub mod exp;
 pub mod frontier;
 pub mod refine;
 pub mod table;
 
 pub use args::Options;
+pub use checked::build_driver;
 pub use frontier::{Defense, FrontierConfig, FrontierOutcome, RowKey};
 pub use refine::{RefineConfig, RefineOutcome};
 pub use table::Table;

@@ -54,6 +54,7 @@ fn opts() -> Options {
         runtime: Default::default(),
         transport: Default::default(),
         store: None,
+        check_invariants: false,
     }
 }
 

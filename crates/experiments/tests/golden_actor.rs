@@ -53,6 +53,7 @@ fn actor_opts() -> Options {
         runtime: RuntimeChoice::Actor,
         transport: Default::default(),
         store: None,
+        check_invariants: false,
     }
 }
 

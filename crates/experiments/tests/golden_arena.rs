@@ -51,6 +51,7 @@ fn arena_opts() -> Options {
         runtime: Default::default(),
         transport: Default::default(),
         store: None,
+        check_invariants: false,
     }
 }
 

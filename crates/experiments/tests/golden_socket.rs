@@ -50,6 +50,7 @@ fn socket_opts() -> Options {
         runtime: RuntimeChoice::Actor,
         transport: TransportChoice::Socket,
         store: None,
+        check_invariants: false,
     }
 }
 

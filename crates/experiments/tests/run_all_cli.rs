@@ -32,7 +32,13 @@ fn unknown_only_selection_exits_two_with_the_known_list() {
     assert_eq!(out.status.code(), Some(2));
     let stderr = String::from_utf8(out.stderr).expect("utf-8 diagnostics");
     assert!(stderr.contains("e99"), "diagnostic names the offender: {stderr}");
-    assert!(stderr.contains("e12"), "diagnostic lists the known names: {stderr}");
+    for e in REGISTRY {
+        assert!(
+            stderr.contains(&format!("\"{}\"", e.name)),
+            "diagnostic must list every valid selection; missing {}: {stderr}",
+            e.name
+        );
+    }
 }
 
 #[test]

@@ -21,6 +21,7 @@ fn smoke_opts(name: &str) -> Options {
         list: false,
         transport: Default::default(),
         store: None,
+        check_invariants: false,
     }
 }
 

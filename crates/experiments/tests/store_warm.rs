@@ -30,6 +30,7 @@ fn opts(store_dir: &std::path::Path) -> Options {
         runtime: Default::default(),
         transport: Default::default(),
         store: Some(store_dir.to_str().expect("utf-8 temp path").to_string()),
+        check_invariants: false,
     }
 }
 

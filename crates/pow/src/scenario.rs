@@ -201,6 +201,7 @@ impl FullDriver {
 
 impl EpochDriver for FullDriver {
     fn step(&mut self) -> &EpochObservation {
+        let late_before = self.net.as_ref().map(|n| n.stats().late);
         let r = self.sys.run_epoch_net(self.net.as_mut());
         self.obs.fill_dynamic(&r.dynamics, self.sys.dynamics.graphs());
         self.obs.bad_ids = r.minted_bad;
@@ -210,6 +211,11 @@ impl EpochDriver for FullDriver {
         self.obs.verification_coverage = Some(r.verification_coverage);
         self.obs.minted_good = Some(r.minted_good);
         self.obs.good_misses = Some(r.good_misses);
+        // Per-epoch late-window delta; `0` when no network is attached
+        // (`fill_dynamic` already reset the field).
+        if let (Some(before), Some(net)) = (late_before, self.net.as_ref()) {
+            self.obs.late = net.stats().late - before;
+        }
         &self.obs
     }
 

@@ -1,0 +1,98 @@
+//! Exhaustive enumeration helpers for small-configuration model
+//! checking: iterate **every** `k`-subset of `0..n` in lexicographic
+//! order. The invariant layer (`tg_verify`) drives these over adversary
+//! placements — tiny universes, so the counts stay comfortably in the
+//! thousands, but the point is completeness: a sampled sweep can miss
+//! the one placement that breaks a guarantee, an enumeration cannot.
+
+/// Call `f` once per `k`-subset of `{0, …, n-1}`, in lexicographic
+/// order, passing the chosen indices (ascending). `k = 0` yields the
+/// single empty subset; `k > n` yields nothing.
+pub fn for_each_combination(n: usize, k: usize, mut f: impl FnMut(&[usize])) {
+    if k > n {
+        return;
+    }
+    let mut idx: Vec<usize> = (0..k).collect();
+    loop {
+        f(&idx);
+        // Advance to the next combination: find the rightmost index that
+        // can still move right, bump it, and reset everything after it.
+        let mut i = k;
+        loop {
+            if i == 0 {
+                return;
+            }
+            i -= 1;
+            if idx[i] != i + n - k {
+                break;
+            }
+            if i == 0 {
+                return;
+            }
+        }
+        idx[i] += 1;
+        for j in i + 1..k {
+            idx[j] = idx[j - 1] + 1;
+        }
+    }
+}
+
+/// The number of `k`-subsets of an `n`-universe (`n choose k`),
+/// saturating at `u64::MAX`. Used to size enumeration reports.
+pub fn combination_count(n: usize, k: usize) -> u64 {
+    if k > n {
+        return 0;
+    }
+    let k = k.min(n - k);
+    let mut acc: u128 = 1;
+    for i in 0..k {
+        acc = acc * (n - i) as u128 / (i + 1) as u128;
+        if acc > u64::MAX as u128 {
+            return u64::MAX;
+        }
+    }
+    acc as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn collect(n: usize, k: usize) -> Vec<Vec<usize>> {
+        let mut out = Vec::new();
+        for_each_combination(n, k, |c| out.push(c.to_vec()));
+        out
+    }
+
+    #[test]
+    fn enumerates_all_subsets_in_lex_order() {
+        let all = collect(4, 2);
+        assert_eq!(
+            all,
+            vec![vec![0, 1], vec![0, 2], vec![0, 3], vec![1, 2], vec![1, 3], vec![2, 3],]
+        );
+    }
+
+    #[test]
+    fn counts_match_enumeration() {
+        for n in 0..=9 {
+            for k in 0..=n + 1 {
+                assert_eq!(collect(n, k).len() as u64, combination_count(n, k), "n={n} k={k}");
+            }
+        }
+        assert_eq!(combination_count(5, 0), 1, "one empty subset");
+        assert_eq!(combination_count(14, 7), 3432);
+        assert_eq!(combination_count(64, 32), 1_832_624_140_942_590_534, "fits exactly");
+        assert_eq!(combination_count(70, 35), u64::MAX, "saturates, not panics");
+    }
+
+    #[test]
+    fn subsets_are_ascending_and_distinct() {
+        let mut seen = std::collections::HashSet::new();
+        for_each_combination(7, 3, |c| {
+            assert!(c.windows(2).all(|w| w[0] < w[1]), "ascending: {c:?}");
+            assert!(seen.insert(c.to_vec()), "duplicate subset {c:?}");
+        });
+        assert_eq!(seen.len(), 35);
+    }
+}

@@ -30,6 +30,7 @@
 //!   streams are already on disk and long runs resume mid-ladder.
 
 pub mod clock;
+pub mod enumerate;
 pub mod metrics;
 pub mod net;
 pub mod parallel;
@@ -38,6 +39,7 @@ pub mod stats;
 pub mod store;
 
 pub use clock::{EpochClock, PhaseWindow};
+pub use enumerate::{combination_count, for_each_combination};
 pub use metrics::{CostReport, Metrics};
 pub use net::{
     Envelope, Fate, FaultPlan, InMemoryTransport, NetStats, NodeId, RetryPolicy, SocketTransport,

@@ -1,0 +1,426 @@
+//! Exhaustive small-configuration model checker.
+//!
+//! Samples can miss the one adversary placement that breaks a guarantee;
+//! for a tiny universe we can afford not to sample. The checker
+//! enumerates **every** placement of `b` adversarial identities over the
+//! maximal-capture slot set of a tiny static system (one slot per good
+//! ID, just below its clockwise successor, so the slot owns the whole
+//! predecessor arc — the strongest position a point adversary has), for
+//! every budget `b ≤ max_budget` and every identity-pipeline defense,
+//! and re-derives the paper's guarantees per placement:
+//!
+//! * **INV-GOODNESS** (§I-C, Lemma 6) — below the defense's capture
+//!   threshold, *no* placement produces a group without a good
+//!   majority; at the threshold the checker returns the exact
+//!   [`Witness`] placement that capture first becomes possible with.
+//! * **INV-ROUTE** (§II-B) — for every placement, every (start, key)
+//!   search agrees with an independent color scan of its route.
+//! * **INV-BUDGET** (§I-C) — no placement realizes more identities than
+//!   its budget.
+//! * **INV-MONOTONE** (Theorem 3 trend) — capturing placements never
+//!   decrease with `b`, and the `f∘g` two-hash pipeline never captures
+//!   at a smaller budget than single-hash (Lemma 11: the composition
+//!   discards the adversary's placement intent, so any minted point's
+//!   capture is dominated by the slot set the adversary *wanted*).
+//!
+//! Everything is deterministic — oracles are seeded, no RNG stream is
+//! drawn — so a reported witness reproduces bit-for-bit.
+
+use tg_core::{build_initial_graph, GroupGraph, GroupGraphView, Params, Population};
+use tg_crypto::OracleFamily;
+use tg_idspace::Id;
+use tg_overlay::GraphKind;
+use tg_pow::puzzle::{attempt, attempt_single_hash, PuzzleParams};
+use tg_sim::{combination_count, for_each_combination};
+
+use crate::invariant::check_route;
+
+/// Identity-pipeline defense the model realizes placements through.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ModelDefense {
+    /// No PoW: chosen slots enter the ring directly.
+    NoPow,
+    /// Single-hash minting (§IV-A's warned-against variant): `σ` is the
+    /// ID, so the adversary still realizes its chosen slots exactly.
+    SingleHash,
+    /// The paper's `f∘g` composition (Lemma 11): `σ` is hashed twice,
+    /// so the chosen slot is discarded and the minted point lands
+    /// wherever `f(g(σ))` says.
+    TwoHash,
+}
+
+impl ModelDefense {
+    /// All defenses, in report order.
+    pub const ALL: [ModelDefense; 3] =
+        [ModelDefense::NoPow, ModelDefense::SingleHash, ModelDefense::TwoHash];
+
+    /// Stable label for CSV rows and reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            ModelDefense::NoPow => "none",
+            ModelDefense::SingleHash => "single-hash",
+            ModelDefense::TwoHash => "f∘g",
+        }
+    }
+}
+
+/// The tiny universe the checker enumerates.
+#[derive(Clone, Copy, Debug)]
+pub struct ModelConfig {
+    /// Good identities, evenly spaced on the ring.
+    pub n_good: usize,
+    /// Membership draws per group (group size is `draws + 1` before
+    /// dedup), pinned via [`tg_core::GroupSizeRule::Fixed`] so the
+    /// capture arithmetic is budget-only.
+    pub draws: usize,
+    /// Largest adversary budget to enumerate (`b = 0..=max_budget`).
+    pub max_budget: usize,
+    /// Oracle-family seed (the only randomness-like input; the model
+    /// draws no RNG stream).
+    pub seed: u64,
+}
+
+impl ModelConfig {
+    /// The default tiny universe: 10 good identities, 4 draws (size-5
+    /// groups), budgets up to 5 — 638 placements per defense, small
+    /// enough that CI enumerates all of them with exhaustive routing,
+    /// large enough that the capture threshold sits strictly above
+    /// budget 1 and the `f∘g` scrambling advantage is visible at it.
+    pub fn tiny() -> ModelConfig {
+        ModelConfig { n_good: 10, draws: 4, max_budget: 5, seed: 42 }
+    }
+
+    /// Total placements enumerated per defense.
+    pub fn placements(&self) -> u64 {
+        (0..=self.max_budget).map(|b| combination_count(self.n_good, b)).sum()
+    }
+}
+
+/// The exact placement a violation was first found with — enough to
+/// rebuild the graph and re-derive the capture by hand.
+#[derive(Clone, Debug)]
+pub struct Witness {
+    /// Defense the placement was realized through.
+    pub defense: ModelDefense,
+    /// Adversary budget of the placement.
+    pub budget: usize,
+    /// Chosen slot indices (slot `j` sits just below good ID `j+1`).
+    pub slots: Vec<usize>,
+    /// Realized adversarial ring points.
+    pub bad_ids: Vec<Id>,
+    /// Index of the first captured group in the rebuilt graph.
+    pub group: usize,
+    /// Adversarial members of that group.
+    pub bad_in_group: usize,
+    /// Its total size.
+    pub group_size: usize,
+}
+
+/// Aggregate over every placement of one (defense, budget) cell.
+#[derive(Clone, Debug)]
+pub struct ModelCell {
+    /// Defense of the cell.
+    pub defense: ModelDefense,
+    /// Adversary budget of the cell.
+    pub budget: usize,
+    /// Placements enumerated (`n_good choose budget`).
+    pub placements: u64,
+    /// Placements producing at least one captured group
+    /// (INV-GOODNESS failures — expected zero below the threshold).
+    pub capturing: u64,
+    /// Largest number of captured groups any single placement produced.
+    pub max_captured: usize,
+    /// Route checks evaluated (every (start, key) pair of every
+    /// placement).
+    pub route_checks: u64,
+    /// INV-ROUTE disagreements (must be zero at any budget).
+    pub route_violations: u64,
+    /// INV-BUDGET overruns (must be zero at any budget).
+    pub budget_violations: u64,
+    /// First capturing placement, if any.
+    pub witness: Option<Witness>,
+}
+
+/// The full enumeration result.
+#[derive(Clone, Debug)]
+pub struct ModelReport {
+    /// The universe that was enumerated.
+    pub config: ModelConfig,
+    /// One cell per (defense, budget), defenses in [`ModelDefense::ALL`]
+    /// order, budgets ascending within each defense.
+    pub cells: Vec<ModelCell>,
+}
+
+impl ModelReport {
+    /// The cells of one defense, budgets ascending.
+    pub fn defense_cells(&self, d: ModelDefense) -> impl Iterator<Item = &ModelCell> {
+        self.cells.iter().filter(move |c| c.defense == d)
+    }
+
+    /// The capture threshold of a defense: the smallest budget with at
+    /// least one capturing placement. `None` if no enumerated budget
+    /// captures.
+    pub fn threshold(&self, d: ModelDefense) -> Option<usize> {
+        self.defense_cells(d).find(|c| c.capturing > 0).map(|c| c.budget)
+    }
+
+    /// The witness placement at a defense's threshold.
+    pub fn witness(&self, d: ModelDefense) -> Option<&Witness> {
+        self.defense_cells(d).find(|c| c.capturing > 0).and_then(|c| c.witness.as_ref())
+    }
+
+    /// Total INV-ROUTE and INV-BUDGET violations across every cell
+    /// (both must be zero for any budget — these invariants do not have
+    /// a threshold).
+    pub fn hard_violations(&self) -> u64 {
+        self.cells.iter().map(|c| c.route_violations + c.budget_violations).sum()
+    }
+}
+
+/// Realize slot choices as ring identities through a defense.
+///
+/// `NoPow` and `SingleHash` both land exactly on the chosen slots
+/// (single-hash is the pipeline the paper rejects *because* it preserves
+/// the adversary's choice); `TwoHash` pushes each slot's value through
+/// the real `f(g(σ ⊕ r))` mint with a saturated difficulty, so the
+/// chosen location is discarded and the point lands pseudo-randomly.
+fn realize(defense: ModelDefense, slots: &[usize], slot_ids: &[Id], fam: &OracleFamily) -> Vec<Id> {
+    // τ at the top of the ring: every attempt succeeds, so the model
+    // isolates *placement* from minting luck.
+    let params = PuzzleParams { tau: Id(u64::MAX), attempts_per_step: 1, t_epoch: 2 };
+    slots
+        .iter()
+        .map(|&j| {
+            let sigma = slot_ids[j].raw();
+            match defense {
+                ModelDefense::NoPow => slot_ids[j],
+                ModelDefense::SingleHash => attempt_single_hash(fam, &params, sigma)
+                    .expect("saturated τ admits every attempt"),
+                ModelDefense::TwoHash => {
+                    attempt(fam, &params, (sigma, sigma), 0)
+                        .expect("saturated τ admits every attempt")
+                        .id
+                }
+            }
+        })
+        .collect()
+}
+
+/// Build the static graph of one placement.
+fn build_placement(cfg: &ModelConfig, good: &[Id], bad: &[Id], fam: &OracleFamily) -> GroupGraph {
+    let pop = Population::new(good.to_vec(), bad.to_vec());
+    let params = Params::paper_defaults().with_fixed_groups(cfg.draws);
+    build_initial_graph(pop, GraphKind::Chord, fam.h1, &params)
+}
+
+/// Enumerate every placement of every budget through every defense.
+pub fn run_model(cfg: &ModelConfig) -> ModelReport {
+    let fam = OracleFamily::new(cfg.seed);
+    let good: Vec<Id> =
+        (0..cfg.n_good).map(|i| Id::from_f64(i as f64 / cfg.n_good as f64)).collect();
+    // Slot j owns the whole arc below good ID (j+1): the latest point
+    // the ring admits before the next good identity, so every
+    // membership hash landing in that gap selects the slot.
+    let slot_ids: Vec<Id> =
+        (0..cfg.n_good).map(|j| Id(good[(j + 1) % cfg.n_good].raw().wrapping_sub(1))).collect();
+    // Probe keys: every population point plus every gap midpoint, so
+    // routes terminate both on identities and between them.
+    let midpoints: Vec<Id> =
+        (0..cfg.n_good).map(|i| Id::from_f64((i as f64 + 0.5) / cfg.n_good as f64)).collect();
+
+    let mut cells = Vec::new();
+    for defense in ModelDefense::ALL {
+        for b in 0..=cfg.max_budget {
+            let mut cell = ModelCell {
+                defense,
+                budget: b,
+                placements: 0,
+                capturing: 0,
+                max_captured: 0,
+                route_checks: 0,
+                route_violations: 0,
+                budget_violations: 0,
+                witness: None,
+            };
+            for_each_combination(cfg.n_good, b, |slots| {
+                cell.placements += 1;
+                let mut bad = realize(defense, slots, &slot_ids, &fam);
+                // Two-hash points are pseudo-random; drop the measure-zero
+                // collisions so Population stays duplicate-free.
+                bad.sort_unstable();
+                bad.dedup();
+                bad.retain(|id| !good.contains(id));
+                if bad.len() > b {
+                    cell.budget_violations += 1;
+                }
+                let gg = build_placement(cfg, &good, &bad, &fam);
+
+                // INV-GOODNESS, exhaustively per group.
+                let captured: Vec<usize> =
+                    (0..gg.len()).filter(|&i| !gg.has_good_majority(i)).collect();
+                if !captured.is_empty() {
+                    cell.capturing += 1;
+                    cell.max_captured = cell.max_captured.max(captured.len());
+                    if cell.witness.is_none() {
+                        let g0 = captured[0];
+                        cell.witness = Some(Witness {
+                            defense,
+                            budget: b,
+                            slots: slots.to_vec(),
+                            bad_ids: bad.clone(),
+                            group: g0,
+                            bad_in_group: gg.group_bad_count(g0),
+                            group_size: gg.group_size(g0),
+                        });
+                    }
+                }
+
+                // INV-ROUTE, exhaustively over (start, key).
+                for from in 0..gg.len() {
+                    for key in good.iter().chain(&bad).chain(&midpoints) {
+                        cell.route_checks += 1;
+                        if check_route(&gg, from, *key).is_err() {
+                            cell.route_violations += 1;
+                        }
+                    }
+                }
+            });
+            cells.push(cell);
+        }
+    }
+    ModelReport { config: *cfg, cells }
+}
+
+/// The acceptance gate over a report — panics with the offending cell
+/// (and witness, where one exists) on any failure:
+///
+/// 1. INV-ROUTE and INV-BUDGET hold for **every** placement at every
+///    budget.
+/// 2. INV-GOODNESS holds for every placement below each defense's
+///    threshold, and the threshold cell carries a concrete witness.
+/// 3. INV-MONOTONE: capturing placements never decrease with budget,
+///    single-hash captures exactly like no defense (the adversary keeps
+///    its chosen locations), and the `f∘g` threshold is never below
+///    single-hash.
+pub fn assert_model(report: &ModelReport) {
+    assert_eq!(report.hard_violations(), 0, "INV-ROUTE/INV-BUDGET must hold for every placement");
+    for d in ModelDefense::ALL {
+        let cells: Vec<&ModelCell> = report.defense_cells(d).collect();
+        if let Some(t) = report.threshold(d) {
+            for c in &cells {
+                if c.budget < t {
+                    assert_eq!(
+                        c.capturing,
+                        0,
+                        "INV-GOODNESS: {} captures below its threshold {t} at budget {}",
+                        d.label(),
+                        c.budget
+                    );
+                }
+            }
+            assert!(
+                report.witness(d).is_some(),
+                "threshold cell of {} must carry a witness placement",
+                d.label()
+            );
+        }
+        for w in cells.windows(2) {
+            assert!(
+                w[1].capturing >= w[0].capturing,
+                "INV-MONOTONE: capturing placements of {} shrank from budget {} to {}",
+                d.label(),
+                w[0].budget,
+                w[1].budget
+            );
+        }
+    }
+    for (none, single) in report
+        .defense_cells(ModelDefense::NoPow)
+        .zip(report.defense_cells(ModelDefense::SingleHash))
+    {
+        assert_eq!(
+            (single.capturing, single.max_captured),
+            (none.capturing, none.max_captured),
+            "single-hash preserves the adversary's placement, so its capture profile must \
+             equal no-defense at budget {}",
+            none.budget
+        );
+    }
+    let t_single = report.threshold(ModelDefense::SingleHash);
+    let t_two = report.threshold(ModelDefense::TwoHash);
+    if let (Some(s), Some(t)) = (t_single, t_two) {
+        assert!(t >= s, "INV-MONOTONE: f∘g threshold {t} fell below the single-hash threshold {s}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_model_passes_the_acceptance_gate() {
+        let report = run_model(&ModelConfig::tiny());
+        assert_model(&report);
+    }
+
+    #[test]
+    fn tiny_model_locates_a_concrete_witness() {
+        let report = run_model(&ModelConfig::tiny());
+        let t = report.threshold(ModelDefense::NoPow).expect("slot capture must kick in");
+        let w = report.witness(ModelDefense::NoPow).expect("witness at threshold");
+        assert_eq!(w.budget, t);
+        assert_eq!(w.slots.len(), t);
+        // The witness must actually reproduce: rebuild its graph and
+        // recount the captured group.
+        let cfg = report.config;
+        let fam = OracleFamily::new(cfg.seed);
+        let good: Vec<Id> =
+            (0..cfg.n_good).map(|i| Id::from_f64(i as f64 / cfg.n_good as f64)).collect();
+        let gg = build_placement(&cfg, &good, &w.bad_ids, &fam);
+        assert!(!gg.has_good_majority(w.group), "witness group must recount as captured");
+        assert_eq!(gg.group_bad_count(w.group), w.bad_in_group);
+        assert_eq!(gg.group_size(w.group), w.group_size);
+    }
+
+    #[test]
+    fn zero_budget_never_captures_and_routes_cleanly() {
+        let report = run_model(&ModelConfig { n_good: 6, draws: 2, max_budget: 0, seed: 7 });
+        for c in &report.cells {
+            assert_eq!(c.capturing, 0, "no adversary, no capture");
+            assert_eq!(c.route_violations, 0);
+            assert!(c.route_checks > 0, "routing must actually be exercised");
+        }
+    }
+
+    #[test]
+    fn placement_counts_match_the_binomial() {
+        let cfg = ModelConfig::tiny();
+        let report = run_model(&cfg);
+        for c in &report.cells {
+            assert_eq!(c.placements, combination_count(cfg.n_good, c.budget));
+        }
+        assert_eq!(
+            report.defense_cells(ModelDefense::NoPow).map(|c| c.placements).sum::<u64>(),
+            cfg.placements()
+        );
+    }
+
+    #[test]
+    fn twohash_scrambles_placement_intent() {
+        // At the no-defense threshold, f∘g must capture on strictly
+        // fewer placements (typically zero at tiny scale) — Lemma 11's
+        // point, stated over the whole enumeration.
+        let report = run_model(&ModelConfig::tiny());
+        let t = report.threshold(ModelDefense::NoPow).expect("threshold exists");
+        let none = report.defense_cells(ModelDefense::NoPow).find(|c| c.budget == t).unwrap();
+        let two = report.defense_cells(ModelDefense::TwoHash).find(|c| c.budget == t).unwrap();
+        assert!(
+            two.capturing < none.capturing,
+            "f∘g captured {}/{} placements vs {}/{} undefended at budget {t}",
+            two.capturing,
+            two.placements,
+            none.capturing,
+            none.placements
+        );
+    }
+}

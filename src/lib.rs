@@ -16,6 +16,7 @@ pub use tg_idspace as idspace;
 pub use tg_overlay as overlay;
 pub use tg_pow as pow;
 pub use tg_sim as sim;
+pub use tg_verify as verify;
 
 /// Convenience prelude pulling in the types most programs need.
 pub mod prelude {

@@ -74,6 +74,7 @@ fn frontier_cells_round_trip_through_the_label() {
         runtime: Default::default(),
         transport: Default::default(),
         store: None,
+        check_invariants: false,
     };
     for key in cfg.rows() {
         let spec = key.scenario(&cfg, cfg.betas[0], 0xDEAD_BEEF);
